@@ -1,0 +1,98 @@
+// Ablation: collective-algorithm choice on the simulated fabric
+// (google-benchmark). Wall time measures the simulator; the figure of
+// merit is the *modeled* time, reported as the modeled_us counter -
+// ring must win for large payloads, recursive doubling for small ones.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "mpi/comm.h"
+#include "sim/cluster.h"
+
+namespace {
+
+using namespace rcc;
+
+double RunAllreduce(int world, size_t count, mpi::AllreduceAlgo algo) {
+  sim::Cluster cluster;
+  std::vector<int> pids(world);
+  std::iota(pids.begin(), pids.end(), 0);
+  std::atomic<double> modeled{0};
+  cluster.Spawn(world, [&, pids](sim::Endpoint& ep) {
+    mpi::Comm comm = mpi::Comm::World(ep, pids);
+    std::vector<float> in(count, 1.0f), out(count);
+    comm.Barrier().ok();
+    const double before = ep.now();
+    comm.Allreduce(in.data(), out.data(), count, algo).ok();
+    if (comm.rank() == 0) modeled = ep.now() - before;
+  });
+  cluster.Join();
+  return modeled.load();
+}
+
+void BM_Allreduce(benchmark::State& state, mpi::AllreduceAlgo algo) {
+  const int world = static_cast<int>(state.range(0));
+  const size_t count = static_cast<size_t>(state.range(1));
+  double modeled = 0;
+  for (auto _ : state) {
+    modeled = RunAllreduce(world, count, algo);
+  }
+  state.counters["modeled_us"] = modeled * 1e6;
+  state.counters["bytes"] = static_cast<double>(count * sizeof(float));
+}
+
+void RegisterAll() {
+  const auto args = {
+      std::pair<int64_t, int64_t>{8, 256},
+      std::pair<int64_t, int64_t>{8, 262144},
+      std::pair<int64_t, int64_t>{16, 256},
+      std::pair<int64_t, int64_t>{16, 262144},
+      std::pair<int64_t, int64_t>{48, 65536},
+  };
+  for (auto [w, n] : args) {
+    benchmark::RegisterBenchmark(
+        ("Allreduce/ring/w" + std::to_string(w) + "/n" + std::to_string(n))
+            .c_str(),
+        [](benchmark::State& s) { BM_Allreduce(s, mpi::AllreduceAlgo::kRing); })
+        ->Args({w, n})
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("Allreduce/recdoubling/w" + std::to_string(w) + "/n" +
+         std::to_string(n))
+            .c_str(),
+        [](benchmark::State& s) {
+          BM_Allreduce(s, mpi::AllreduceAlgo::kRecursiveDoubling);
+        })
+        ->Args({w, n})
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("Allreduce/reducebcast/w" + std::to_string(w) + "/n" +
+         std::to_string(n))
+            .c_str(),
+        [](benchmark::State& s) {
+          BM_Allreduce(s, mpi::AllreduceAlgo::kReduceBcast);
+        })
+        ->Args({w, n})
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("Allreduce/rabenseifner/w" + std::to_string(w) + "/n" +
+         std::to_string(n))
+            .c_str(),
+        [](benchmark::State& s) {
+          BM_Allreduce(s, mpi::AllreduceAlgo::kRabenseifner);
+        })
+        ->Args({w, n})
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: Horovod tensor-fusion threshold (the env tuning the paper
+// mentions setting up). Larger buckets amortise per-collective latency
+// in steady state but make the forward-recovery retry coarser (one
+// bigger failed allreduce must be repeated); this sweep quantifies the
+// trade-off for VGG-16 on the ULFM stack.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ulfm_elastic.h"
+
+int main() {
+  using namespace rcc;
+  namespace ph = horovod::phase;
+  const auto spec = dnn::Vgg16Spec();
+  const int world = 24;
+
+  Table table({"fusion threshold", "buckets", "clean run (s)",
+               "retry cost on failure (s)", "total overhead (s)"});
+  for (size_t mb : {4, 16, 64, 256}) {
+    horovod::SyntheticPlan plan = bench::MakeScenarioPlan(
+        spec, bench::Scenario::kDown, horovod::DropPolicy::kProcess, world);
+    plan.fusion_bytes = mb << 20;
+    horovod::SyntheticPlan clean = plan;
+    clean.failures.clear();
+
+    trace::Recorder clean_rec;
+    horovod::RunStats clean_stats;
+    {
+      sim::Cluster cluster;
+      clean_stats = core::RunUlfmElastic(cluster, clean, &clean_rec);
+    }
+    trace::Recorder rec;
+    horovod::RunStats stats;
+    {
+      sim::Cluster cluster;
+      stats = core::RunUlfmElastic(cluster, plan, &rec);
+    }
+    const auto buckets = dnn::FusionBucketBytes(
+        dnn::TensorParameterCounts(spec), plan.fusion_bytes);
+    table.AddRow({std::to_string(mb) + " MB", std::to_string(buckets.size()),
+                  FormatDouble(clean_stats.completion_time, 3),
+                  FormatDouble(
+                      bench::RecoveryPhaseMean(rec, ph::kRetryCollective), 3),
+                  FormatDouble(
+                      stats.completion_time - clean_stats.completion_time,
+                      3)});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  bench::EmitTable(table,
+                   "Ablation: tensor-fusion threshold, VGG-16 on 24 GPUs "
+                   "(ULFM stack, process failure)",
+                   "ablation_fusion.csv");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: cost of the ULFM recovery primitives themselves (revoke +
+// agree + shrink, and connect/merge expansion) against scale and drop
+// granularity - the paper's claim that per-process management costs
+// stay minimal as the job grows.
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "core/resilient.h"
+#include "ulfm/ulfm.h"
+
+int main() {
+  using namespace rcc;
+  namespace ph = horovod::phase;
+
+  Table table({"GPUs", "level", "agreement model (ms)",
+               "measured repair (ms)", "nccl rebuild (ms)",
+               "expand 1 node (ms)"});
+  for (int world : {12, 24, 48, 96, 192}) {
+    for (auto level :
+         {horovod::DropPolicy::kProcess, horovod::DropPolicy::kNode}) {
+      // Measured repair: a failure during one allreduce.
+      trace::Recorder rec;
+      {
+        sim::Cluster cluster;
+        std::vector<int> pids(world);
+        std::iota(pids.begin(), pids.end(), 0);
+        cluster.Spawn(world, [&, pids, level](sim::Endpoint& ep) {
+          core::ResilientComm rc(ep, pids, level, &rec);
+          if (rc.rank() == world / 2) {
+            ep.fabric().Kill(ep.pid());
+            return;
+          }
+          std::vector<float> in(1024, 1.0f), out(1024);
+          rc.Allreduce(in.data(), out.data(), in.size(), 1.0).ok();
+        });
+        cluster.Join();
+      }
+      // Measured expand of one fresh node (6 workers).
+      trace::Recorder exp_rec;
+      {
+        sim::Cluster cluster;
+        std::vector<int> pids(world);
+        std::iota(pids.begin(), pids.end(), 0);
+        cluster.Spawn(world, [&, pids, level](sim::Endpoint& ep) {
+          core::ResilientComm rc(ep, pids, level, &exp_rec);
+          rc.Expand("grow", 6).ok();
+        });
+        for (int j = 0; j < 6; ++j) {
+          cluster.SpawnOnFreshNodes(1, [&, level](sim::Endpoint& ep) {
+            core::ResilientComm::JoinExisting(ep, "grow", 6, level, &exp_rec);
+          }, 0.0);
+        }
+        cluster.Join();
+      }
+      sim::SimConfig cfg;
+      table.AddRow(
+          {std::to_string(world),
+           level == horovod::DropPolicy::kNode ? "node" : "process",
+           FormatDouble(ulfm::AgreementCost(cfg, world) * 1e3, 3),
+           FormatDouble(bench::RecoveryPhaseMean(rec, ph::kUlfmRepair) * 1e3,
+                        3),
+           FormatDouble(bench::RecoveryPhaseMean(rec, ph::kNcclReinit) * 1e3,
+                        3),
+           FormatDouble(
+               bench::RecoveryPhaseMean(exp_rec, ph::kUlfmExpand) * 1e3, 3)});
+      std::printf(".");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  bench::EmitTable(table,
+                   "Ablation: ULFM primitive costs vs scale "
+                   "(revoke+agree+shrink, NCCL rebuild, expand)",
+                   "ablation_ulfm_ops.csv");
+  return 0;
+}

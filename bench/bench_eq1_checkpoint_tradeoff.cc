@@ -1,0 +1,63 @@
+// Eq. (1): the fault-recovery cost equation. Sweeps the checkpoint
+// interval and the fault rate for the checkpoint-based approach
+// (analytic model cross-checked against the simulated Elastic Horovod
+// recovery), and contrasts the ULFM approach, whose recovery term is a
+// single collective and which pays no checkpoint-saving cost at all.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ulfm_elastic.h"
+#include "costmodel/costmodel.h"
+#include "dnn/zoo.h"
+
+int main() {
+  using namespace rcc;
+  const auto spec = dnn::ResNet50V2Spec();
+  sim::SimConfig cfg;
+
+  // Steady-state throughput of one worker at batch 32 on the modeled GPU.
+  const double step_seconds =
+      dnn::StepComputeSeconds(spec, 32, cfg.net.gpu_flops);
+  costmodel::RecoveryParams params;
+  params.checkpoint_bytes = spec.size_mb * 1e6;
+  params.steps_per_second = 1.0 / step_seconds;
+  params.reconfiguration_cost = 3.0;   // EH reset path at 24 GPUs (Fig. 4)
+  params.new_worker_init_cost = 0.0;   // Scenario I: no replacement
+  params.fault_rate_per_hour = 2.0;
+  params.horizon_hours = 1.0;
+
+  Table table({"ckpt interval (steps)", "saving (s/h)", "loading (s/h)",
+               "reconfig (s/h)", "recompute (s/h)", "TOTAL (s/h)"});
+  for (int interval : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    params.checkpoint_interval_steps = interval;
+    auto b = costmodel::Evaluate(cfg, params);
+    table.AddRow({std::to_string(interval), FormatDouble(b.saving, 2),
+                  FormatDouble(b.loading, 2), FormatDouble(b.reconfigure, 2),
+                  FormatDouble(b.recompute, 2), FormatDouble(b.total(), 2)});
+  }
+  bench::EmitTable(table,
+                   "Eq. (1): checkpoint-based recovery cost per hour, "
+                   "ResNet-50, 2 faults/h, 24 GPUs",
+                   "eq1_interval_sweep.csv");
+  std::printf("analytic optimal interval: %d steps\n\n",
+              costmodel::OptimalCheckpointIntervalSteps(cfg, params));
+
+  // Fault-rate sweep at the per-mini-batch interval the paper's baseline
+  // uses, against the measured ULFM recovery cost per fault.
+  auto ulfm = bench::RunScenario(bench::Stack::kUlfm, spec,
+                                 bench::Scenario::kDown,
+                                 horovod::DropPolicy::kProcess, 24);
+  Table rates({"faults/hour", "EH total (s/h, interval=1)",
+               "ULFM total (s/h, no checkpoints)"});
+  for (double rate : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    params.checkpoint_interval_steps = 1;
+    params.fault_rate_per_hour = rate;
+    auto b = costmodel::Evaluate(cfg, params);
+    rates.AddRow({FormatDouble(rate, 1), FormatDouble(b.total(), 2),
+                  FormatDouble(rate * ulfm.total_overhead, 2)});
+  }
+  bench::EmitTable(rates,
+                   "Eq. (1) vs forward recovery: total overhead per hour",
+                   "eq1_rate_sweep.csv");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 4: detailed cost breakdown of Scenario I (downscaling recovery)
+// when training ResNet-50 across 24 GPUs, 18 left after resuming from a
+// node failure (and 23 after a process failure). The paper breaks the
+// Elastic Horovod restoration into: catching the exception, shutting
+// down ongoing operations, re-initialising elastic mode, re-initialising
+// Gloo, and resuming local + global rendezvous; the ULFM column shows
+// the forward-recovery path for contrast.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/ulfm_elastic.h"
+
+int main() {
+  using namespace rcc;
+  namespace ph = horovod::phase;
+  const auto spec = dnn::ResNet50V2Spec();
+  const int world = 24;
+
+  struct PhaseRow {
+    const char* label;
+    const char* phase;
+  };
+  const PhaseRow eh_rows[] = {
+      {"catch exception", ph::kCatchException},
+      {"shutdown ongoing ops", ph::kShutdown},
+      {"blacklist host", ph::kBlacklist},
+      {"re-initialize elastic mode", ph::kElasticReinit},
+      {"re-initialize Gloo", ph::kGlooReinit},
+      {"resume local rendezvous", ph::kRendezvousLocal},
+      {"resume global rendezvous", ph::kRendezvousGlobal},
+      {"NCCL re-init", ph::kNcclReinit},
+      {"state broadcast + restore", ph::kStateSync},
+      {"re-compute lost mini-batch", ph::kRecompute},
+  };
+  const PhaseRow ulfm_rows[] = {
+      {"revoke + agree + shrink", ph::kUlfmRepair},
+      {"NCCL re-init", ph::kNcclReinit},
+      {"re-execute failed allreduce", ph::kRetryCollective},
+      {"state sync (none needed)", ph::kStateSync},
+  };
+
+  for (auto level :
+       {horovod::DropPolicy::kProcess, horovod::DropPolicy::kNode}) {
+    const char* level_name =
+        level == horovod::DropPolicy::kNode ? "node" : "process";
+
+    auto plan = bench::MakeScenarioPlan(spec, bench::Scenario::kDown, level,
+                                        world);
+    trace::Recorder eh_rec;
+    {
+      sim::Cluster cluster;
+      horovod::RunElasticHorovod(cluster, plan, &eh_rec);
+    }
+    trace::Recorder ulfm_rec;
+    {
+      sim::Cluster cluster;
+      core::RunUlfmElastic(cluster, plan, &ulfm_rec);
+    }
+
+    Table table({"restoration step", "Elastic Horovod (s)", "ULFM MPI (s)"});
+    double eh_total = 0, ulfm_total = 0;
+    for (const auto& row : eh_rows) {
+      const double cost = bench::RecoveryPhaseMean(eh_rec, row.phase);
+      eh_total += cost;
+      table.AddRow({row.label, FormatDouble(cost, 4), ""});
+    }
+    for (const auto& row : ulfm_rows) {
+      const double cost = bench::RecoveryPhaseMean(ulfm_rec, row.phase);
+      ulfm_total += cost;
+      table.AddRow({row.label, "", FormatDouble(cost, 4)});
+    }
+    table.AddRow({"TOTAL", FormatDouble(eh_total, 3),
+                  FormatDouble(ulfm_total, 3)});
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "Fig. 4: Scenario I cost breakdown, ResNet-50 on %d GPUs, "
+                  "dropping the failed %s (%d GPUs remain)",
+                  world, level_name,
+                  level == horovod::DropPolicy::kNode ? world - 6 : world - 1);
+    bench::EmitTable(table, title,
+                     std::string("fig4_breakdown_") + level_name + ".csv");
+    std::printf("speedup (EH total / ULFM total): %.1fx\n\n",
+                eh_total / ulfm_total);
+  }
+  return 0;
+}

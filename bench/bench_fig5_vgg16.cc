@@ -1,0 +1,10 @@
+// Fig. 5: costs of recovering/reconfiguring workers when training VGG-16
+// in the three scenarios (Down / Same / Up) at process and node level,
+// scaling from 12 GPUs to 192 GPUs.
+#include "bench_util.h"
+
+int main() {
+  rcc::bench::RunCostFigure(rcc::dnn::Vgg16Spec(), {12, 24, 48, 96, 192},
+                            "fig5");
+  return 0;
+}

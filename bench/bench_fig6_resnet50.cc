@@ -1,0 +1,9 @@
+// Fig. 6: costs of recovering/reconfiguring workers when training
+// ResNet-50 in the three scenarios, 12 to 192 GPUs.
+#include "bench_util.h"
+
+int main() {
+  rcc::bench::RunCostFigure(rcc::dnn::ResNet50V2Spec(), {12, 24, 48, 96, 192},
+                            "fig6");
+  return 0;
+}

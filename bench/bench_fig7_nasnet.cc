@@ -1,0 +1,9 @@
+// Fig. 7: costs of recovering/reconfiguring workers when training
+// NasNetMobile in the three scenarios, 12 to 192 GPUs.
+#include "bench_util.h"
+
+int main() {
+  rcc::bench::RunCostFigure(rcc::dnn::NasNetMobileSpec(),
+                            {12, 24, 48, 96, 192}, "fig7");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 1: Keras benchmark applications - the model zoo this
+// reproduction trains, verified against the constructed bucket sets.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dnn/zoo.h"
+
+int main() {
+  using namespace rcc;
+  Table table({"Model", "Trainable", "Depth", "Total Parameters",
+               "Size (MB)", "fusion buckets @64MB", "fwd GFLOP/img"});
+  for (const auto& spec : dnn::KerasZoo()) {
+    const auto tensors = dnn::TensorParameterCounts(spec);
+    const auto buckets = dnn::FusionBucketBytes(tensors, 64u << 20);
+    size_t total = 0;
+    for (size_t t : tensors) total += t;
+    char params[32];
+    std::snprintf(params, sizeof(params), "%.1fM", total / 1e6);
+    table.AddRow({spec.name, std::to_string(spec.trainable_tensors),
+                  std::to_string(spec.depth), params,
+                  FormatDouble(spec.size_mb, 0),
+                  std::to_string(buckets.size()),
+                  FormatDouble(spec.forward_flops_per_sample / 1e9, 2)});
+  }
+  bench::EmitTable(table, "Table 1: Keras benchmark applications",
+                   "table1_models.csv");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared harness for the figure/table benches: builds the paper's three
+// dynamic scenarios (Down / Same / Up) at both recovery levels for both
+// stacks, runs them on a Summit-like simulated cluster, and extracts the
+// cost split the paper reports:
+//
+//   (a) communicator reconstruction + rendezvous
+//   (b) new-worker initialisation + training-state sync
+//   (c) re-computation (Elastic Horovod: the lost mini-batch;
+//       ULFM: re-executing the single failed collective)
+//
+// plus the end-to-end overhead (faulty-run completion minus clean-run
+// completion in virtual time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "horovod/elastic_horovod.h"
+#include "horovod/plan.h"
+
+namespace rcc::bench {
+
+enum class Stack { kUlfm, kElasticHorovod };
+enum class Scenario { kDown, kSame, kUp };
+
+const char* StackName(Stack stack);
+const char* ScenarioName(Scenario scenario);
+
+struct ScenarioCosts {
+  Stack stack;
+  Scenario scenario;
+  horovod::DropPolicy level;
+  int world = 0;             // GPUs before the event
+  int final_world = 0;
+  double reconstruction = 0; // (a) per-rank mean, seconds
+  double worker_and_state = 0;  // (b)
+  double recompute = 0;      // (c)
+  double total_overhead = 0; // faulty - clean completion time
+  double clean_time = 0;
+  double faulty_time = 0;
+};
+
+// Builds the plan for one scenario instance. `world` must be a multiple
+// of the node size for node-level cases.
+horovod::SyntheticPlan MakeScenarioPlan(const dnn::ModelSpec& spec,
+                                        Scenario scenario,
+                                        horovod::DropPolicy level,
+                                        int world);
+
+// Runs (clean, faulty) pairs and extracts the cost split.
+ScenarioCosts RunScenario(Stack stack, const dnn::ModelSpec& spec,
+                          Scenario scenario, horovod::DropPolicy level,
+                          int world);
+
+// Aggregation helpers over a recovery-phase trace.
+double RecoveryPhaseMean(const trace::Recorder& rec, const std::string& name);
+double RecoveryPhaseMin(const trace::Recorder& rec, const std::string& name);
+double SumRecoveryGroup(const trace::Recorder& rec,
+                        const std::vector<std::string>& names);
+
+// Renders one figure's rows (all scenarios x levels x stacks at the
+// given scales) and prints + writes CSV.
+void RunCostFigure(const dnn::ModelSpec& spec,
+                   const std::vector<int>& scales,
+                   const std::string& figure_id);
+
+// Writes `table` as CSV under bench_results/ (best effort) and prints it.
+void EmitTable(const Table& table, const std::string& title,
+               const std::string& csv_name);
+
+}  // namespace rcc::bench

@@ -1,0 +1,71 @@
+// Cloud spot-market elasticity: the paper's motivation for scaling the
+// training up and down with external factors ("spot node pricing").
+//
+// A deterministic synthetic spot-price series drives the worker count:
+// whenever the price spikes above the bid, a node is reclaimed
+// (= node failure mid-epoch, forward recovery); whenever it drops,
+// a new node is provisioned and merges at the next epoch boundary.
+// The ULFM elastic stack rides the whole series without a restart.
+//
+//   ./examples/spot_market_elasticity
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/ulfm_elastic.h"
+
+using namespace rcc;
+
+int main() {
+  const int kEpochs = 6;
+  const double kBid = 1.0;
+
+  // Deterministic mean-reverting price walk, one sample per epoch.
+  Rng rng(/*seed=*/777);
+  std::vector<double> price(kEpochs);
+  double p = 0.8;
+  for (int e = 0; e < kEpochs; ++e) {
+    p += 0.25 * (0.9 - p) + 0.22 * rng.NextGaussian();
+    price[e] = p;
+  }
+
+  horovod::SyntheticPlan plan;
+  plan.spec = dnn::ResNet50V2Spec();
+  plan.initial_world = 18;  // 3 nodes
+  plan.batch_per_worker = 32;
+  plan.steps_per_epoch = 3;
+  plan.epochs = kEpochs;
+  plan.drop_policy = horovod::DropPolicy::kNode;
+
+  Table schedule({"epoch", "spot price", "event"});
+  int world = plan.initial_world;
+  for (int e = 1; e < kEpochs; ++e) {
+    if (price[e] > kBid && world > 6) {
+      // Reclaimed: one node is pulled mid-epoch.
+      plan.failures.push_back(
+          {e, /*step=*/1, /*bucket=*/0, /*victim_rank=*/world - 1,
+           sim::FailScope::kNode});
+      world -= 6;
+      schedule.AddRow({std::to_string(e), FormatDouble(price[e], 2),
+                       "price > bid: node reclaimed (forward recovery)"});
+    } else if (price[e] < 0.85 * kBid) {
+      plan.joins.push_back({e, /*count=*/6, /*cold=*/true});
+      world += 6;
+      schedule.AddRow({std::to_string(e), FormatDouble(price[e], 2),
+                       "price low: +1 node provisioned (merge at boundary)"});
+    } else {
+      schedule.AddRow({std::to_string(e), FormatDouble(price[e], 2), "-"});
+    }
+  }
+  schedule.Print("spot-price schedule (bid = 1.00)");
+
+  trace::Recorder rec;
+  sim::Cluster cluster;
+  auto stats = core::RunUlfmElastic(cluster, plan, &rec);
+  std::printf(
+      "\ncompleted %d epochs in %.2f virtual seconds; final world %d GPUs; "
+      "%d repair/merge events, zero restarts, zero checkpoints.\n",
+      kEpochs, stats.completion_time, stats.final_world, stats.resets);
+  rec.ToTable().Print("recovery/merge phase costs");
+  return 0;
+}

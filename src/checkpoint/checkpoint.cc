@@ -1,0 +1,70 @@
+#include "checkpoint/checkpoint.h"
+
+namespace rcc::checkpoint {
+
+Snapshot Capture(const dnn::Model& model, const dnn::Sgd& opt,
+                 const TrainingCursor& cursor, double declared_bytes) {
+  ByteWriter w;
+  w.WriteI32(cursor.epoch);
+  w.WriteI32(cursor.step);
+  w.WriteI32(cursor.global_step);
+  model.Serialize(&w);
+  opt.Serialize(&w);
+  Snapshot snap;
+  snap.cursor = cursor;
+  snap.blob = w.Take();
+  snap.declared_bytes = declared_bytes < 0
+                            ? static_cast<double>(snap.blob.size())
+                            : declared_bytes;
+  return snap;
+}
+
+Status Restore(const Snapshot& snap, dnn::Model* model, dnn::Sgd* opt,
+               TrainingCursor* cursor) {
+  ByteReader r(snap.blob);
+  int32_t epoch = 0, step = 0, global_step = 0;
+  RCC_RETURN_IF_ERROR(r.ReadI32(&epoch));
+  RCC_RETURN_IF_ERROR(r.ReadI32(&step));
+  RCC_RETURN_IF_ERROR(r.ReadI32(&global_step));
+  RCC_RETURN_IF_ERROR(model->Deserialize(&r));
+  RCC_RETURN_IF_ERROR(opt->Deserialize(&r));
+  cursor->epoch = epoch;
+  cursor->step = step;
+  cursor->global_step = global_step;
+  return Status::Ok();
+}
+
+void Store::Save(sim::Endpoint& ep, Snapshot snap) {
+  ep.Busy(CopyCost(ep.fabric().config(), snap.declared_bytes));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_step_[snap.cursor.global_step] = std::move(snap);
+  while (by_step_.size() > capacity_) by_step_.erase(by_step_.begin());
+}
+
+std::optional<Snapshot> Store::Load(sim::Endpoint& ep,
+                                    int global_step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_step_.empty()) return std::nullopt;
+  auto it = by_step_.end();
+  if (global_step < 0) {
+    --it;
+  } else {
+    it = by_step_.upper_bound(global_step);
+    if (it == by_step_.begin()) return std::nullopt;
+    --it;
+  }
+  ep.Busy(CopyCost(ep.fabric().config(), it->second.declared_bytes));
+  return it->second;
+}
+
+size_t Store::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_step_.size();
+}
+
+int Store::latest_step() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_step_.empty() ? -1 : by_step_.rbegin()->first;
+}
+
+}  // namespace rcc::checkpoint

@@ -1,0 +1,39 @@
+#include "coll/algorithms.h"
+
+namespace rcc::coll {
+
+Status AllgatherBlobs(Transport& t, const std::vector<uint8_t>& mine,
+                      std::vector<std::vector<uint8_t>>* all) {
+  const int P = t.size();
+  const int r = t.rank();
+  all->assign(P, {});
+  (*all)[r] = mine;
+  if (P == 1) return Status::Ok();
+  const int right = (r + 1) % P;
+  const int left = (r - 1 + P) % P;
+  for (int s = 0; s < P - 1; ++s) {
+    const int send_block = (r - s + P) % P;
+    const int recv_block = (r - s - 1 + P) % P;
+    const std::vector<uint8_t>& out = (*all)[send_block];
+    RCC_RETURN_IF_ERROR(
+        t.SendTo(right, /*tag=*/900 + s, out.data(), out.size()));
+    RCC_RETURN_IF_ERROR(t.RecvBlob(left, /*tag=*/900 + s, &(*all)[recv_block]));
+  }
+  return Status::Ok();
+}
+
+Status DisseminationBarrier(Transport& t) {
+  const int P = t.size();
+  const int r = t.rank();
+  uint8_t token = 1;
+  int step = 0;
+  for (int k = 1; k < P; k <<= 1, ++step) {
+    const int dst = (r + k) % P;
+    const int src = (r - k + P) % P;
+    RCC_RETURN_IF_ERROR(t.SendTo(dst, /*tag=*/950 + step, &token, 1));
+    RCC_RETURN_IF_ERROR(t.RecvFrom(src, /*tag=*/950 + step, &token, 1));
+  }
+  return Status::Ok();
+}
+
+}  // namespace rcc::coll

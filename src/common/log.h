@@ -1,0 +1,61 @@
+// Minimal thread-safe logging with severity filtering.
+//
+// Logging in the hot simulation path is off by default; benches and
+// examples raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rcc {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Global minimum level; messages below it are dropped cheaply.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define RCC_LOG(level)                                              \
+  if (::rcc::LogLevel::level < ::rcc::GetLogLevel()) {              \
+  } else                                                            \
+    ::rcc::internal::LogMessage(::rcc::LogLevel::level, __FILE__,   \
+                                __LINE__)                           \
+        .stream()
+
+#define RCC_CHECK(cond)                                                   \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::rcc::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::string prefix_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace rcc

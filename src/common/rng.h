@@ -1,0 +1,56 @@
+// Deterministic, splittable random number generation. Every simulated
+// component derives its stream from (seed, component id) so runs are
+// reproducible regardless of thread scheduling.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace rcc {
+
+// SplitMix64: tiny, fast, good enough for workload generation and
+// failure-injection jitter; not for cryptography.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ 0x9E3779B97F4A7C15ull) {}
+  Rng(uint64_t seed, uint64_t stream) : Rng(seed + 0xBF58476D1CE4E5B9ull * (stream + 1)) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n) { return n == 0 ? 0 : NextU64() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble(), u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  // Exponential with the given rate (used for failure inter-arrival times).
+  double NextExponential(double rate) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace rcc

@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rcc {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kProcFailed: return "PROC_FAILED";
+    case Code::kRevoked: return "REVOKED";
+    case Code::kTimeout: return "TIMEOUT";
+    case Code::kInvalid: return "INVALID";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAborted: return "ABORTED";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kIoError: return "IO_ERROR";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+void Status::MergeFailure(const Status& other) {
+  if (other.ok()) return;
+  if (ok()) {
+    code_ = other.code_;
+    msg_ = other.msg_;
+  }
+  // Failure set union, kept sorted and unique.
+  for (int pid : other.failed_pids_) {
+    if (std::find(failed_pids_.begin(), failed_pids_.end(), pid) ==
+        failed_pids_.end()) {
+      failed_pids_.push_back(pid);
+    }
+  }
+  std::sort(failed_pids_.begin(), failed_pids_.end());
+  // A revoke supersedes individual process failures: the whole context is
+  // unusable until repaired.
+  if (other.code_ == Code::kRevoked) code_ = Code::kRevoked;
+}
+
+std::string Status::ToString() const {
+  std::ostringstream os;
+  os << CodeName(code_);
+  if (!msg_.empty()) os << ": " << msg_;
+  if (!failed_pids_.empty()) {
+    os << " (failed pids:";
+    for (int pid : failed_pids_) os << ' ' << pid;
+    os << ')';
+  }
+  return os.str();
+}
+
+}  // namespace rcc

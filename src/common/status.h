@@ -1,0 +1,87 @@
+// Status / Result error model used across the RCC libraries.
+//
+// The fabric, MPI and ULFM layers report failures per-operation through
+// status codes (mirroring ULFM's relaxed error semantics); exceptions are
+// reserved for the Gloo-like layer, which mimics real Gloo behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rcc {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  kProcFailed,   // a peer process has failed (ULFM: MPIX_ERR_PROC_FAILED)
+  kRevoked,      // the communicator was revoked (ULFM: MPIX_ERR_REVOKED)
+  kTimeout,      // operation exceeded its (virtual) deadline
+  kInvalid,      // invalid argument / precondition violation
+  kNotFound,     // missing key / rank / resource
+  kAborted,      // operation aborted by shutdown
+  kUnavailable,  // resource not (yet) available
+  kIoError,      // transport-level error
+  kInternal,     // invariant violation inside the library
+};
+
+const char* CodeName(Code code);
+
+// A lightweight status: a code, an optional message, and - for
+// kProcFailed - the set of failed process ids observed by the operation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code, std::string msg = {})
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status ProcFailed(std::vector<int> pids, std::string msg = {}) {
+    Status s(Code::kProcFailed, std::move(msg));
+    s.failed_pids_ = std::move(pids);
+    return s;
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  const std::vector<int>& failed_pids() const { return failed_pids_; }
+
+  // Merge another failure observation into this status (used when a
+  // collective observes multiple dead peers before returning).
+  void MergeFailure(const Status& other);
+
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string msg_;
+  std::vector<int> failed_pids_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T take() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define RCC_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::rcc::Status rcc_status_ = (expr);           \
+    if (!rcc_status_.ok()) return rcc_status_;    \
+  } while (0)
+
+}  // namespace rcc

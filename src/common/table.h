@@ -1,0 +1,41 @@
+// ASCII table and CSV emission for bench output. Every figure/table bench
+// prints a human-readable table to stdout and optionally writes the same
+// rows as CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Formats the table with aligned columns.
+  std::string ToAscii() const;
+  std::string ToCsv() const;
+
+  // Prints the ASCII rendering to stdout with an optional title banner.
+  void Print(const std::string& title = {}) const;
+
+  // Writes CSV next to the binary; best-effort (bench output is the
+  // authoritative record).
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by benches.
+std::string FormatSeconds(double s);   // "12.35 s" / "843 ms" / "12.1 us"
+std::string FormatBytes(double b);     // "549.0 MB" / "23 GB/s" building block
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace rcc

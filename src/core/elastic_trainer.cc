@@ -1,0 +1,151 @@
+#include "core/elastic_trainer.h"
+
+#include "common/log.h"
+#include "dnn/layers.h"
+#include "dnn/optimizer.h"
+
+namespace rcc::core {
+
+ElasticTrainer::ElasticTrainer(ResilientComm* rc, dnn::Model* model,
+                               dnn::Sgd* opt,
+                               const dnn::ClusterDataset* data,
+                               TrainerOptions opts,
+                               std::vector<std::atomic<bool>>* failure_flags)
+    : rc_(rc),
+      model_(model),
+      opt_(opt),
+      data_(data),
+      opts_(std::move(opts)),
+      failure_flags_(failure_flags),
+      base_workers_(rc->size()) {}
+
+Status ElasticTrainer::SyncState(ResilientComm* rc, dnn::Model* model,
+                                 dnn::Sgd* opt,
+                                 checkpoint::TrainingCursor* cursor,
+                                 bool receiver) {
+  std::vector<uint8_t> blob;
+  if (rc->rank() == 0) {
+    blob = checkpoint::Capture(*model, *opt, *cursor).blob;
+  }
+  RCC_RETURN_IF_ERROR(rc->BcastBlob(&blob, /*root=*/0, /*cost_scale=*/1.0));
+  if (receiver && rc->rank() != 0) {
+    checkpoint::Snapshot snap;
+    snap.blob = std::move(blob);
+    RCC_RETURN_IF_ERROR(checkpoint::Restore(snap, model, opt, cursor));
+  }
+  return Status::Ok();
+}
+
+bool ElasticTrainer::MaybeDie(int epoch, int step) {
+  for (size_t i = 0; i < opts_.failures.size(); ++i) {
+    const auto& f = opts_.failures[i];
+    if (f.epoch == epoch && f.step == step && f.victim_rank == rc_->rank() &&
+        !(*failure_flags_)[i].load()) {
+      (*failure_flags_)[i].store(true);
+      if (f.scope == sim::FailScope::kNode) {
+        rc_->endpoint().fabric().KillNode(rc_->endpoint().node());
+      } else {
+        rc_->endpoint().fabric().Kill(rc_->endpoint().pid());
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ElasticTrainer::TrainStep(int epoch, int step, float* loss_out) {
+  // Per-worker shard of the global batch under the *current* membership
+  // (after a shrink the survivors re-partition the data - degraded mode).
+  dnn::Batch batch = data_->ShardBatch(epoch, step, opts_.batch_per_worker,
+                                       rc_->rank(), rc_->size());
+  model_->ZeroGrad();
+  dnn::Tensor logits = model_->Forward(batch.x, /*train=*/true);
+  dnn::SoftmaxCrossEntropy loss;
+  *loss_out = loss.Forward(logits, batch.labels);
+  model_->Backward(loss.Backward());
+  rc_->endpoint().Compute(3.0 * model_->LastForwardFlops());
+
+  // Flatten gradients, resilient allreduce, average over the membership
+  // that actually contributed (forward recovery may shrink it mid-op).
+  auto params = model_->Params();
+  std::vector<float> flat;
+  flat.reserve(model_->ParameterCount());
+  for (dnn::Param* p : params) {
+    flat.insert(flat.end(), p->grad.data(), p->grad.data() + p->grad.size());
+  }
+  std::vector<float> reduced(flat.size());
+  RCC_RETURN_IF_ERROR(
+      rc_->Allreduce(flat.data(), reduced.data(), flat.size()));
+  const float inv = 1.0f / static_cast<float>(rc_->size());
+  size_t off = 0;
+  for (dnn::Param* p : params) {
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      p->grad[i] = reduced[off + i] * inv;
+    }
+    off += p->grad.size();
+  }
+  float lr_scale = 1.0f;
+  if (opts_.linear_lr_scaling) {
+    // Rescale against the membership that actually contributed this
+    // step; base_workers is pinned at trainer construction.
+    dnn::LinearScalingLr schedule(opts_.sgd.lr, base_workers_,
+                                  opts_.lr_warmup_steps);
+    lr_scale =
+        schedule.LrAt(epoch * opts_.steps_per_epoch + step, rc_->size()) /
+        opts_.sgd.lr;
+  }
+  opt_->Step(lr_scale);
+  return Status::Ok();
+}
+
+TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start) {
+  TrainerReport report;
+  int epoch = start.epoch;
+  int step = start.step;
+  bool first = true;
+  while (epoch < opts_.epochs) {
+    // Epoch-boundary reconfiguration.
+    auto join_it = opts_.joins.find(epoch);
+    if (join_it != opts_.joins.end() && step == 0 && epoch != start.epoch) {
+      Status st = rc_->Expand("trainer-epoch" + std::to_string(epoch),
+                              join_it->second);
+      if (!st.ok()) {
+        report.aborted = true;
+        return report;
+      }
+      checkpoint::TrainingCursor cursor{epoch, step, 0};
+      st = SyncState(rc_, model_, opt_, &cursor, /*receiver=*/false);
+      if (!st.ok()) {
+        report.aborted = true;
+        return report;
+      }
+    }
+    while (step < opts_.steps_per_epoch) {
+      if (MaybeDie(epoch, step)) {
+        report.aborted = true;
+        return report;
+      }
+      float loss = 0;
+      Status st = TrainStep(epoch, step, &loss);
+      if (!st.ok()) {
+        report.aborted = true;
+        return report;
+      }
+      if (first) {
+        report.first_loss = loss;
+        first = false;
+      }
+      report.last_loss = loss;
+      ++report.steps_run;
+      ++step;
+    }
+    step = 0;
+    ++epoch;
+  }
+  report.final_world = rc_->size();
+  report.repairs = rc_->repairs();
+  model_->CopyParamsTo(&report.final_params);
+  return report;
+}
+
+}  // namespace rcc::core

@@ -1,0 +1,84 @@
+// Real-model elastic data-parallel trainer over the resilient
+// collectives: the full paper pipeline with actual numerics - forward/
+// backward on a dnn::Model, gradient allreduce through ResilientComm,
+// forward recovery on failures, epoch-boundary admission of new workers
+// with model+optimizer state sync.
+//
+// Used by tests (SPMD consistency, loss-decrease and recovery-
+// correctness invariants) and by the examples; the figure benches use
+// the declared-size synthetic runner instead (core/ulfm_elastic.h).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "core/resilient.h"
+#include "dnn/data.h"
+#include "dnn/model.h"
+#include "dnn/optimizer.h"
+#include "horovod/plan.h"
+
+namespace rcc::core {
+
+struct TrainerOptions {
+  int batch_per_worker = 16;
+  int steps_per_epoch = 8;
+  int epochs = 2;
+  dnn::SgdOptions sgd{0.05f, 0.9f, 0.0f};
+  // Linear-scaling learning-rate rule (Goyal et al.): when enabled the
+  // effective rate tracks the *current* worker count relative to the
+  // founding world, with a gradual warmup - the stability measure the
+  // paper cites for scale changes.
+  bool linear_lr_scaling = false;
+  int lr_warmup_steps = 0;
+  horovod::DropPolicy drop_policy = horovod::DropPolicy::kProcess;
+  // Scripted failures: victim `rank` dies at the start of (epoch, step).
+  std::vector<horovod::ScriptedFailure> failures;
+  // epoch -> number of joiners merging at that epoch boundary.
+  std::map<int, int> joins;
+};
+
+struct TrainerReport {
+  bool aborted = false;       // this worker died / left
+  int steps_run = 0;          // optimizer steps this worker applied
+  float first_loss = 0;
+  float last_loss = 0;
+  int final_world = 0;
+  int repairs = 0;
+  std::vector<float> final_params;  // for cross-rank consistency checks
+};
+
+class ElasticTrainer {
+ public:
+  // `failure_flags` must outlive the trainer and be shared by every
+  // worker of the run (marks scripted failures as consumed).
+  ElasticTrainer(ResilientComm* rc, dnn::Model* model, dnn::Sgd* opt,
+                 const dnn::ClusterDataset* data, TrainerOptions opts,
+                 std::vector<std::atomic<bool>>* failure_flags);
+
+  // Trains from `start`; returns the per-worker report.
+  TrainerReport Run(checkpoint::TrainingCursor start = {});
+
+  // Collective state sync: rank 0 broadcasts (model, optimizer, cursor);
+  // `receiver` restores it. Every member of rc must call this.
+  static Status SyncState(ResilientComm* rc, dnn::Model* model,
+                          dnn::Sgd* opt, checkpoint::TrainingCursor* cursor,
+                          bool receiver);
+
+ private:
+  bool MaybeDie(int epoch, int step);
+  Status TrainStep(int epoch, int step, float* loss_out);
+
+  ResilientComm* rc_;
+  dnn::Model* model_;
+  dnn::Sgd* opt_;
+  const dnn::ClusterDataset* data_;
+  TrainerOptions opts_;
+  std::vector<std::atomic<bool>>* failure_flags_;
+  int base_workers_;
+};
+
+}  // namespace rcc::core

@@ -1,0 +1,258 @@
+#include "core/resilient.h"
+
+#include "coll/algorithms.h"
+#include "common/log.h"
+
+namespace rcc::core {
+
+namespace {
+std::string NcclId(const mpi::Comm& comm) {
+  return "ulfm-ctx-" + std::to_string(comm.context_id());
+}
+}  // namespace
+
+ResilientComm::ResilientComm(sim::Endpoint& ep, const std::vector<int>& pids,
+                             horovod::DropPolicy policy,
+                             trace::Recorder* rec)
+    : ResilientComm(ep, mpi::Comm::World(ep, pids), policy, rec) {
+  // A failed init (a founder dying during the bootstrap barrier) is
+  // deferred: the first resilient operation observes it and runs the
+  // repair protocol with every survivor in lockstep.
+  gpu_init_status_ = InitGpu("init/");
+}
+
+ResilientComm::ResilientComm(sim::Endpoint& ep, mpi::Comm comm,
+                             horovod::DropPolicy policy, trace::Recorder* rec)
+    : ep_(ep),
+      comm_(std::make_unique<mpi::Comm>(std::move(comm))),
+      policy_(policy),
+      rec_(rec) {}
+
+std::unique_ptr<ResilientComm> ResilientComm::JoinExisting(
+    sim::Endpoint& ep, const std::string& session, int expected_joiners,
+    horovod::DropPolicy policy, trace::Recorder* rec) {
+  Result<mpi::Comm> joined = [&] {
+    trace::Scope scope(rec, ep,
+                       std::string("recovery/") + horovod::phase::kUlfmExpand);
+    return ulfm::ExpandComm(ep, nullptr, session, expected_joiners);
+  }();
+  if (!joined.ok()) return nullptr;
+  auto rc = std::unique_ptr<ResilientComm>(
+      new ResilientComm(ep, joined.take(), policy, rec));
+  if (!rc->InitGpu("recovery/").ok()) return nullptr;
+  return rc;
+}
+
+Status ResilientComm::InitGpu(const char* phase_prefix) {
+  trace::Scope scope(rec_, ep_,
+                     std::string(phase_prefix) + horovod::phase::kNcclReinit);
+  gpu_ = nccl::Comm::InitRank(ep_, comm_->pids(), NcclId(*comm_));
+  if (gpu_ == nullptr) {
+    return Status(Code::kProcFailed, "nccl init failed");
+  }
+  return Status::Ok();
+}
+
+bool ResilientComm::ShouldLeaveNode() const {
+  if (policy_ != horovod::DropPolicy::kNode) return false;
+  sim::Fabric& fabric = ep_.fabric();
+  for (int pid : comm_->pids()) {
+    if (!fabric.IsAlive(pid) && fabric.NodeOf(pid) == ep_.node()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ResilientComm::Repair(const Status& failure) {
+  if (!ep_.alive()) return Status(Code::kAborted, "self dead");
+  ++repairs_;
+  RCC_LOG(kDebug) << "pid " << ep_.pid() << " repair start: "
+                  << failure.ToString();
+  {
+    trace::Scope scope(rec_, ep_,
+                       std::string("recovery/") + horovod::phase::kUlfmRepair);
+    // Error-handler path (Section 3.1): revoke to interrupt every rank
+    // still blocked in the broken collective, acknowledge the failures,
+    // then agree + shrink.
+    comm_->NoteFailedPids(failure.failed_pids());
+    ulfm::Revoke(*comm_);
+    ulfm::FailureAck(*comm_);
+    if (ShouldLeaveNode()) {
+      // Node-drop policy: this process's host lost a member, so it
+      // leaves the training job immediately; the survivors' shrink
+      // excludes it.
+      ep_.fabric().Kill(ep_.pid());
+      return Status(Code::kAborted, "left with blacklisted node");
+    }
+    // Shrink until the membership is stable. Node-drop leavers above may
+    // die concurrently with the first shrink; the stability check is
+    // itself an agreement so every survivor takes the same number of
+    // shrink rounds.
+    auto shrunk = ulfm::Shrink(*comm_);
+    if (!shrunk.ok()) return shrunk.status();
+    for (;;) {
+      int stable = 1;
+      for (int pid : shrunk.value().pids()) {
+        if (!ep_.fabric().IsAlive(pid)) stable = 0;
+      }
+      auto verdict = ulfm::Agree(shrunk.value(), stable);
+      if (!verdict.ok()) return verdict.status();
+      if (verdict.value().flag == 1 && verdict.value().failed_pids.empty()) {
+        break;
+      }
+      auto again = ulfm::Shrink(shrunk.value());
+      if (!again.ok()) return again.status();
+      shrunk = std::move(again);
+    }
+    comm_ = std::make_unique<mpi::Comm>(shrunk.take());
+  }
+  // Rebuild the GPU communicator, agreeing each round on success: a
+  // member dying *during* the rebuild sends every survivor back through
+  // another shrink together (op streams stay aligned).
+  for (;;) {
+    if (gpu_ != nullptr) gpu_->Abort();
+    gpu_init_status_ = InitGpu("recovery/");
+    if (gpu_init_status_.code() == Code::kAborted) return gpu_init_status_;
+    auto verdict = ulfm::Agree(*comm_, gpu_init_status_.ok() ? 1 : 0);
+    if (!verdict.ok()) return verdict.status();
+    if (verdict.value().flag == 1 && verdict.value().failed_pids.empty()) {
+      break;
+    }
+    Status again = gpu_init_status_.ok()
+                       ? Status::ProcFailed(verdict.value().failed_pids,
+                                            "peer failed during gpu rebuild")
+                       : gpu_init_status_;
+    trace::Scope scope(rec_, ep_,
+                       std::string("recovery/") + horovod::phase::kUlfmRepair);
+    comm_->NoteFailedPids(again.failed_pids());
+    ulfm::Revoke(*comm_);
+    if (ShouldLeaveNode()) {
+      ep_.fabric().Kill(ep_.pid());
+      return Status(Code::kAborted, "left with blacklisted node");
+    }
+    auto shrunk = ulfm::Shrink(*comm_);
+    if (!shrunk.ok()) return shrunk.status();
+    comm_ = std::make_unique<mpi::Comm>(shrunk.take());
+  }
+  RCC_LOG(kDebug) << "pid " << ep_.pid() << " repair done";
+  return Status::Ok();
+}
+
+Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
+                                   const std::function<Status()>& sync_fn,
+                                   bool has_data) {
+  const auto op_id = static_cast<int64_t>(++op_counter_);
+  bool data_done = !has_data;
+  bool repaired = false;
+  for (;;) {
+    Status st;
+    if (!data_done) {
+      if (repaired) {
+        trace::Scope scope(
+            rec_, ep_,
+            std::string("recovery/") + horovod::phase::kRetryCollective);
+        st = data_fn();
+      } else {
+        st = data_fn();
+      }
+      if (st.ok()) data_done = true;
+    }
+    if (data_done) {
+      st = sync_fn();
+      if (st.ok()) return Status::Ok();
+    }
+    if (st.code() == Code::kAborted) return st;
+    RCC_RETURN_IF_ERROR(Repair(st));
+    repaired = true;
+    // Post-repair resolution (see header): agree on the earliest
+    // outstanding op across the survivors, then on whether its data
+    // phase completed everywhere.
+    auto min_r = ulfm::Agree(*comm_, /*flag=*/1, op_id);
+    if (!min_r.ok()) return min_r.status();
+    const int64_t min_id = min_r.value().min_value;
+    const int mine = (op_id > min_id || data_done) ? 1 : 0;
+    auto all_done = ulfm::Agree(*comm_, mine, op_id);
+    if (!all_done.ok()) return all_done.status();
+    if (op_id == min_id) {
+      if (all_done.value().flag == 1) {
+        // Every survivor holds this op's data and the repair itself
+        // synchronized us: the op is complete.
+        return Status::Ok();
+      }
+      // Forward recovery: re-execute only this collective's data phase
+      // on the shrunk communicator - the inputs are preserved, so the
+      // survivors' contributions carry over and the mini-batch continues
+      // (the paper's Fig. 2). Ranks that already held a result replace
+      // it with the survivor-only one, keeping SPMD state consistent.
+      data_done = false;
+    }
+    // op_id > min_id: the laggards complete their (earlier) op through
+    // the branch above and will re-join this op's phases on the repaired
+    // communicator right after us - per-communicator op streams stay
+    // aligned because the decision is agreement-uniform.
+  }
+}
+
+Status ResilientComm::Allreduce(const float* sendbuf, float* recvbuf,
+                                size_t count, double cost_scale) {
+  return RunResilient(
+      [&]() -> Status {
+        if (gpu_ == nullptr) return gpu_init_status_;
+        gpu_->set_cost_scale(cost_scale);
+        return gpu_->Allreduce<float>(sendbuf, recvbuf, count);
+      },
+      [&]() -> Status {
+        if (gpu_ == nullptr) return gpu_init_status_;
+        gpu_->set_cost_scale(1.0);
+        return gpu_->Barrier();
+      },
+      /*has_data=*/true);
+}
+
+Status ResilientComm::BcastBlob(std::vector<uint8_t>* blob, int root,
+                                double cost_scale) {
+  return RunResilient(
+      [&]() -> Status {
+        if (root >= comm_->size()) {
+          return Status(Code::kInvalid, "bcast root dropped by repair");
+        }
+        comm_->set_cost_scale(cost_scale);
+        Status st = comm_->BcastBlob(blob, root);
+        comm_->set_cost_scale(1.0);
+        return st;
+      },
+      [&] { return comm_->Barrier(); },
+      /*has_data=*/true);
+}
+
+Status ResilientComm::AllgatherU64(uint64_t mine,
+                                   std::vector<uint64_t>* all) {
+  return RunResilient(
+      [&] {
+        all->assign(comm_->size(), 0);
+        return comm_->Allgather<uint64_t>(&mine, all->data(), 1);
+      },
+      [&] { return comm_->Barrier(); },
+      /*has_data=*/true);
+}
+
+Status ResilientComm::Barrier() {
+  return RunResilient([] { return Status::Ok(); },
+                      [&] { return comm_->Barrier(); },
+                      /*has_data=*/false);
+}
+
+Status ResilientComm::Expand(const std::string& session, int joiner_count) {
+  Result<mpi::Comm> next = [&] {
+    trace::Scope scope(rec_, ep_,
+                       std::string("recovery/") + horovod::phase::kUlfmExpand);
+    return ulfm::ExpandComm(ep_, comm_.get(), session, joiner_count);
+  }();
+  if (!next.ok()) return next.status();
+  comm_ = std::make_unique<mpi::Comm>(next.take());
+  if (gpu_ != nullptr) gpu_->Abort();
+  return InitGpu("recovery/");
+}
+
+}  // namespace rcc::core

@@ -1,0 +1,119 @@
+// Resilient collective operations: the paper's primary contribution.
+//
+// A ResilientComm pairs the ULFM host communicator with the NCCL-like
+// GPU communicator and implements forward recovery at single-collective
+// granularity (paper Section 3.2): when a collective reports a peer
+// failure, the survivors
+//
+//   revoke the communicator -> acknowledge/agree on the failed set ->
+//   shrink (optionally dropping whole nodes, the runtime flag of
+//   Section 3.1) -> rebuild the GPU communicator -> RE-EXECUTE ONLY THE
+//   FAILED COLLECTIVE with the preserved inputs
+//
+// so the mini-batch in progress is never rolled back.
+//
+// Resilient-op protocol. A failure can catch the SPMD ranks straddling
+// two consecutive collectives (one rank may finish allreduce N and move
+// on while another is still inside it). Every resilient operation is
+// therefore structured as a data phase plus a synchronizing phase (a
+// dissemination barrier, whose completion at any rank implies every rank
+// entered it - so ranks can differ by at most one operation). After a
+// repair the survivors run two agreements - the MIN outstanding op id,
+// then an AND of "the data of that op is everywhere" - which decides
+// uniformly whether the earliest op's data phase must be re-executed on
+// the shrunk communicator (with the preserved inputs) or whether the
+// repair itself already completed it. This is the standard ULFM
+// recovery pattern for synchronous collectives.
+//
+// Replacement and upscaling workers are admitted with Expand /
+// JoinExisting at epoch boundaries, while the survivors keep training in
+// degraded mode.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "horovod/plan.h"
+#include "mpi/comm.h"
+#include "nccl/nccl.h"
+#include "trace/trace.h"
+#include "ulfm/ulfm.h"
+
+namespace rcc::core {
+
+class ResilientComm {
+ public:
+  // Founds the initial world over `pids` (collective; identical list on
+  // every founding rank). Initial setup is traced under "init/".
+  ResilientComm(sim::Endpoint& ep, const std::vector<int>& pids,
+                horovod::DropPolicy policy, trace::Recorder* rec);
+
+  // Joins an existing world (collective with the survivors' Expand call
+  // using the same session & count). The joiner's connect cost is traced
+  // under "recovery/".
+  static std::unique_ptr<ResilientComm> JoinExisting(
+      sim::Endpoint& ep, const std::string& session, int expected_joiners,
+      horovod::DropPolicy policy, trace::Recorder* rec);
+
+  int rank() const { return comm_->rank(); }
+  int size() const { return static_cast<int>(comm_->pids().size()); }
+  const std::vector<int>& pids() const { return comm_->pids(); }
+  mpi::Comm& host() { return *comm_; }
+  sim::Endpoint& endpoint() { return ep_; }
+  int repairs() const { return repairs_; }
+
+  // Resilient allreduce (sum) over the GPU communicator. Re-executes on
+  // the shrunk communicator after failures; `sendbuf` is preserved
+  // across retries (out-of-place kernels). `cost_scale` maps physical to
+  // declared bytes. Returns kAborted if this rank itself dies or leaves
+  // (node-drop policy).
+  Status Allreduce(const float* sendbuf, float* recvbuf, size_t count,
+                   double cost_scale = 1.0);
+
+  // Resilient host-side blob broadcast (state sync): root is a rank of
+  // the *current* membership; repairs keep survivor rank order, so
+  // "rank 0" remains a state-holding survivor.
+  Status BcastBlob(std::vector<uint8_t>* blob, int root, double cost_scale);
+
+  // Resilient small allgather over the host communicator (Horovod
+  // response negotiation).
+  Status AllgatherU64(uint64_t mine, std::vector<uint64_t>* all);
+
+  // Resilient barrier over the host communicator.
+  Status Barrier();
+
+  // Epoch-boundary reconfiguration: admits `joiner_count` new workers
+  // (collective across current members; joiners call JoinExisting with
+  // the same session). Rebuilds the GPU communicator.
+  Status Expand(const std::string& session, int joiner_count);
+
+  // Repairs the communicator after `failure` (revoke + agree + shrink +
+  // GPU rebuild). Exposed for tests; the op wrappers call it internally.
+  Status Repair(const Status& failure);
+
+ private:
+  ResilientComm(sim::Endpoint& ep, mpi::Comm comm,
+                horovod::DropPolicy policy, trace::Recorder* rec);
+
+  // The resilient-op protocol described above. `data_fn` runs the data
+  // movement (empty for pure barriers); `sync_fn` is the synchronizing
+  // phase on the same communicator.
+  Status RunResilient(const std::function<Status()>& data_fn,
+                      const std::function<Status()>& sync_fn, bool has_data);
+
+  Status InitGpu(const char* phase_prefix);
+  bool ShouldLeaveNode() const;  // node-drop policy: my node lost a member
+
+  sim::Endpoint& ep_;
+  std::unique_ptr<mpi::Comm> comm_;
+  std::unique_ptr<nccl::Comm> gpu_;
+  horovod::DropPolicy policy_;
+  trace::Recorder* rec_;
+  Status gpu_init_status_;
+  int repairs_ = 0;
+  uint64_t op_counter_ = 0;
+};
+
+}  // namespace rcc::core

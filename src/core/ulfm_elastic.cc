@@ -1,0 +1,283 @@
+#include "core/ulfm_elastic.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+
+#include "common/log.h"
+#include "common/serial.h"
+#include "core/resilient.h"
+#include "kvstore/kvstore.h"
+
+namespace rcc::core {
+
+namespace {
+
+using horovod::Bucket;
+using horovod::DropPolicy;
+using horovod::ScriptedFailure;
+using horovod::SyntheticPlan;
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load();
+  while (value > cur && !target->compare_exchange_weak(cur, value)) {
+  }
+}
+
+struct Session {
+  SyntheticPlan plan;
+  std::unique_ptr<kv::Store> store;
+  trace::Recorder* rec = nullptr;
+  std::vector<Bucket> proto_buckets;
+  std::map<int, int> joiners_per_epoch;
+  double step_compute_seconds = 0;
+  double model_virtual_bytes = 0;
+  std::vector<std::atomic<bool>> failure_done;
+  std::atomic<double> completion{0};
+  std::atomic<int> repairs{0};
+  std::atomic<int> expands{0};
+
+  explicit Session(size_t nfailures) : failure_done(nfailures) {
+    for (auto& f : failure_done) f.store(false);
+  }
+};
+
+std::vector<uint8_t> EncodeCursor(int epoch, int step) {
+  ByteWriter w;
+  w.WriteI32(epoch);
+  w.WriteI32(step);
+  std::vector<uint8_t> blob = w.Take();
+  blob.resize(4096, 0);  // physical stand-in for the model state
+  return blob;
+}
+
+class UlfmWorker {
+ public:
+  UlfmWorker(sim::Endpoint& ep, std::shared_ptr<Session> ss)
+      : ep_(ep), ss_(std::move(ss)), buckets_(ss_->proto_buckets) {}
+
+  // Founding worker.
+  void RunOriginal() {
+    auto blob = ss_->store->Wait(&ep_, "ulfm/pids");
+    if (!blob.ok()) return;
+    ByteReader r(blob.value());
+    uint64_t n = 0;
+    if (!r.ReadU64(&n).ok()) return;
+    std::vector<int> pids(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      int32_t pid = 0;
+      if (!r.ReadI32(&pid).ok()) return;
+      pids[i] = pid;
+    }
+    rc_ = std::make_unique<ResilientComm>(ep_, pids, ss_->plan.drop_policy,
+                                          ss_->rec);
+    Train(/*joined_at_epoch=*/-1);
+    Finish();
+  }
+
+  // Replacement / upscale worker: provisioned ahead of its merge epoch so
+  // the cold start overlaps the survivors' degraded-mode training.
+  void RunJoiner(int join_epoch, bool cold) {
+    const auto& costs = ep_.fabric().config().costs;
+    const std::string signal =
+        cold ? "epoch_start/" + std::to_string(std::max(0, join_epoch - 1))
+             : "provision/failure";
+    auto sig = ss_->store->Wait(&ep_, signal);
+    if (!sig.ok()) return;
+    {
+      trace::Scope scope(
+          ss_->rec, ep_,
+          std::string("recovery/") + horovod::phase::kWorkerInit);
+      ep_.Busy(cold ? costs.worker_coldstart : costs.worker_warmstart);
+    }
+    rc_ = ResilientComm::JoinExisting(
+        ep_, "epoch" + std::to_string(join_epoch),
+        ss_->joiners_per_epoch.at(join_epoch), ss_->plan.drop_policy,
+        ss_->rec);
+    if (rc_ == nullptr) return;
+    if (!SyncState(/*joiner=*/true).ok()) return;
+    Train(/*joined_at_epoch=*/join_epoch);
+    Finish();
+  }
+
+ private:
+  void Finish() { AtomicMax(&ss_->completion, ep_.now()); }
+
+  // State broadcast from rank 0 (survivor order is preserved by shrink
+  // and expand, so rank 0 always holds valid state).
+  Status SyncState(bool joiner) {
+    trace::Scope scope(ss_->rec, ep_,
+                       std::string("recovery/") + horovod::phase::kStateSync);
+    std::vector<uint8_t> blob = EncodeCursor(epoch_, step_);
+    const double scale =
+        ss_->model_virtual_bytes / static_cast<double>(blob.size());
+    RCC_RETURN_IF_ERROR(rc_->BcastBlob(&blob, /*root=*/0, scale));
+    if (joiner) {
+      ByteReader r(blob);
+      int32_t e = 0, s = 0;
+      RCC_RETURN_IF_ERROR(r.ReadI32(&e));
+      RCC_RETURN_IF_ERROR(r.ReadI32(&s));
+      epoch_ = e;
+      step_ = s;
+      // Materialise the received tensors.
+      ep_.Busy(ss_->model_virtual_bytes /
+               ep_.fabric().config().net.host_mem_bandwidth);
+    }
+    return Status::Ok();
+  }
+
+  void Train(int joined_at_epoch) {
+    int known_repairs = rc_->repairs();
+    while (epoch_ < ss_->plan.epochs) {
+      if (rc_->rank() == 0) {
+        // Progress beacon: cold joiners for epoch e+1 start provisioning
+        // when epoch e begins (resource-availability model, DESIGN.md).
+        ss_->store->CompareAndSwap(
+            &ep_, "epoch_start/" + std::to_string(epoch_), 0, {1});
+      }
+      // Epoch-boundary reconfiguration (paper: joiners merge after the
+      // survivors complete the epoch).
+      auto join_it = ss_->joiners_per_epoch.find(epoch_);
+      if (join_it != ss_->joiners_per_epoch.end() && step_ == 0 &&
+          epoch_ != joined_at_epoch) {
+        ss_->expands.fetch_add(1);
+        Status st =
+            rc_->Expand("epoch" + std::to_string(epoch_), join_it->second);
+        if (!st.ok()) return;
+        if (!SyncState(/*joiner=*/false).ok()) return;
+      }
+      while (step_ < ss_->plan.steps_per_epoch) {
+        if (!TrainStep(&known_repairs)) return;
+        ++step_;
+      }
+      // Rest of the epoch, analytically (no checkpoint commits on the
+      // ULFM path).
+      if (ss_->plan.padded_steps_per_epoch > 0) {
+        ep_.Busy(ss_->plan.padded_steps_per_epoch *
+                 ss_->plan.padded_step_seconds);
+      }
+      step_ = 0;
+      ++epoch_;
+    }
+  }
+
+  // Returns false when this worker leaves (death or node drop).
+  bool TrainStep(int* known_repairs) {
+    ep_.Busy(ss_->step_compute_seconds);
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      MaybeDie(static_cast<int>(b));
+      if (!ep_.alive()) return false;
+      if (!ss_->plan.response_cache) {
+        trace::Scope scope(ss_->rec, ep_, "negotiation");
+        if (!Negotiate(b)) return false;
+      }
+      Bucket& bucket = buckets_[b];
+      std::vector<float> out(bucket.data.size());
+      Status st = rc_->Allreduce(bucket.data.data(), out.data(),
+                                 bucket.data.size(), bucket.cost_scale());
+      RCC_LOG(kDebug) << "pid " << ep_.pid() << " e" << epoch_ << " s"
+                      << step_ << " b" << b << " -> " << st.ToString();
+      if (!st.ok()) return false;  // kAborted: dead or node-dropped
+      // Degraded-mode averaging: the failed worker's contribution is
+      // lost; survivors average over the *current* membership.
+      const float inv = 1.0f / static_cast<float>(rc_->size());
+      for (size_t i = 0; i < out.size(); ++i) bucket.data[i] = out[i] * inv;
+      if (rc_->repairs() != *known_repairs) {
+        *known_repairs = rc_->repairs();
+        ss_->repairs.fetch_add(1);
+        if (rc_->rank() == 0) {
+          // Replacement provisioning signal (Scenario II): standby
+          // workers spin up as soon as the failure is confirmed.
+          ss_->store->CompareAndSwap(&ep_, "provision/failure", 0, {1});
+        }
+      }
+    }
+    return true;
+  }
+
+  // Horovod response negotiation when the response cache is disabled: a
+  // small resilient host-side allgather.
+  bool Negotiate(size_t b) {
+    std::vector<uint64_t> all;
+    return rc_->AllgatherU64(b, &all).ok();
+  }
+
+  void MaybeDie(int bucket) {
+    const auto& failures = ss_->plan.failures;
+    for (size_t i = 0; i < failures.size(); ++i) {
+      const ScriptedFailure& f = failures[i];
+      if (f.epoch == epoch_ && f.step == step_ && f.bucket == bucket &&
+          f.victim_rank == rc_->rank() && !ss_->failure_done[i].load()) {
+        ss_->failure_done[i].store(true);
+        if (f.scope == sim::FailScope::kNode) {
+          ep_.fabric().KillNode(ep_.node());
+        } else {
+          ep_.fabric().Kill(ep_.pid());
+        }
+        return;
+      }
+    }
+  }
+
+  sim::Endpoint& ep_;
+  std::shared_ptr<Session> ss_;
+  std::vector<Bucket> buckets_;
+  std::unique_ptr<ResilientComm> rc_;
+  int epoch_ = 0;
+  int step_ = 0;
+};
+
+}  // namespace
+
+horovod::RunStats RunUlfmElastic(sim::Cluster& cluster,
+                                 const SyntheticPlan& plan,
+                                 trace::Recorder* rec) {
+  auto ss = std::make_shared<Session>(plan.failures.size());
+  ss->plan = plan;
+  ss->rec = rec;
+  ss->store =
+      std::make_unique<kv::Store>(cluster.config().costs.kv_roundtrip);
+  ss->proto_buckets = horovod::MakeBuckets(plan.spec, plan.fusion_bytes,
+                                           plan.max_physical_floats);
+  ss->step_compute_seconds = dnn::StepComputeSeconds(
+      plan.spec, plan.batch_per_worker, cluster.config().net.gpu_flops);
+  ss->model_virtual_bytes = plan.spec.size_mb * 1e6;
+  for (const auto& join : plan.joins) {
+    ss->joiners_per_epoch[join.epoch] += join.count;
+  }
+
+  auto original = [ss](sim::Endpoint& ep) {
+    UlfmWorker(ep, ss).RunOriginal();
+  };
+  std::vector<int> pids = cluster.Spawn(plan.initial_world, original);
+  for (const auto& join : plan.joins) {
+    for (int j = 0; j < join.count; ++j) {
+      auto joiner = [ss, join](sim::Endpoint& ep) {
+        UlfmWorker(ep, ss).RunJoiner(join.epoch, join.cold);
+      };
+      cluster.SpawnOnFreshNodes(1, joiner, /*start_time=*/0.0);
+    }
+  }
+  // Publish the founding membership (the paper's mpirun-launched world).
+  ByteWriter w;
+  w.WriteU64(pids.size());
+  for (int pid : pids) w.WriteI32(pid);
+  ss->store->Set(nullptr, "ulfm/pids", w.Take());
+  cluster.Join();
+
+  horovod::RunStats stats;
+  stats.completion_time = ss->completion.load();
+  stats.steps_executed = plan.epochs * plan.steps_per_epoch;
+  stats.resets = ss->repairs.load() + ss->expands.load();
+  int final_world = plan.initial_world;
+  for (const auto& f : plan.failures) {
+    const bool whole_node = f.scope == sim::FailScope::kNode ||
+                            plan.drop_policy == DropPolicy::kNode;
+    final_world -= whole_node ? cluster.config().gpus_per_node : 1;
+  }
+  for (const auto& join : plan.joins) final_world += join.count;
+  stats.final_world = final_world;
+  return stats;
+}
+
+}  // namespace rcc::core

@@ -1,0 +1,26 @@
+// ULFM-integrated elastic training runner for the synthetic evaluation
+// plans (Figs. 4-7 and Table 2): the same Horovod-style training loop as
+// the Elastic Horovod baseline, but with the resilient collectives of
+// rcc::core doing forward recovery and epoch-boundary reconfiguration.
+//
+// Key behavioural differences from the baseline (paper Section 3):
+//  * A failure repairs the communicator in place (revoke/agree/shrink)
+//    and re-executes only the failed allreduce; no rendezvous, no
+//    checkpoint restore, no mini-batch recompute.
+//  * No per-step checkpoint commits at all.
+//  * Joiners are provisioned *ahead* of the epoch boundary at which they
+//    merge, so their cold start overlaps the survivors' degraded-mode
+//    training instead of sitting on the critical path.
+#pragma once
+
+#include "horovod/plan.h"
+#include "sim/cluster.h"
+#include "trace/trace.h"
+
+namespace rcc::core {
+
+horovod::RunStats RunUlfmElastic(sim::Cluster& cluster,
+                                 const horovod::SyntheticPlan& plan,
+                                 trace::Recorder* rec);
+
+}  // namespace rcc::core

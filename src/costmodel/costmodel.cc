@@ -1,0 +1,45 @@
+#include "costmodel/costmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcc::costmodel {
+
+RecoveryBreakdown Evaluate(const sim::SimConfig& cfg,
+                           const RecoveryParams& params) {
+  RecoveryBreakdown out;
+  const double copy_cost =
+      params.checkpoint_bytes / cfg.net.host_mem_bandwidth;
+  const double horizon_s = params.horizon_hours * 3600.0;
+  const double total_steps = params.steps_per_second * horizon_s;
+  const double saves =
+      total_steps / std::max(1, params.checkpoint_interval_steps);
+  const double faults = params.fault_rate_per_hour * params.horizon_hours;
+
+  out.saving = copy_cost * saves;
+  out.loading = faults * copy_cost;
+  out.reconfigure = faults * params.reconfiguration_cost;
+  // Expected lost work at a uniformly-random fault point: half the
+  // interval, re-executed at steady-state throughput.
+  const double lost_steps = params.checkpoint_interval_steps / 2.0;
+  out.recompute = faults * lost_steps / params.steps_per_second;
+  out.worker_init = faults * params.new_worker_init_cost;
+  return out;
+}
+
+int OptimalCheckpointIntervalSteps(const sim::SimConfig& cfg,
+                                   const RecoveryParams& params) {
+  // d/dI [ copy * S/I + F * I / (2 * rate) ] = 0
+  //   => I* = sqrt( 2 * copy * S * rate / F )
+  const double copy_cost =
+      params.checkpoint_bytes / cfg.net.host_mem_bandwidth;
+  const double horizon_s = params.horizon_hours * 3600.0;
+  const double total_steps = params.steps_per_second * horizon_s;
+  const double faults =
+      std::max(1e-9, params.fault_rate_per_hour * params.horizon_hours);
+  const double optimal = std::sqrt(2.0 * copy_cost * total_steps *
+                                   params.steps_per_second / faults);
+  return std::max(1, static_cast<int>(std::lround(optimal)));
+}
+
+}  // namespace rcc::costmodel

@@ -1,0 +1,50 @@
+// Analytic recovery-cost model: Equation (1) of the paper.
+//
+//   C_fault_recovery = C_checkpoint_saving * freq_saving
+//                    + Count_fault * ( C_checkpoint_loading
+//                                    + C_reconfiguration
+//                                    + C_recompute_from_checkpoint
+//                                    + C_new_worker_init )
+//
+// Used by the Eq. (1) ablation bench to sweep the checkpoint-interval
+// trade-off (shorter interval -> cheaper recompute, costlier saving) and
+// cross-checked against simulated Elastic Horovod runs.
+#pragma once
+
+#include "sim/params.h"
+
+namespace rcc::costmodel {
+
+struct RecoveryParams {
+  double checkpoint_bytes = 0;       // state size
+  double steps_per_second = 0;       // training throughput (steady state)
+  int checkpoint_interval_steps = 1; // steps between saves
+  double reconfiguration_cost = 0;   // comm-context rebuild (per fault)
+  double new_worker_init_cost = 0;   // cold start (per fault, if replacing)
+  double fault_rate_per_hour = 0;    // expected faults
+  double horizon_hours = 1.0;        // window the cost is accounted over
+};
+
+struct RecoveryBreakdown {
+  double saving = 0;        // C_checkpoint_saving * freq
+  double loading = 0;       // Count_fault * C_checkpoint_loading
+  double reconfigure = 0;   // Count_fault * C_re-configuration
+  double recompute = 0;     // Count_fault * C_re-compute_from_checkpoint
+  double worker_init = 0;   // Count_fault * C_new_worker_init
+  double total() const {
+    return saving + loading + reconfigure + recompute + worker_init;
+  }
+};
+
+// Evaluates Eq. (1) over the horizon. Recompute per fault is the
+// expected half-interval of lost steps re-executed at steady-state
+// throughput.
+RecoveryBreakdown Evaluate(const sim::SimConfig& cfg,
+                           const RecoveryParams& params);
+
+// The interval minimising total cost (closed form of the saving vs
+// recompute trade-off, clamped to >= 1).
+int OptimalCheckpointIntervalSteps(const sim::SimConfig& cfg,
+                                   const RecoveryParams& params);
+
+}  // namespace rcc::costmodel

@@ -1,0 +1,484 @@
+#include "dnn/layers.h"
+
+#include <cmath>
+
+namespace rcc::dnn {
+
+namespace {
+// He-normal initialisation.
+void HeInit(Tensor* t, int fan_in, uint64_t seed) {
+  Rng rng(seed);
+  const float std_dev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (size_t i = 0; i < t->size(); ++i) {
+    (*t)[i] = static_cast<float>(rng.NextGaussian()) * std_dev;
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------
+
+Dense::Dense(int in_features, int out_features, uint64_t seed)
+    : in_(in_features),
+      out_(out_features),
+      weight_({in_features, out_features}),
+      bias_({out_features}) {
+  HeInit(&weight_.value, in_features, seed);
+}
+
+Tensor Dense::Forward(const Tensor& x, bool /*train*/) {
+  RCC_CHECK(x.ndim() == 2 && x.dim(1) == in_)
+      << "Dense: bad input " << x.ShapeString();
+  input_ = x;
+  const int batch = x.dim(0);
+  Tensor y({batch, out_});
+  const float* w = weight_.value.data();
+  const float* b = bias_.value.data();
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = x.data() + static_cast<size_t>(n) * in_;
+    float* yn = y.data() + static_cast<size_t>(n) * out_;
+    for (int o = 0; o < out_; ++o) yn[o] = b[o];
+    for (int i = 0; i < in_; ++i) {
+      const float xi = xn[i];
+      if (xi == 0.0f) continue;
+      const float* wi = w + static_cast<size_t>(i) * out_;
+      for (int o = 0; o < out_; ++o) yn[o] += xi * wi[o];
+    }
+  }
+  flops_ = 2.0 * batch * in_ * out_;
+  return y;
+}
+
+Tensor Dense::Backward(const Tensor& grad_out) {
+  const int batch = input_.dim(0);
+  Tensor grad_in({batch, in_});
+  const float* w = weight_.value.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  for (int n = 0; n < batch; ++n) {
+    const float* xn = input_.data() + static_cast<size_t>(n) * in_;
+    const float* gy = grad_out.data() + static_cast<size_t>(n) * out_;
+    float* gx = grad_in.data() + static_cast<size_t>(n) * in_;
+    for (int o = 0; o < out_; ++o) gb[o] += gy[o];
+    for (int i = 0; i < in_; ++i) {
+      const float* wi = w + static_cast<size_t>(i) * out_;
+      float* gwi = gw + static_cast<size_t>(i) * out_;
+      float acc = 0.0f;
+      const float xi = xn[i];
+      for (int o = 0; o < out_; ++o) {
+        acc += gy[o] * wi[o];
+        gwi[o] += xi * gy[o];
+      }
+      gx[i] = acc;
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------
+
+Tensor ReLU::Forward(const Tensor& x, bool /*train*/) {
+  input_ = x;
+  Tensor y(x.shape());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  Tensor grad_in(input_.shape());
+  for (size_t i = 0; i < input_.size(); ++i) {
+    grad_in[i] = input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride,
+               int pad, uint64_t seed)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}) {
+  HeInit(&weight_.value, in_channels * kernel * kernel, seed);
+}
+
+Tensor Conv2D::Forward(const Tensor& x, bool /*train*/) {
+  RCC_CHECK(x.ndim() == 4 && x.dim(1) == in_ch_)
+      << "Conv2D: bad input " << x.ShapeString();
+  input_ = x;
+  const int batch = x.dim(0), height = x.dim(2), width = x.dim(3);
+  const int oh = (height + 2 * pad_ - k_) / stride_ + 1;
+  const int ow = (width + 2 * pad_ - k_) / stride_ + 1;
+  Tensor y({batch, out_ch_, oh, ow});
+  const float* w = weight_.value.data();
+  auto xat = [&](int n, int c, int h, int v) {
+    return x.data()[((static_cast<size_t>(n) * in_ch_ + c) * height + h) * width + v];
+  };
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      const float b = bias_.value[oc];
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) {
+          float acc = b;
+          for (int ic = 0; ic < in_ch_; ++ic) {
+            for (int kh = 0; kh < k_; ++kh) {
+              const int h = i * stride_ - pad_ + kh;
+              if (h < 0 || h >= height) continue;
+              for (int kw = 0; kw < k_; ++kw) {
+                const int v = j * stride_ - pad_ + kw;
+                if (v < 0 || v >= width) continue;
+                acc += xat(n, ic, h, v) *
+                       w[((static_cast<size_t>(oc) * in_ch_ + ic) * k_ + kh) * k_ + kw];
+              }
+            }
+          }
+          y.data()[((static_cast<size_t>(n) * out_ch_ + oc) * oh + i) * ow + j] = acc;
+        }
+      }
+    }
+  }
+  flops_ = 2.0 * batch * out_ch_ * oh * ow * in_ch_ * k_ * k_;
+  return y;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_out) {
+  const int batch = input_.dim(0), height = input_.dim(2),
+            width = input_.dim(3);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in(input_.shape());
+  const float* w = weight_.value.data();
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  for (int n = 0; n < batch; ++n) {
+    for (int oc = 0; oc < out_ch_; ++oc) {
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) {
+          const float gy =
+              grad_out.data()[((static_cast<size_t>(n) * out_ch_ + oc) * oh + i) * ow + j];
+          if (gy == 0.0f) continue;
+          gb[oc] += gy;
+          for (int ic = 0; ic < in_ch_; ++ic) {
+            for (int kh = 0; kh < k_; ++kh) {
+              const int h = i * stride_ - pad_ + kh;
+              if (h < 0 || h >= height) continue;
+              for (int kw = 0; kw < k_; ++kw) {
+                const int v = j * stride_ - pad_ + kw;
+                if (v < 0 || v >= width) continue;
+                const size_t xi =
+                    ((static_cast<size_t>(n) * in_ch_ + ic) * height + h) * width + v;
+                const size_t wi =
+                    ((static_cast<size_t>(oc) * in_ch_ + ic) * k_ + kh) * k_ + kw;
+                gw[wi] += input_.data()[xi] * gy;
+                grad_in.data()[xi] += w[wi] * gy;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// MaxPool2D
+// ---------------------------------------------------------------------
+
+Tensor MaxPool2D::Forward(const Tensor& x, bool /*train*/) {
+  const int batch = x.dim(0), ch = x.dim(1), height = x.dim(2),
+            width = x.dim(3);
+  const int oh = (height - k_) / stride_ + 1;
+  const int ow = (width - k_) / stride_ + 1;
+  in_shape_ = x.shape();
+  Tensor y({batch, ch, oh, ow});
+  argmax_.assign(y.size(), 0);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < ch; ++c) {
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j) {
+          float best = -3.4e38f;
+          int best_idx = 0;
+          for (int kh = 0; kh < k_; ++kh) {
+            for (int kw = 0; kw < k_; ++kw) {
+              const int h = i * stride_ + kh;
+              const int v = j * stride_ + kw;
+              const size_t xi =
+                  ((static_cast<size_t>(n) * ch + c) * height + h) * width + v;
+              if (x.data()[xi] > best) {
+                best = x.data()[xi];
+                best_idx = static_cast<int>(xi);
+              }
+            }
+          }
+          const size_t yi =
+              ((static_cast<size_t>(n) * ch + c) * oh + i) * ow + j;
+          y.data()[yi] = best;
+          argmax_[yi] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::Backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (size_t yi = 0; yi < grad_out.size(); ++yi) {
+    grad_in.data()[argmax_[yi]] += grad_out.data()[yi];
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------
+
+Tensor GlobalAvgPool::Forward(const Tensor& x, bool /*train*/) {
+  const int batch = x.dim(0), ch = x.dim(1), height = x.dim(2),
+            width = x.dim(3);
+  in_shape_ = x.shape();
+  Tensor y({batch, ch});
+  const float inv = 1.0f / static_cast<float>(height * width);
+  for (int n = 0; n < batch; ++n) {
+    for (int c = 0; c < ch; ++c) {
+      const float* xc =
+          x.data() + (static_cast<size_t>(n) * ch + c) * height * width;
+      float acc = 0.0f;
+      for (int i = 0; i < height * width; ++i) acc += xc[i];
+      y.data()[static_cast<size_t>(n) * ch + c] = acc * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::Backward(const Tensor& grad_out) {
+  const int ch = in_shape_[1], height = in_shape_[2], width = in_shape_[3];
+  Tensor grad_in(in_shape_);
+  const float inv = 1.0f / static_cast<float>(height * width);
+  for (int n = 0; n < in_shape_[0]; ++n) {
+    for (int c = 0; c < ch; ++c) {
+      const float g =
+          grad_out.data()[static_cast<size_t>(n) * ch + c] * inv;
+      float* gx =
+          grad_in.data() + (static_cast<size_t>(n) * ch + c) * height * width;
+      for (int i = 0; i < height * width; ++i) gx[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------
+
+Tensor Flatten::Forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  Tensor y = x;
+  y.Reshape({x.dim(0), static_cast<int>(x.size()) / x.dim(0)});
+  return y;
+}
+
+Tensor Flatten::Backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  grad_in.Reshape(in_shape_);
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// BatchNorm2D
+// ---------------------------------------------------------------------
+
+BatchNorm2D::BatchNorm2D(int channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}),
+      beta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}) {
+  gamma_.value.Fill(1.0f);
+  running_var_.Fill(1.0f);
+}
+
+Tensor BatchNorm2D::Forward(const Tensor& x, bool train) {
+  const int batch = x.dim(0), ch = x.dim(1), height = x.dim(2),
+            width = x.dim(3);
+  RCC_CHECK(ch == channels_) << "BatchNorm2D: channel mismatch";
+  in_shape_ = x.shape();
+  const int plane = height * width;
+  const float m = static_cast<float>(batch * plane);
+  Tensor y(x.shape());
+  xhat_ = Tensor(x.shape());
+  batch_mean_.assign(channels_, 0.0f);
+  batch_inv_std_.assign(channels_, 0.0f);
+
+  for (int c = 0; c < channels_; ++c) {
+    float mean, inv_std;
+    if (train) {
+      float sum = 0.0f;
+      for (int n = 0; n < batch; ++n) {
+        const float* xc = x.data() + (static_cast<size_t>(n) * ch + c) * plane;
+        for (int i = 0; i < plane; ++i) sum += xc[i];
+      }
+      mean = sum / m;
+      float var_sum = 0.0f;
+      for (int n = 0; n < batch; ++n) {
+        const float* xc = x.data() + (static_cast<size_t>(n) * ch + c) * plane;
+        for (int i = 0; i < plane; ++i) {
+          const float d = xc[i] - mean;
+          var_sum += d * d;
+        }
+      }
+      const float var = var_sum / m;
+      inv_std = 1.0f / std::sqrt(var + eps_);
+      running_mean_[c] = momentum_ * running_mean_[c] + (1 - momentum_) * mean;
+      running_var_[c] = momentum_ * running_var_[c] + (1 - momentum_) * var;
+    } else {
+      mean = running_mean_[c];
+      inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+    }
+    batch_mean_[c] = mean;
+    batch_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = (static_cast<size_t>(n) * ch + c) * plane;
+      for (int i = 0; i < plane; ++i) {
+        const float xh = (x.data()[base + i] - mean) * inv_std;
+        xhat_.data()[base + i] = xh;
+        y.data()[base + i] = g * xh + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2D::Backward(const Tensor& grad_out) {
+  const int batch = in_shape_[0], ch = in_shape_[1],
+            plane = in_shape_[2] * in_shape_[3];
+  const float m = static_cast<float>(batch * plane);
+  Tensor grad_in(in_shape_);
+  for (int c = 0; c < channels_; ++c) {
+    float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = (static_cast<size_t>(n) * ch + c) * plane;
+      for (int i = 0; i < plane; ++i) {
+        sum_dy += grad_out.data()[base + i];
+        sum_dy_xhat += grad_out.data()[base + i] * xhat_.data()[base + i];
+      }
+    }
+    gamma_.grad[c] += sum_dy_xhat;
+    beta_.grad[c] += sum_dy;
+    const float g_inv_std = gamma_.value[c] * batch_inv_std_[c];
+    const float mean_dy = sum_dy / m;
+    const float mean_dy_xhat = sum_dy_xhat / m;
+    for (int n = 0; n < batch; ++n) {
+      const size_t base = (static_cast<size_t>(n) * ch + c) * plane;
+      for (int i = 0; i < plane; ++i) {
+        grad_in.data()[base + i] =
+            g_inv_std * (grad_out.data()[base + i] - mean_dy -
+                         xhat_.data()[base + i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------
+
+Tensor Dropout::Forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  if (!train || rate_ <= 0.0f) {
+    mask_.assign(x.size(), 1.0f);
+    y = x;
+    return y;
+  }
+  const float scale = 1.0f / (1.0f - rate_);
+  mask_.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool keep = rng_.NextDouble() >= rate_;
+    mask_[i] = keep ? scale : 0.0f;
+    y[i] = x[i] * mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  for (size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[i] = grad_out[i] * mask_[i];
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// SoftmaxCrossEntropy
+// ---------------------------------------------------------------------
+
+float SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                   const std::vector<int>& labels) {
+  const int batch = logits.dim(0);
+  const int classes = logits.dim(1);
+  RCC_CHECK(static_cast<int>(labels.size()) == batch)
+      << "labels/batch mismatch";
+  probs_ = Tensor(logits.shape());
+  labels_ = labels;
+  float loss = 0.0f;
+  for (int n = 0; n < batch; ++n) {
+    const float* z = logits.data() + static_cast<size_t>(n) * classes;
+    float* p = probs_.data() + static_cast<size_t>(n) * classes;
+    float max_z = z[0];
+    for (int c = 1; c < classes; ++c) max_z = std::max(max_z, z[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      p[c] = std::exp(z[c] - max_z);
+      denom += p[c];
+    }
+    const float inv = 1.0f / denom;
+    for (int c = 0; c < classes; ++c) p[c] *= inv;
+    loss -= std::log(std::max(p[labels[n]], 1e-12f));
+  }
+  return loss / static_cast<float>(batch);
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  const int batch = probs_.dim(0);
+  const int classes = probs_.dim(1);
+  Tensor grad(probs_.shape());
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (int n = 0; n < batch; ++n) {
+    const float* p = probs_.data() + static_cast<size_t>(n) * classes;
+    float* g = grad.data() + static_cast<size_t>(n) * classes;
+    for (int c = 0; c < classes; ++c) {
+      g[c] = (p[c] - (c == labels_[n] ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  return grad;
+}
+
+int SoftmaxCrossEntropy::CorrectCount() const {
+  const int batch = probs_.dim(0);
+  const int classes = probs_.dim(1);
+  int correct = 0;
+  for (int n = 0; n < batch; ++n) {
+    const float* p = probs_.data() + static_cast<size_t>(n) * classes;
+    int best = 0;
+    for (int c = 1; c < classes; ++c) {
+      if (p[c] > p[best]) best = c;
+    }
+    if (best == labels_[n]) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace rcc::dnn

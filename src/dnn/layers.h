@@ -1,0 +1,161 @@
+// Neural-network layers with explicit forward/backward implementations
+// (NCHW layout). Gradients are *accumulated* into Param::grad so the
+// data-parallel trainer controls when they are zeroed and reduced.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnn/tensor.h"
+
+namespace rcc::dnn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // `train` toggles training-only behaviour (dropout masks, batch-norm
+  // statistics).
+  virtual Tensor Forward(const Tensor& x, bool train) = 0;
+  // Consumes the gradient wrt this layer's output, accumulates parameter
+  // gradients, and returns the gradient wrt the input.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> Params() { return {}; }
+  virtual std::string Name() const = 0;
+  // Approximate multiply-accumulate count per forward pass for the last
+  // seen batch (used by the compute-time model; 0 = negligible).
+  virtual double ForwardFlops() const { return 0.0; }
+};
+
+class Dense : public Layer {
+ public:
+  Dense(int in_features, int out_features, uint64_t seed);
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Dense"; }
+  double ForwardFlops() const override { return flops_; }
+
+ private:
+  int in_, out_;
+  Param weight_;  // [in, out]
+  Param bias_;    // [out]
+  Tensor input_;  // cached for backward
+  double flops_ = 0.0;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;
+};
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad,
+         uint64_t seed);
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Conv2D"; }
+  double ForwardFlops() const override { return flops_; }
+
+ private:
+  int in_ch_, out_ch_, k_, stride_, pad_;
+  Param weight_;  // [out_ch, in_ch, k, k]
+  Param bias_;    // [out_ch]
+  Tensor input_;
+  double flops_ = 0.0;
+};
+
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(int kernel, int stride) : k_(kernel), stride_(stride) {}
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "MaxPool2D"; }
+
+ private:
+  int k_, stride_;
+  std::vector<int> argmax_;  // flat input index per output element
+  std::vector<int> in_shape_;
+};
+
+// Global average pool over H and W: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+class BatchNorm2D : public Layer {
+ public:
+  explicit BatchNorm2D(int channels, float momentum = 0.9f,
+                       float eps = 1e-5f);
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
+  std::string Name() const override { return "BatchNorm2D"; }
+
+ private:
+  int channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Cached training-pass state.
+  Tensor xhat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+  std::vector<int> in_shape_;
+};
+
+class Dropout : public Layer {
+ public:
+  Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {}
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  std::vector<float> mask_;
+};
+
+// Softmax + cross-entropy head (not a Layer: it terminates the graph).
+// Labels are class indices.
+class SoftmaxCrossEntropy {
+ public:
+  // Returns mean loss over the batch; caches probabilities.
+  float Forward(const Tensor& logits, const std::vector<int>& labels);
+  // Gradient wrt logits (already divided by batch size).
+  Tensor Backward() const;
+  // Correct top-1 predictions in the cached batch.
+  int CorrectCount() const;
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace rcc::dnn

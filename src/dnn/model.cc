@@ -1,0 +1,117 @@
+#include "dnn/model.h"
+
+namespace rcc::dnn {
+
+Tensor Model::Forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->Forward(cur, train);
+  return cur;
+}
+
+void Model::Backward(const Tensor& loss_grad) {
+  Tensor cur = loss_grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->Backward(cur);
+  }
+}
+
+std::vector<Param*> Model::Params() const {
+  std::vector<Param*> params;
+  for (const auto& layer : layers_) {
+    for (Param* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+void Model::ZeroGrad() {
+  for (Param* p : Params()) p->grad.Zero();
+}
+
+size_t Model::ParameterCount() const {
+  size_t n = 0;
+  for (Param* p : Params()) n += p->value.size();
+  return n;
+}
+
+double Model::LastForwardFlops() const {
+  double flops = 0.0;
+  for (const auto& layer : layers_) flops += layer->ForwardFlops();
+  return flops;
+}
+
+void Model::CopyParamsTo(std::vector<float>* flat) const {
+  flat->clear();
+  flat->reserve(ParameterCount());
+  for (Param* p : Params()) {
+    flat->insert(flat->end(), p->value.data(),
+                 p->value.data() + p->value.size());
+  }
+}
+
+Status Model::CopyParamsFrom(const std::vector<float>& flat) {
+  if (flat.size() != ParameterCount()) {
+    return Status(Code::kInvalid, "flat parameter size mismatch");
+  }
+  size_t off = 0;
+  for (Param* p : Params()) {
+    std::copy(flat.begin() + off, flat.begin() + off + p->value.size(),
+              p->value.data());
+    off += p->value.size();
+  }
+  return Status::Ok();
+}
+
+void Model::Serialize(ByteWriter* w) const {
+  auto params = Params();
+  w->WriteU64(params.size());
+  for (Param* p : params) p->value.Serialize(w);
+}
+
+Status Model::Deserialize(ByteReader* r) {
+  uint64_t count = 0;
+  RCC_RETURN_IF_ERROR(r->ReadU64(&count));
+  auto params = Params();
+  if (count != params.size()) {
+    return Status(Code::kIoError, "model layout mismatch in checkpoint");
+  }
+  for (Param* p : params) {
+    Tensor t;
+    RCC_RETURN_IF_ERROR(t.Deserialize(r));
+    if (t.shape() != p->value.shape()) {
+      return Status(Code::kIoError, "parameter shape mismatch in checkpoint");
+    }
+    p->value = std::move(t);
+  }
+  return Status::Ok();
+}
+
+Model BuildMlp(int in_features, const std::vector<int>& hidden, int classes,
+               uint64_t seed) {
+  Model m;
+  int prev = in_features;
+  uint64_t layer_seed = seed;
+  for (int width : hidden) {
+    m.Emplace<Dense>(prev, width, layer_seed++);
+    m.Emplace<ReLU>();
+    prev = width;
+  }
+  m.Emplace<Dense>(prev, classes, layer_seed++);
+  return m;
+}
+
+Model BuildSmallCnn(int in_channels, int /*image_size*/, int classes,
+                    uint64_t seed) {
+  Model m;
+  uint64_t layer_seed = seed;
+  m.Emplace<Conv2D>(in_channels, 8, 3, 1, 1, layer_seed++);
+  m.Emplace<BatchNorm2D>(8);
+  m.Emplace<ReLU>();
+  m.Emplace<MaxPool2D>(2, 2);
+  m.Emplace<Conv2D>(8, 16, 3, 1, 1, layer_seed++);
+  m.Emplace<ReLU>();
+  m.Emplace<GlobalAvgPool>();
+  m.Emplace<Dense>(16, classes, layer_seed++);
+  return m;
+}
+
+}  // namespace rcc::dnn

@@ -1,0 +1,101 @@
+// Dense fp32 tensor with row-major layout. Deliberately minimal: the
+// training substrate needs correct forward/backward math and stable
+// serialisation, not a full autograd framework.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace rcc::dnn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+    data_.assign(ComputeSize(shape_), 0.0f);
+  }
+  Tensor(std::vector<int> shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    RCC_CHECK(data_.size() == ComputeSize(shape_))
+        << "tensor data/shape mismatch";
+  }
+
+  static size_t ComputeSize(const std::vector<int>& shape) {
+    size_t n = 1;
+    for (int d : shape) n *= static_cast<size_t>(d);
+    return n;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_[i]; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  size_t size() const { return data_.size(); }
+  size_t bytes() const { return data_.size() * sizeof(float); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  // Reshape without copying; total size must match.
+  void Reshape(std::vector<int> shape) {
+    RCC_CHECK(ComputeSize(shape) == data_.size()) << "reshape size mismatch";
+    shape_ = std::move(shape);
+  }
+
+  std::string ShapeString() const {
+    std::string s = "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(shape_[i]);
+    }
+    return s + "]";
+  }
+
+  void Serialize(ByteWriter* w) const {
+    w->WriteU64(shape_.size());
+    for (int d : shape_) w->WriteI32(d);
+    w->WriteFloats(data_.data(), data_.size());
+  }
+  Status Deserialize(ByteReader* r) {
+    uint64_t ndim = 0;
+    RCC_RETURN_IF_ERROR(r->ReadU64(&ndim));
+    std::vector<int> shape(ndim);
+    for (uint64_t i = 0; i < ndim; ++i) {
+      int32_t d = 0;
+      RCC_RETURN_IF_ERROR(r->ReadI32(&d));
+      shape[i] = d;
+    }
+    std::vector<float> data;
+    RCC_RETURN_IF_ERROR(r->ReadFloats(&data));
+    if (data.size() != ComputeSize(shape)) {
+      return Status(Code::kIoError, "tensor payload/shape mismatch");
+    }
+    shape_ = std::move(shape);
+    data_ = std::move(data);
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  explicit Param(std::vector<int> shape)
+      : value(shape), grad(std::move(shape)) {}
+  Tensor value;
+  Tensor grad;
+};
+
+}  // namespace rcc::dnn

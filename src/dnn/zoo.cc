@@ -1,0 +1,88 @@
+#include "dnn/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rcc::dnn {
+
+ModelSpec Vgg16Spec() {
+  // Keras Applications VGG-16: 143.7M parameters, 549 MB, 16-deep,
+  // 32 trainable tensors; ~15.5 GFLOP forward per 224x224 image.
+  return ModelSpec{"VGG-16", 32, 16, 143.7e6, 549.0, 15.5e9};
+}
+
+ModelSpec ResNet50V2Spec() {
+  // ResNet50V2: 25.6M parameters, 98 MB, depth 307 (Table 1 lists
+  // trainable=272), ~4.1 GFLOP forward.
+  return ModelSpec{"ResNet50V2", 272, 307, 25.6e6, 98.0, 4.1e9};
+}
+
+ModelSpec NasNetMobileSpec() {
+  // NasNetMobile: 5.3M parameters, 23 MB, 1126 trainable tensors,
+  // depth 389, ~0.56 GFLOP forward.
+  return ModelSpec{"NasNetMobile", 1126, 389, 5.3e6, 23.0, 0.56e9};
+}
+
+std::vector<ModelSpec> KerasZoo() {
+  return {Vgg16Spec(), ResNet50V2Spec(), NasNetMobileSpec()};
+}
+
+std::vector<size_t> TensorParameterCounts(const ModelSpec& spec) {
+  // Log-normal raw sizes (sigma 1.6: a few dominant tensors, many small
+  // ones - the shape of real conv/dense stacks), deterministically
+  // seeded by the tensor count, normalised to the spec total.
+  const int n = spec.trainable_tensors;
+  Rng rng(0xB00C5 + static_cast<uint64_t>(n));
+  std::vector<double> raw(n);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    raw[i] = std::exp(rng.NextGaussian() * 1.6);
+    sum += raw[i];
+  }
+  std::vector<size_t> counts(n);
+  size_t assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    counts[i] = std::max<size_t>(
+        1, static_cast<size_t>(raw[i] / sum * spec.total_parameters));
+    assigned += counts[i];
+  }
+  // Put the rounding remainder on the largest tensor.
+  auto largest = std::max_element(counts.begin(), counts.end());
+  const auto total = static_cast<size_t>(spec.total_parameters);
+  if (total > assigned) {
+    *largest += total - assigned;
+  } else if (assigned > total && *largest > assigned - total) {
+    *largest -= assigned - total;
+  }
+  return counts;
+}
+
+std::vector<size_t> FusionBucketBytes(const std::vector<size_t>& tensor_params,
+                                      size_t bucket_bytes) {
+  std::vector<size_t> buckets;
+  size_t current = 0;
+  for (size_t params : tensor_params) {
+    const size_t bytes = params * sizeof(float);
+    if (current > 0 && current + bytes > bucket_bytes) {
+      buckets.push_back(current);
+      current = 0;
+    }
+    current += bytes;
+    if (current >= bucket_bytes) {
+      buckets.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) buckets.push_back(current);
+  return buckets;
+}
+
+double StepComputeSeconds(const ModelSpec& spec, int batch_per_worker,
+                          double gpu_flops) {
+  // Backward pass costs roughly twice the forward pass.
+  return 3.0 * spec.forward_flops_per_sample * batch_per_worker / gpu_flops;
+}
+
+}  // namespace rcc::dnn

@@ -1,0 +1,49 @@
+// Model zoo: the paper's Table 1 Keras benchmark applications, carried
+// as *specs* (parameter footprint, tensor count, depth, per-sample
+// compute) plus a deterministic per-tensor size layout.
+//
+// Benchmarks run these specs as declared-size gradient bucket sets
+// (virtual bytes = real model bytes over reduced physical buffers);
+// tests and examples use fully-physical small models from dnn/model.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcc::dnn {
+
+struct ModelSpec {
+  std::string name;
+  int trainable_tensors = 0;   // Table 1 "Trainable"
+  int depth = 0;               // Table 1 "Depth"
+  double total_parameters = 0; // Table 1 "Total Parameters"
+  double size_mb = 0;          // Table 1 "Size (MB)"
+  double forward_flops_per_sample = 0;  // compute-time model (fp32 FLOPs)
+};
+
+// The three applications of Table 1.
+ModelSpec Vgg16Spec();
+ModelSpec ResNet50V2Spec();
+ModelSpec NasNetMobileSpec();
+std::vector<ModelSpec> KerasZoo();
+
+// Deterministic per-tensor parameter counts: `trainable_tensors` entries
+// summing to total_parameters, with a heavy-tailed (log-normal) size
+// distribution resembling real conv/dense layer footprints. Identical on
+// every rank (pure function of the spec).
+std::vector<size_t> TensorParameterCounts(const ModelSpec& spec);
+
+// Greedy fusion of the tensor list into buckets of at most
+// `bucket_bytes` (Horovod tensor-fusion analogue): returns per-bucket
+// byte sizes, preserving tensor order. A tensor larger than the
+// threshold gets its own bucket.
+std::vector<size_t> FusionBucketBytes(const std::vector<size_t>& tensor_params,
+                                      size_t bucket_bytes);
+
+// Training step cost (seconds of GPU time) for one worker processing
+// `batch_per_worker` samples: forward + backward (~2x forward).
+double StepComputeSeconds(const ModelSpec& spec, int batch_per_worker,
+                          double gpu_flops);
+
+}  // namespace rcc::dnn

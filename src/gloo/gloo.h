@@ -1,0 +1,104 @@
+// Gloo-like CPU collective library: the baseline transport Elastic
+// Horovod uses for host-side collectives and coordination.
+//
+// Deliberate differences from the MPI/ULFM stack, mirroring real Gloo:
+//  * A context is built from a KV-store rendezvous plus eager full-mesh
+//    connection setup (O(P) key reads + P-1 TCP-class connects per rank).
+//  * There is NO fault tolerance: any member death observed during an
+//    operation throws IoException and permanently breaks the context
+//    (the paper's Fig. 3). Recovery requires a full new rendezvous.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/transport.h"
+#include "kvstore/kvstore.h"
+#include "mpi/group.h"
+#include "sim/endpoint.h"
+
+namespace rcc::gloo {
+
+class IoException : public std::runtime_error {
+ public:
+  explicit IoException(const Status& status)
+      : std::runtime_error(status.ToString()), status_(status) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+class Context : public coll::Transport {
+ public:
+  // Collective over all participants of one rendezvous round: allocates a
+  // rank slot, publishes this process's address, waits for the full
+  // membership, then connects to every peer. `round_key` must be unique
+  // per rendezvous and identical on all participants; `world_size` is
+  // dictated by the driver.
+  //
+  // Throws IoException if a participant dies during the rendezvous.
+  static std::unique_ptr<Context> Connect(sim::Endpoint& ep, kv::Store& store,
+                                          const std::string& round_key,
+                                          int world_size,
+                                          double cost_scale = 1.0);
+
+  // --- coll::Transport ---
+  int rank() const override { return rank_; }
+  int size() const override { return static_cast<int>(group_->pids.size()); }
+  Status SendTo(int dst_rank, int tag, const void* data,
+                size_t bytes) override;
+  Status RecvFrom(int src_rank, int tag, void* data, size_t bytes) override;
+  Status RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) override;
+
+  // --- collectives (throwing API, like real Gloo) ---
+  template <typename T>
+  void Allreduce(const T* sendbuf, T* recvbuf, size_t count) {
+    BeginOp();
+    Raise(coll::RingAllreduce<T>(*this, sendbuf, recvbuf, count));
+  }
+  template <typename T>
+  void Allgather(const T* sendbuf, T* recvbuf, size_t count) {
+    BeginOp();
+    Raise(coll::RingAllgather<T>(*this, sendbuf, recvbuf, count));
+  }
+  template <typename T>
+  void Broadcast(T* buf, size_t count, int root) {
+    BeginOp();
+    Raise(coll::BinomialBcast<T>(*this, buf, count, root));
+  }
+  void Barrier() {
+    BeginOp();
+    Raise(coll::DisseminationBarrier(*this));
+  }
+  void AllgatherBlobs(const std::vector<uint8_t>& mine,
+                      std::vector<std::vector<uint8_t>>* all) {
+    BeginOp();
+    Raise(coll::AllgatherBlobs(*this, mine, all));
+  }
+
+  bool broken() const { return broken_; }
+  const std::vector<int>& pids() const { return group_->pids; }
+  sim::Endpoint& endpoint() const { return *ep_; }
+  void set_cost_scale(double s) { cost_scale_ = s; }
+
+ private:
+  Context(sim::Endpoint* ep, std::shared_ptr<mpi::CommGroup> group,
+          double cost_scale);
+
+  void BeginOp();
+  void Raise(const Status& s);  // marks broken + throws on failure
+
+  sim::Endpoint* ep_;
+  std::shared_ptr<mpi::CommGroup> group_;
+  int rank_;
+  double cost_scale_;
+  bool broken_ = false;
+  uint64_t op_seq_ = 0;
+  uint64_t current_phase_ = 0;
+};
+
+}  // namespace rcc::gloo

@@ -1,0 +1,30 @@
+// The Elastic Horovod baseline: checkpoint-based backward recovery over
+// Gloo (host coordination) + NCCL (gradient allreduce), reproducing the
+// recovery path the paper profiles in Fig. 4:
+//
+//   exception caught -> shutdown ongoing ops -> blacklist host ->
+//   re-initialize elastic mode -> re-initialize Gloo -> local + global
+//   rendezvous -> NCCL re-init -> state broadcast -> re-compute the lost
+//   mini-batch.
+//
+// Membership changes (failures and joins) always tear the whole context
+// down and rebuild it through a fresh KV-store rendezvous round; there
+// is no per-collective recovery.
+#pragma once
+
+#include <memory>
+
+#include "horovod/plan.h"
+#include "kvstore/kvstore.h"
+#include "sim/cluster.h"
+#include "trace/trace.h"
+
+namespace rcc::horovod {
+
+// Runs the synthetic plan with the Elastic Horovod stack on `cluster`.
+// Spawns the initial workers and the scripted joiners; blocks until
+// training completes. Phase costs are recorded into `rec`.
+RunStats RunElasticHorovod(sim::Cluster& cluster, const SyntheticPlan& plan,
+                           trace::Recorder* rec);
+
+}  // namespace rcc::horovod

@@ -1,0 +1,44 @@
+#include "horovod/plan.h"
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace rcc::horovod {
+
+std::vector<Bucket> MakeBuckets(const dnn::ModelSpec& spec,
+                                size_t fusion_bytes,
+                                size_t max_physical_floats, uint64_t seed) {
+  const auto tensor_params = dnn::TensorParameterCounts(spec);
+  const auto bucket_bytes = dnn::FusionBucketBytes(tensor_params, fusion_bytes);
+  std::vector<Bucket> buckets;
+  buckets.reserve(bucket_bytes.size());
+  Rng rng(seed, /*stream=*/7);
+  for (size_t bytes : bucket_bytes) {
+    Bucket b;
+    const size_t floats = bytes / sizeof(float);
+    b.data.resize(std::min(floats, max_physical_floats));
+    for (float& v : b.data) v = rng.NextFloat(-1.0f, 1.0f);
+    b.virtual_bytes = static_cast<double>(bytes);
+    buckets.push_back(std::move(b));
+  }
+  return buckets;
+}
+
+double ReconstructionCost(const std::map<std::string, double>& by_phase,
+                          bool elastic_horovod) {
+  auto get = [&](const char* k) {
+    auto it = by_phase.find(k);
+    return it == by_phase.end() ? 0.0 : it->second;
+  };
+  if (elastic_horovod) {
+    return get(phase::kCatchException) + get(phase::kShutdown) +
+           get(phase::kBlacklist) + get(phase::kElasticReinit) +
+           get(phase::kGlooReinit) + get(phase::kRendezvousLocal) +
+           get(phase::kRendezvousGlobal) + get(phase::kNcclReinit);
+  }
+  return get(phase::kUlfmRepair) + get(phase::kUlfmExpand) +
+         get(phase::kNcclReinit);
+}
+
+}  // namespace rcc::horovod

@@ -1,0 +1,137 @@
+#include "kvstore/kvstore.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace rcc::kv {
+
+Status Store::Set(sim::Endpoint* ep, const std::string& key,
+                  std::vector<uint8_t> value) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = data_[key];
+  entry.value = std::move(value);
+  entry.visible_at = ep != nullptr ? ep->now() : 0.0;
+  ++entry.version;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status Store::SetString(sim::Endpoint* ep, const std::string& key,
+                        const std::string& value) {
+  return Set(ep, key, std::vector<uint8_t>(value.begin(), value.end()));
+}
+
+Result<std::vector<uint8_t>> Store::Get(sim::Endpoint* ep,
+                                        const std::string& key) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return Status(Code::kNotFound, "kv: no such key: " + key);
+  }
+  if (ep != nullptr) ep->AdvanceTo(it->second.visible_at + roundtrip_);
+  return it->second.value;
+}
+
+Result<std::string> Store::GetString(sim::Endpoint* ep,
+                                     const std::string& key) {
+  auto r = Get(ep, key);
+  if (!r.ok()) return r.status();
+  return std::string(r.value().begin(), r.value().end());
+}
+
+Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
+                                         const std::string& key) {
+  Charge(ep);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = data_.find(key);
+    if (it != data_.end()) {
+      if (ep != nullptr) ep->AdvanceTo(it->second.visible_at + roundtrip_);
+      return it->second.value;
+    }
+    if (ep != nullptr && !ep->alive()) {
+      return Status(Code::kAborted, "kv wait: caller died");
+    }
+    // Real-time poll so a killed waiter unblocks; virtual time is merged
+    // from the writer's publication stamp, not from this poll interval.
+    cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+Status Store::Delete(sim::Endpoint* ep, const std::string& key) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.erase(key);
+  return Status::Ok();
+}
+
+Result<int64_t> Store::AddAndGet(sim::Endpoint* ep, const std::string& key,
+                                 int64_t delta) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = data_[key];
+  int64_t current = 0;
+  if (entry.value.size() == sizeof(int64_t)) {
+    std::memcpy(&current, entry.value.data(), sizeof(current));
+  }
+  current += delta;
+  entry.value.resize(sizeof(current));
+  std::memcpy(entry.value.data(), &current, sizeof(current));
+  entry.visible_at = ep != nullptr ? ep->now() : 0.0;
+  ++entry.version;
+  cv_.notify_all();
+  return current;
+}
+
+Result<bool> Store::CompareAndSwap(sim::Endpoint* ep, const std::string& key,
+                                   uint64_t expected_version,
+                                   std::vector<uint8_t> value) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  const uint64_t version = it == data_.end() ? 0 : it->second.version;
+  if (version != expected_version) return false;
+  Entry& entry = data_[key];
+  entry.value = std::move(value);
+  entry.visible_at = ep != nullptr ? ep->now() : 0.0;
+  ++entry.version;
+  cv_.notify_all();
+  return true;
+}
+
+std::vector<std::string> Store::ListPrefix(sim::Endpoint* ep,
+                                           const std::string& prefix) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Result<uint64_t> Store::VersionOf(sim::Endpoint* ep, const std::string& key) {
+  Charge(ep);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    return Status(Code::kNotFound, "kv: no such key: " + key);
+  }
+  return it->second.version;
+}
+
+void Store::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.clear();
+  cv_.notify_all();
+}
+
+size_t Store::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+}  // namespace rcc::kv

@@ -1,0 +1,122 @@
+#include "mpi/comm.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rcc::mpi {
+
+Comm::Comm(sim::Endpoint* ep, std::shared_ptr<CommGroup> group)
+    : ep_(ep), group_(std::move(group)) {
+  rank_ = group_->RankOfPid(ep_->pid());
+  RCC_CHECK(rank_ >= 0) << "endpoint pid " << ep_->pid()
+                        << " is not a member of the communicator";
+}
+
+Comm Comm::World(sim::Endpoint& ep, const std::vector<int>& pids) {
+  auto group = GetOrCreateGroup(
+      GroupKey(0, "world/f" + std::to_string(ep.fabric().id()), pids), pids);
+  return Comm(&ep, group);
+}
+
+void Comm::NoteFailedPids(const std::vector<int>& pids) {
+  observed_failed_.insert(pids.begin(), pids.end());
+}
+
+Status Comm::BeginCollective() {
+  if (revoked()) return Status(Code::kRevoked, "communicator revoked");
+  ++coll_seq_;
+  current_phase_ = 1 + (coll_seq_ % 65534);
+  return Status::Ok();
+}
+
+Status Comm::FinishCollective(Status s) {
+  current_phase_ = 0;
+  if (s.code() == Code::kProcFailed) NoteFailedPids(s.failed_pids());
+  return s;
+}
+
+Status Comm::RawSend(int dst_rank, uint64_t channel, int tag,
+                     const void* data, size_t bytes) {
+  if (revoked()) return Status(Code::kRevoked, "communicator revoked");
+  if (dst_rank < 0 || dst_rank >= size()) {
+    return Status(Code::kInvalid, "send to out-of-range rank");
+  }
+  const auto* p = static_cast<const uint8_t*>(data);
+  std::vector<uint8_t> payload(p, p + bytes);
+  return ep_->Send(group_->pids[dst_rank], channel, tag, std::move(payload),
+                   static_cast<double>(bytes) * cost_scale_);
+}
+
+Status Comm::RawRecv(int src_rank, uint64_t channel, int tag,
+                     sim::Message* out) {
+  if (revoked()) return Status(Code::kRevoked, "communicator revoked");
+  if (src_rank < 0 || src_rank >= size()) {
+    return Status(Code::kInvalid, "recv from out-of-range rank");
+  }
+  Status s = ep_->Recv(group_->pids[src_rank], channel, tag, out,
+                       &group_->revoke);
+  if (s.code() == Code::kProcFailed) NoteFailedPids(s.failed_pids());
+  return s;
+}
+
+Status Comm::Send(int dst_rank, int tag, const void* data, size_t bytes) {
+  return RawSend(dst_rank, sim::ChannelKey(group_->ctx_id, 0), tag, data,
+                 bytes);
+}
+
+Status Comm::Recv(int src_rank, int tag, void* data, size_t bytes) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(
+      RawRecv(src_rank, sim::ChannelKey(group_->ctx_id, 0), tag, &msg));
+  if (msg.payload.size() != bytes) {
+    return Status(Code::kInternal, "p2p size mismatch");
+  }
+  std::memcpy(data, msg.payload.data(), bytes);
+  return Status::Ok();
+}
+
+Status Comm::RecvBlobFrom(int src_rank, int tag, std::vector<uint8_t>* out) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(
+      RawRecv(src_rank, sim::ChannelKey(group_->ctx_id, 0), tag, &msg));
+  *out = std::move(msg.payload);
+  return Status::Ok();
+}
+
+Status Comm::SendTo(int dst_rank, int tag, const void* data, size_t bytes) {
+  return RawSend(dst_rank, sim::ChannelKey(group_->ctx_id, current_phase_),
+                 tag, data, bytes);
+}
+
+Status Comm::RecvFrom(int src_rank, int tag, void* data, size_t bytes) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(RawRecv(
+      src_rank, sim::ChannelKey(group_->ctx_id, current_phase_), tag, &msg));
+  if (msg.payload.size() != bytes) {
+    return Status(Code::kInternal, "collective step size mismatch");
+  }
+  std::memcpy(data, msg.payload.data(), bytes);
+  return Status::Ok();
+}
+
+Status Comm::RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(RawRecv(
+      src_rank, sim::ChannelKey(group_->ctx_id, current_phase_), tag, &msg));
+  *out = std::move(msg.payload);
+  return Status::Ok();
+}
+
+Status Comm::BcastBlob(std::vector<uint8_t>* blob, int root) {
+  RCC_RETURN_IF_ERROR(BeginCollective());
+  uint64_t size = rank_ == root ? blob->size() : 0;
+  Status s = coll::BinomialBcast<uint64_t>(*this, &size, 1, root);
+  if (s.ok()) {
+    if (rank_ != root) blob->resize(size);
+    s = coll::BinomialBcast<uint8_t>(*this, blob->data(), blob->size(), root);
+  }
+  return FinishCollective(s);
+}
+
+}  // namespace rcc::mpi

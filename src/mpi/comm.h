@@ -1,0 +1,181 @@
+// MPI-like communicator bound to one simulated rank.
+//
+// Semantics follow ULFM-era MPI: operations report failures
+// *per-operation* through Status codes (kProcFailed with the observed
+// failed pids, kRevoked once the communicator has been revoked) and the
+// communicator stays usable for the survivor-side recovery operations in
+// rcc::ulfm (failure_ack / agree / shrink).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/transport.h"
+#include "common/status.h"
+#include "mpi/group.h"
+#include "sim/endpoint.h"
+
+namespace rcc::mpi {
+
+enum class AllreduceAlgo {
+  kAuto,
+  kRing,
+  kRecursiveDoubling,
+  kReduceBcast,
+  kRabenseifner,
+};
+enum class AllgatherAlgo { kAuto, kRing, kBruck };
+
+class Comm : public coll::Transport {
+ public:
+  Comm(sim::Endpoint* ep, std::shared_ptr<CommGroup> group);
+
+  // Builds the initial world communicator over `pids` (every rank calls
+  // this with the same pid list; instances share one group).
+  static Comm World(sim::Endpoint& ep, const std::vector<int>& pids);
+
+  // --- introspection ---
+  int rank() const override { return rank_; }
+  int size() const override { return static_cast<int>(group_->pids.size()); }
+  uint64_t context_id() const { return group_->ctx_id; }
+  const std::vector<int>& pids() const { return group_->pids; }
+  int PidOfRank(int rank) const { return group_->pids[rank]; }
+  sim::Endpoint& endpoint() const { return *ep_; }
+  const std::shared_ptr<CommGroup>& group() const { return group_; }
+  bool revoked() const { return group_->revoke.cancelled(); }
+
+  // Failed pids this rank has locally observed on this communicator.
+  const std::set<int>& locally_observed_failures() const { return observed_failed_; }
+  void NoteFailedPids(const std::vector<int>& pids);
+
+  // Cost scale: multiplies the modeled wire size of every message. Used
+  // by benches to run full-size *virtual* tensors over reduced physical
+  // buffers (see DESIGN.md "declared-size buckets").
+  void set_cost_scale(double s) { cost_scale_ = s; }
+  double cost_scale() const { return cost_scale_; }
+
+  // --- point-to-point (rank addressed, user tag space) ---
+  Status Send(int dst_rank, int tag, const void* data, size_t bytes);
+  Status Recv(int src_rank, int tag, void* data, size_t bytes);
+  Status RecvBlobFrom(int src_rank, int tag, std::vector<uint8_t>* out);
+
+  // --- collectives ---
+  template <typename T>
+  Status Allreduce(const T* sendbuf, T* recvbuf, size_t count,
+                   AllreduceAlgo algo = AllreduceAlgo::kAuto) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    Status s;
+    switch (ChooseAllreduce(algo, count * sizeof(T))) {
+      case AllreduceAlgo::kRing:
+        s = coll::RingAllreduce<T>(*this, sendbuf, recvbuf, count);
+        break;
+      case AllreduceAlgo::kReduceBcast:
+        s = coll::ReduceBcastAllreduce<T>(*this, sendbuf, recvbuf, count);
+        break;
+      case AllreduceAlgo::kRabenseifner:
+        s = coll::RabenseifnerAllreduce<T>(*this, sendbuf, recvbuf, count);
+        break;
+      default:
+        s = coll::RecursiveDoublingAllreduce<T>(*this, sendbuf, recvbuf, count);
+        break;
+    }
+    return FinishCollective(s);
+  }
+
+  template <typename T>
+  Status Allgather(const T* sendbuf, T* recvbuf, size_t count,
+                   AllgatherAlgo algo = AllgatherAlgo::kAuto) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    Status s;
+    if (algo == AllgatherAlgo::kBruck ||
+        (algo == AllgatherAlgo::kAuto && count * sizeof(T) <= 4096)) {
+      s = coll::BruckAllgather<T>(*this, sendbuf, recvbuf, count);
+    } else {
+      s = coll::RingAllgather<T>(*this, sendbuf, recvbuf, count);
+    }
+    return FinishCollective(s);
+  }
+
+  template <typename T>
+  Status Bcast(T* buf, size_t count, int root) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    return FinishCollective(coll::BinomialBcast<T>(*this, buf, count, root));
+  }
+
+  template <typename T>
+  Status Reduce(const T* sendbuf, T* recvbuf, size_t count, int root) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    return FinishCollective(
+        coll::BinomialReduce<T>(*this, sendbuf, recvbuf, count, root));
+  }
+
+  template <typename T>
+  Status Gather(const T* sendbuf, T* recvbuf, size_t count, int root) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    return FinishCollective(
+        coll::LinearGather<T>(*this, sendbuf, recvbuf, count, root));
+  }
+
+  template <typename T>
+  Status Scatter(const T* sendbuf, T* recvbuf, size_t count, int root) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    return FinishCollective(
+        coll::LinearScatter<T>(*this, sendbuf, recvbuf, count, root));
+  }
+
+  Status Barrier() {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    return FinishCollective(coll::DisseminationBarrier(*this));
+  }
+
+  Status AllgatherBlobs(const std::vector<uint8_t>& mine,
+                        std::vector<std::vector<uint8_t>>* all) {
+    RCC_RETURN_IF_ERROR(BeginCollective());
+    return FinishCollective(coll::AllgatherBlobs(*this, mine, all));
+  }
+
+  // Broadcast a variable-size blob from root (binomial tree). Non-root
+  // callers receive into *blob.
+  Status BcastBlob(std::vector<uint8_t>* blob, int root);
+
+  // --- coll::Transport (used by the algorithm kernels) ---
+  Status SendTo(int dst_rank, int tag, const void* data,
+                size_t bytes) override;
+  Status RecvFrom(int src_rank, int tag, void* data, size_t bytes) override;
+  Status RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) override;
+
+  // Used by ulfm::Agree to keep agreement instances aligned across ranks.
+  uint64_t NextAgreeSeq() { return agree_seq_++; }
+
+ private:
+  AllreduceAlgo ChooseAllreduce(AllreduceAlgo algo, size_t bytes) const {
+    if (algo != AllreduceAlgo::kAuto) return algo;
+    // Latency-bound below 64 KiB, bandwidth-bound above. The modeled
+    // wire size decides (physical buffers may be reduced stand-ins).
+    return static_cast<double>(bytes) * cost_scale_ <= 65536.0
+               ? AllreduceAlgo::kRecursiveDoubling
+               : AllreduceAlgo::kRing;
+  }
+
+  Status BeginCollective();
+  Status FinishCollective(Status s);
+
+  Status RawSend(int dst_rank, uint64_t channel, int tag, const void* data,
+                 size_t bytes);
+  Status RawRecv(int src_rank, uint64_t channel, int tag,
+                 sim::Message* out);
+
+  sim::Endpoint* ep_;
+  std::shared_ptr<CommGroup> group_;
+  int rank_;
+  double cost_scale_ = 1.0;
+  uint64_t coll_seq_ = 0;     // per-rank collective sequence (SPMD-aligned)
+  uint64_t current_phase_ = 0;  // channel phase of the running collective
+  uint64_t agree_seq_ = 0;
+  std::set<int> observed_failed_;
+};
+
+}  // namespace rcc::mpi

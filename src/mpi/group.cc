@@ -1,0 +1,40 @@
+#include "mpi/group.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace rcc::mpi {
+
+uint64_t AllocateContextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+namespace {
+std::mutex g_cache_mu;
+std::map<std::string, std::shared_ptr<CommGroup>> g_group_cache;
+}  // namespace
+
+std::shared_ptr<CommGroup> GetOrCreateGroup(const std::string& key,
+                                            const std::vector<int>& pids) {
+  std::lock_guard<std::mutex> lock(g_cache_mu);
+  auto it = g_group_cache.find(key);
+  if (it != g_group_cache.end()) return it->second;
+  auto group = std::make_shared<CommGroup>();
+  group->ctx_id = AllocateContextId();
+  group->pids = pids;
+  g_group_cache.emplace(key, group);
+  return group;
+}
+
+std::string GroupKey(uint64_t parent_ctx, const std::string& op,
+                     const std::vector<int>& pids) {
+  std::ostringstream os;
+  os << parent_ctx << '/' << op;
+  for (int pid : pids) os << ':' << pid;
+  return os.str();
+}
+
+}  // namespace rcc::mpi

@@ -1,0 +1,108 @@
+#include "nccl/nccl.h"
+
+#include <cstring>
+#include <map>
+
+#include "common/log.h"
+
+namespace rcc::nccl {
+
+Comm::Comm(sim::Endpoint* ep, std::shared_ptr<mpi::CommGroup> group,
+           double cost_scale)
+    : ep_(ep), group_(std::move(group)), cost_scale_(cost_scale) {
+  rank_ = group_->RankOfPid(ep_->pid());
+  RCC_CHECK(rank_ >= 0) << "nccl comm: pid not in membership";
+}
+
+sim::Seconds Comm::InitCost(const sim::SimConfig& cfg, int nranks) {
+  return cfg.costs.nccl_init_base + cfg.costs.nccl_init_per_rank * nranks;
+}
+
+std::unique_ptr<Comm> Comm::InitRank(sim::Endpoint& ep,
+                                     const std::vector<int>& pids,
+                                     const std::string& unique_id,
+                                     double cost_scale) {
+  ep.Busy(InitCost(ep.fabric().config(), static_cast<int>(pids.size())));
+  auto group = mpi::GetOrCreateGroup(
+      "nccl/f" + std::to_string(ep.fabric().id()) + "/" + unique_id, pids);
+  auto comm =
+      std::unique_ptr<Comm>(new Comm(&ep, group, cost_scale));
+  // Bootstrap synchronisation: the init is collective; a dissemination
+  // barrier aligns the participants' clocks (and surfaces peers that died
+  // mid-init as an init failure, matching ncclCommInitRank).
+  comm->BeginOp().ok();
+  Status s = coll::DisseminationBarrier(*comm);
+  if (!comm->FinishOp(s).ok()) return nullptr;
+  return comm;
+}
+
+void Comm::NodeGroups(std::vector<std::vector<int>>* by_node,
+                      std::vector<int>* local_group) const {
+  by_node->clear();
+  local_group->clear();
+  const int my_node = ep_->fabric().NodeOf(ep_->pid());
+  std::map<int, size_t> index_of_node;  // node id -> by_node slot
+  for (int rank = 0; rank < size(); ++rank) {
+    const int node = ep_->fabric().NodeOf(group_->pids[rank]);
+    auto [it, fresh] = index_of_node.emplace(node, by_node->size());
+    if (fresh) by_node->emplace_back();
+    (*by_node)[it->second].push_back(rank);
+    if (node == my_node) local_group->push_back(rank);
+  }
+}
+
+Status Comm::BeginOp() {
+  if (broken_) return Status(Code::kIoError, "nccl communicator aborted");
+  ++op_seq_;
+  current_phase_ = 1 + (op_seq_ % 65534);
+  RCC_LOG(kTrace) << "nccl pid " << ep_->pid() << " ctx "
+                  << group_->ctx_id << " begin op " << op_seq_;
+  return Status::Ok();
+}
+
+Status Comm::FinishOp(Status s) {
+  current_phase_ = 0;
+  if (!s.ok()) broken_ = true;
+  RCC_LOG(kTrace) << "nccl pid " << ep_->pid() << " ctx "
+                  << group_->ctx_id << " end op " << op_seq_ << " "
+                  << s.ToString();
+  return s;
+}
+
+Status Comm::SendTo(int dst_rank, int tag, const void* data, size_t bytes) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  std::vector<uint8_t> payload(p, p + bytes);
+  return ep_->Send(group_->pids[dst_rank],
+                   sim::ChannelKey(group_->ctx_id, current_phase_), tag,
+                   std::move(payload),
+                   static_cast<double>(bytes) * cost_scale_);
+}
+
+Status Comm::RecvFrom(int src_rank, int tag, void* data, size_t bytes) {
+  sim::Message msg;
+  RCC_LOG(kTrace) << "nccl pid " << ep_->pid() << " ctx " << group_->ctx_id
+                  << " op " << op_seq_ << " recv from rank " << src_rank
+                  << " tag " << tag << " bytes " << bytes;
+  // Async error handling: any member death is communicator-fatal.
+  Status s = ep_->Recv(group_->pids[src_rank],
+                       sim::ChannelKey(group_->ctx_id, current_phase_), tag,
+                       &msg, /*cancel=*/nullptr, &group_->pids);
+  if (!s.ok()) return s;
+  if (msg.payload.size() != bytes) {
+    return Status(Code::kInternal, "nccl step size mismatch");
+  }
+  std::memcpy(data, msg.payload.data(), bytes);
+  return Status::Ok();
+}
+
+Status Comm::RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) {
+  sim::Message msg;
+  Status s = ep_->Recv(group_->pids[src_rank],
+                       sim::ChannelKey(group_->ctx_id, current_phase_), tag,
+                       &msg, /*cancel=*/nullptr, &group_->pids);
+  if (!s.ok()) return s;
+  *out = std::move(msg.payload);
+  return Status::Ok();
+}
+
+}  // namespace rcc::nccl

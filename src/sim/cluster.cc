@@ -1,0 +1,87 @@
+#include "sim/cluster.h"
+
+#include "common/log.h"
+
+namespace rcc::sim {
+
+int Cluster::AllocateSlotNode() {
+  const int node = next_slot_ / config().gpus_per_node;
+  ++next_slot_;
+  return node;
+}
+
+std::vector<int> Cluster::Spawn(int n, const RankFn& fn, Seconds start_time) {
+  std::vector<int> pids;
+  pids.reserve(n);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Register every process before starting any thread: rank 0 may
+  // message rank n-1 immediately.
+  for (int i = 0; i < n; ++i) {
+    const int node = AllocateSlotNode();
+    const int pid = fabric_->RegisterProcess(node);
+    RCC_CHECK(pid == static_cast<int>(endpoints_.size()))
+        << "pid/endpoint indexing out of sync";
+    endpoints_.push_back(
+        std::make_unique<Endpoint>(fabric_.get(), pid, start_time));
+    pids.push_back(pid);
+  }
+  for (int pid : pids) {
+    Endpoint* ep = endpoints_[pid].get();
+    threads_.emplace_back([fn, ep] { fn(*ep); });
+  }
+  return pids;
+}
+
+std::vector<int> Cluster::SpawnOnFreshNodes(int n, const RankFn& fn,
+                                            Seconds start_time) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int per_node = config().gpus_per_node;
+    if (next_slot_ % per_node != 0) {
+      next_slot_ += per_node - next_slot_ % per_node;
+    }
+  }
+  return Spawn(n, fn, start_time);
+}
+
+int Cluster::SpawnOn(int node, const RankFn& fn, Seconds start_time) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int pid = fabric_->RegisterProcess(node);
+  RCC_CHECK(pid == static_cast<int>(endpoints_.size()))
+      << "pid/endpoint indexing out of sync";
+  endpoints_.push_back(
+      std::make_unique<Endpoint>(fabric_.get(), pid, start_time));
+  Endpoint* ep = endpoints_.back().get();
+  threads_.emplace_back([fn, ep] { fn(*ep); });
+  return pid;
+}
+
+Endpoint& Cluster::endpoint(int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RCC_CHECK(pid >= 0 && pid < static_cast<int>(endpoints_.size()))
+      << "unknown pid " << pid;
+  return *endpoints_[pid];
+}
+
+void Cluster::Join() {
+  // Ranks admitted while we join add new threads; loop until stable.
+  size_t joined = 0;
+  for (;;) {
+    std::thread worker;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (joined >= threads_.size()) break;
+      worker = std::move(threads_[joined]);
+      ++joined;
+    }
+    if (worker.joinable()) worker.join();
+  }
+}
+
+int Cluster::nodes_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int per_node = config().gpus_per_node;
+  return (next_slot_ + per_node - 1) / per_node;
+}
+
+}  // namespace rcc::sim

@@ -1,0 +1,64 @@
+// Cluster: thread lifecycle for simulated ranks, node slot allocation,
+// dynamic worker admission and failure-plan application.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/endpoint.h"
+#include "sim/fabric.h"
+
+namespace rcc::sim {
+
+using RankFn = std::function<void(Endpoint&)>;
+
+class Cluster {
+ public:
+  explicit Cluster(SimConfig cfg = SimConfig{})
+      : fabric_(std::make_unique<Fabric>(cfg)) {}
+  ~Cluster() { Join(); }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Fabric& fabric() { return *fabric_; }
+  const SimConfig& config() const { return fabric_->config(); }
+
+  // Spawns `n` processes packed onto nodes (gpus_per_node slots per node,
+  // continuing from the last allocated slot). Each runs `fn` on its own
+  // thread with its clock starting at `start_time`. Returns the pids.
+  std::vector<int> Spawn(int n, const RankFn& fn, Seconds start_time = 0.0);
+
+  // Spawns `n` processes starting on a *fresh* node boundary (replacement
+  // and upscale workers arrive on newly allocated nodes, as on a real
+  // scheduler after blacklisting).
+  std::vector<int> SpawnOnFreshNodes(int n, const RankFn& fn,
+                                     Seconds start_time);
+
+  // Spawns one process on an explicit node.
+  int SpawnOn(int node, const RankFn& fn, Seconds start_time);
+
+  // Endpoint handle for failure injection / inspection. Valid for the
+  // cluster's lifetime.
+  Endpoint& endpoint(int pid);
+
+  // Waits for every rank thread spawned so far (including ones admitted
+  // while joining) to finish.
+  void Join();
+
+  int nodes_allocated() const;
+
+ private:
+  int AllocateSlotNode();  // packed allocation
+
+  std::unique_ptr<Fabric> fabric_;
+  mutable std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;  // index == pid
+  int next_slot_ = 0;  // packed slot counter (node = slot / gpus_per_node)
+};
+
+}  // namespace rcc::sim

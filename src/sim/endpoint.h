@@ -1,0 +1,100 @@
+// Endpoint: a simulated rank's handle onto the fabric. Owns the rank's
+// virtual clock and the deterministic self-kill trigger used for failure
+// injection in virtual time.
+#pragma once
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/fabric.h"
+
+namespace rcc::sim {
+
+class Endpoint {
+ public:
+  Endpoint(Fabric* fabric, int pid, Seconds start_time = 0.0)
+      : fabric_(fabric), pid_(pid), now_(start_time) {}
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  Fabric& fabric() const { return *fabric_; }
+  int pid() const { return pid_; }
+  int node() const { return fabric_->NodeOf(pid_); }
+  Seconds now() const { return now_; }
+  bool alive() const { return fabric_->IsAlive(pid_); }
+
+  // --- virtual time ---
+  void AdvanceTo(Seconds t) {
+    if (t > now_) now_ = t;
+  }
+  // Busy time on this rank (software path, GPU kernel, ...).
+  void Busy(Seconds s) {
+    now_ += s;
+    MaybeSelfKill();
+  }
+  // Training math at the configured GPU rate.
+  void Compute(double flops) { Busy(flops / fabric_->config().net.gpu_flops); }
+
+  // --- failure injection ---
+  // The rank kills itself the first time its clock reaches `t` inside a
+  // fabric operation. Deterministic in virtual time, independent of real
+  // thread scheduling.
+  void SetKillAtTime(Seconds t) { kill_at_.store(t, std::memory_order_release); }
+  // Immediately marks this rank dead at its next operation.
+  void KillNow() { SetKillAtTime(0.0); }
+  // Checks the trigger; returns true if this rank just died.
+  bool MaybeSelfKill() {
+    const Seconds t = kill_at_.load(std::memory_order_acquire);
+    if (now_ >= t) {
+      fabric_->Kill(pid_);
+      return true;
+    }
+    return false;
+  }
+
+  // --- communication ---
+  // cost_bytes < 0 means "use payload size".
+  Status Send(int dst, uint64_t channel, int tag,
+              std::vector<uint8_t> payload, double cost_bytes = -1.0) {
+    if (MaybeSelfKill()) return Status(Code::kAborted, "sender killed");
+    now_ += fabric_->config().net.send_overhead;
+    Message msg;
+    msg.src = pid_;
+    msg.dst = dst;
+    msg.channel = channel;
+    msg.tag = tag;
+    msg.depart = now_;
+    msg.cost_bytes =
+        cost_bytes < 0 ? static_cast<double>(payload.size()) : cost_bytes;
+    msg.payload = std::move(payload);
+    return fabric_->Send(std::move(msg));
+  }
+
+  Status Recv(int src, uint64_t channel, int tag, Message* out,
+              const CancelToken* cancel = nullptr,
+              const std::vector<int>* death_watch = nullptr) {
+    if (MaybeSelfKill()) return Status(Code::kAborted, "receiver killed");
+    Status s = fabric_->Recv(pid_, &now_, src, channel, tag, out, cancel,
+                             death_watch);
+    if (s.ok() && MaybeSelfKill()) {
+      return Status(Code::kAborted, "receiver killed");
+    }
+    return s;
+  }
+
+  Status TryRecv(int src, uint64_t channel, int tag, Message* out) {
+    if (MaybeSelfKill()) return Status(Code::kAborted, "receiver killed");
+    return fabric_->TryRecv(pid_, &now_, src, channel, tag, out);
+  }
+
+ private:
+  Fabric* fabric_;
+  int pid_;
+  Seconds now_;
+  std::atomic<Seconds> kill_at_{std::numeric_limits<Seconds>::infinity()};
+};
+
+}  // namespace rcc::sim

@@ -1,0 +1,214 @@
+#include "sim/fabric.h"
+#include <chrono>
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rcc::sim {
+
+int Fabric::RegisterProcess(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Proc proc;
+  proc.node = node;
+  proc.alive = true;
+  proc.mbox = std::make_unique<Mailbox>();
+  procs_.push_back(std::move(proc));
+  return static_cast<int>(procs_.size()) - 1;
+}
+
+void Fabric::Kill(int pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pid < 0 || pid >= static_cast<int>(procs_.size())) return;
+  if (!procs_[pid].alive) return;
+  procs_[pid].alive = false;
+  // Wake everything: any rank blocked on this peer (directly or through a
+  // death watch) must re-evaluate.
+  for (auto& proc : procs_) proc.mbox->cv.notify_all();
+}
+
+void Fabric::KillNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any = false;
+  for (auto& proc : procs_) {
+    if (proc.node == node && proc.alive) {
+      proc.alive = false;
+      any = true;
+    }
+  }
+  if (any) {
+    for (auto& proc : procs_) proc.mbox->cv.notify_all();
+  }
+}
+
+bool Fabric::IsAlive(int pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pid < 0 || pid >= static_cast<int>(procs_.size())) return false;
+  return procs_[pid].alive;
+}
+
+int Fabric::NodeOf(int pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RCC_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size()))
+      << "NodeOf: unknown pid " << pid;
+  return procs_[pid].node;
+}
+
+int Fabric::ProcessCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(procs_.size());
+}
+
+std::vector<int> Fabric::AlivePids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (int pid = 0; pid < static_cast<int>(procs_.size()); ++pid) {
+    if (procs_[pid].alive) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<int> Fabric::DeadPids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (int pid = 0; pid < static_cast<int>(procs_.size()); ++pid) {
+    if (!procs_[pid].alive) out.push_back(pid);
+  }
+  return out;
+}
+
+Seconds Fabric::ArrivalTime(const Message& msg, int dst_node) const {
+  const int src_node = procs_[msg.src].node;
+  const NetParams& net = cfg_.net;
+  const bool local = (src_node == dst_node);
+  const Seconds latency = local ? net.intra_latency : net.inter_latency;
+  const double bandwidth = local ? net.intra_bandwidth : net.inter_bandwidth;
+  return msg.depart + latency + msg.cost_bytes / bandwidth;
+}
+
+Status Fabric::Send(Message msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (msg.src < 0 || msg.src >= static_cast<int>(procs_.size())) {
+    return Status(Code::kInvalid, "send from unknown pid");
+  }
+  if (msg.dst < 0 || msg.dst >= static_cast<int>(procs_.size())) {
+    return Status(Code::kNotFound, "send to unregistered pid");
+  }
+  if (!procs_[msg.src].alive) return Status(Code::kAborted, "sender is dead");
+  Proc& dst = procs_[msg.dst];
+  if (!dst.alive) {
+    // Eagerly buffered transports drop traffic to dead peers; the sender
+    // observes the failure at its next blocking operation on this peer.
+    return Status::Ok();
+  }
+  dst.mbox->queue.push_back(std::move(msg));
+  dst.mbox->cv.notify_all();
+  return Status::Ok();
+}
+
+bool Fabric::FindMatch(Mailbox& mbox, int src, uint64_t channel, int tag,
+                       Message* out) {
+  for (auto it = mbox.queue.begin(); it != mbox.queue.end(); ++it) {
+    if (it->channel == channel && it->tag == tag &&
+        (src == kAnySource || it->src == src)) {
+      *out = std::move(*it);
+      mbox.queue.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Fabric::Recv(int self, Seconds* now, int src, uint64_t channel,
+                    int tag, Message* out, const CancelToken* cancel,
+                    const std::vector<int>* death_watch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (self < 0 || self >= static_cast<int>(procs_.size())) {
+    return Status(Code::kInvalid, "recv on unknown pid");
+  }
+  if (src != kAnySource &&
+      (src < 0 || src >= static_cast<int>(procs_.size()))) {
+    return Status(Code::kNotFound, "recv from unregistered pid");
+  }
+  Mailbox& mbox = *procs_[self].mbox;
+  bool watch_armed = false;
+  std::chrono::steady_clock::time_point watch_deadline{};
+  for (;;) {
+    if (!procs_[self].alive) return Status(Code::kAborted, "receiver is dead");
+    // Delivered data is consumed even when the context is about to be
+    // cancelled: matching first keeps completed point-to-point semantics.
+    if (FindMatch(mbox, src, channel, tag, out)) {
+      const Seconds arrival = ArrivalTime(*out, procs_[self].node);
+      *now = std::max(*now, arrival) + cfg_.net.recv_overhead;
+      return Status::Ok();
+    }
+    if (cancel != nullptr && cancel->cancelled()) {
+      return Status(Code::kRevoked, "context revoked");
+    }
+    if (src != kAnySource && !procs_[src].alive) {
+      *now += cfg_.net.failure_detect_latency;
+      return Status::ProcFailed({src}, "peer failed");
+    }
+    if (death_watch != nullptr) {
+      std::vector<int> dead;
+      for (int pid : *death_watch) {
+        if (pid >= 0 && pid < static_cast<int>(procs_.size()) &&
+            !procs_[pid].alive) {
+          dead.push_back(pid);
+        }
+      }
+      if (!dead.empty()) {
+        // Grace period (real time): let drainable in-flight chains
+        // complete so every survivor fails in the same logical op (see
+        // NetParams::watch_drain_grace_real_ms).
+        if (!watch_armed) {
+          watch_armed = true;
+          watch_deadline = std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(static_cast<int64_t>(
+                               cfg_.net.watch_drain_grace_real_ms * 1000));
+        } else if (std::chrono::steady_clock::now() >= watch_deadline) {
+          *now += cfg_.net.failure_detect_latency;
+          return Status::ProcFailed(std::move(dead), "watched peer failed");
+        }
+        mbox.cv.wait_until(lock, watch_deadline);
+        continue;
+      }
+    }
+    mbox.cv.wait(lock);
+  }
+}
+
+Status Fabric::TryRecv(int self, Seconds* now, int src, uint64_t channel,
+                       int tag, Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (self < 0 || self >= static_cast<int>(procs_.size())) {
+    return Status(Code::kInvalid, "recv on unknown pid");
+  }
+  if (!procs_[self].alive) return Status(Code::kAborted, "receiver is dead");
+  Mailbox& mbox = *procs_[self].mbox;
+  if (FindMatch(mbox, src, channel, tag, out)) {
+    const Seconds arrival = ArrivalTime(*out, procs_[self].node);
+    *now = std::max(*now, arrival) + cfg_.net.recv_overhead;
+    return Status::Ok();
+  }
+  return Status(Code::kUnavailable, "no matching message");
+}
+
+void Fabric::PurgeContext(uint64_t context_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& proc : procs_) {
+    auto& q = proc.mbox->queue;
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [context_id](const Message& m) {
+                             return ChannelContext(m.channel) == context_id;
+                           }),
+            q.end());
+  }
+}
+
+void Fabric::WakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& proc : procs_) proc.mbox->cv.notify_all();
+}
+
+}  // namespace rcc::sim

@@ -1,0 +1,146 @@
+// The message fabric: the simulated interconnect all communication
+// libraries (MPI-like, Gloo-like, NCCL-like) are built on.
+//
+// Every simulated rank is an OS thread with its own *virtual clock*.
+// Messages carry the sender's departure time; a receive merges
+//   arrival = depart + latency + cost_bytes / bandwidth
+// into the receiver's clock (LogGP-style). Intra-node and inter-node
+// links use distinct latency/bandwidth parameters.
+//
+// Failure semantics:
+//  * Kill(pid) / KillNode(node) mark processes dead and wake all blocked
+//    receivers.
+//  * A receive whose awaited partner is dead returns kProcFailed after
+//    charging the failure-detection latency (ULFM-style per-operation
+//    error).
+//  * A receive may carry a DeathWatch (the Gloo-like layer watches its
+//    whole membership: any member death is context-fatal, like a TCP RST
+//    tearing down the process group).
+//  * A receive may carry a CancelToken (ULFM revoke: interrupting ranks
+//    blocked inside a broken collective).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/params.h"
+
+namespace rcc::sim {
+
+inline constexpr int kAnySource = -1;
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  uint64_t channel = 0;  // (context id << 16) | phase, composed by callers
+  int tag = 0;
+  Seconds depart = 0.0;      // sender's virtual time at send
+  double cost_bytes = 0.0;   // size used by the time model (may exceed payload)
+  std::vector<uint8_t> payload;
+};
+
+// Composes a channel key from a communication-context id and a phase
+// discriminator (collective kind, protocol step...).
+inline uint64_t ChannelKey(uint64_t context_id, uint16_t phase) {
+  return (context_id << 16) | phase;
+}
+inline uint64_t ChannelContext(uint64_t channel) { return channel >> 16; }
+
+// Set once by a revoke; observed by receives blocked on the revoked
+// context. Never reset (a revoked context is repaired by building a new
+// one with a fresh token).
+class CancelToken {
+ public:
+  void Cancel() { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+class Fabric {
+ public:
+  explicit Fabric(SimConfig cfg) : cfg_(cfg), id_(NextFabricId()) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  const SimConfig& config() const { return cfg_; }
+
+  // Process-wide unique fabric id: namespaces communicator-group cache
+  // keys so distinct simulations never alias (pids restart at 0 per
+  // fabric).
+  uint64_t id() const { return id_; }
+
+  // Registers a new process on `node`; returns its pid. Thread-safe,
+  // usable mid-run (dynamic worker admission).
+  int RegisterProcess(int node);
+
+  void Kill(int pid);
+  void KillNode(int node);
+  bool IsAlive(int pid) const;
+  int NodeOf(int pid) const;
+  int ProcessCount() const;
+  std::vector<int> AlivePids() const;
+  std::vector<int> DeadPids() const;
+
+  // Sends a message. Non-blocking (eager, buffered). Sending to a dead
+  // process silently drops the message: like a real transport, the sender
+  // only learns about the failure when it next *waits* on that peer.
+  Status Send(Message msg);
+
+  // Blocks until a message matching (src, channel, tag) is available, the
+  // awaited peer dies, a watched process dies, the token is cancelled, or
+  // this process itself is killed. On success merges network time into
+  // *now and charges the receive overhead.
+  Status Recv(int self, Seconds* now, int src, uint64_t channel, int tag,
+              Message* out, const CancelToken* cancel = nullptr,
+              const std::vector<int>* death_watch = nullptr);
+
+  // Non-blocking variant: kUnavailable if nothing matches right now.
+  Status TryRecv(int self, Seconds* now, int src, uint64_t channel, int tag,
+                 Message* out);
+
+  // Drops all queued messages belonging to a retired communication
+  // context (called when a communicator/context is freed after shrink).
+  void PurgeContext(uint64_t context_id);
+
+  // Wakes every blocked receive so it can re-check its cancel/death
+  // predicates (used by revoke).
+  void WakeAll();
+
+ private:
+  struct Mailbox {
+    std::deque<Message> queue;
+    std::condition_variable cv;
+  };
+  struct Proc {
+    int node = 0;
+    bool alive = true;
+    std::unique_ptr<Mailbox> mbox;
+  };
+
+  // Returns arrival time of msg at dst given link parameters.
+  Seconds ArrivalTime(const Message& msg, int dst_node) const;
+
+  bool FindMatch(Mailbox& mbox, int src, uint64_t channel, int tag,
+                 Message* out);  // requires mu_ held
+
+  static uint64_t NextFabricId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Proc> procs_;
+  SimConfig cfg_;
+  uint64_t id_;
+};
+
+}  // namespace rcc::sim

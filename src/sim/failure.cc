@@ -1,0 +1,35 @@
+#include "sim/failure.h"
+
+namespace rcc::sim {
+
+void FailurePlan::ApplyTo(Cluster& cluster) const {
+  const int nprocs = cluster.fabric().ProcessCount();
+  for (const FailureEvent& ev : events_) {
+    if (ev.scope == FailScope::kProcess) {
+      if (ev.target >= 0 && ev.target < nprocs) {
+        cluster.endpoint(ev.target).SetKillAtTime(ev.at);
+      }
+    } else {
+      for (int pid = 0; pid < nprocs; ++pid) {
+        if (cluster.fabric().NodeOf(pid) == ev.target) {
+          cluster.endpoint(pid).SetKillAtTime(ev.at);
+        }
+      }
+    }
+  }
+}
+
+FailurePlan FailurePlan::Poisson(double rate_per_second, Seconds horizon,
+                                 int world, uint64_t seed) {
+  FailurePlan plan;
+  Rng rng(seed, /*stream=*/0x0Fa11);
+  Seconds t = 0.0;
+  for (;;) {
+    t += rng.NextExponential(rate_per_second);
+    if (t >= horizon) break;
+    plan.KillProcess(static_cast<int>(rng.NextBelow(world)), t);
+  }
+  return plan;
+}
+
+}  // namespace rcc::sim

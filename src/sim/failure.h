@@ -1,0 +1,47 @@
+// Failure plans: declarative, deterministic fault injection in virtual
+// time. A plan lists (target, granularity, virtual time) events and is
+// applied to a cluster's endpoints before or during a run.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/cluster.h"
+
+namespace rcc::sim {
+
+enum class FailScope { kProcess, kNode };
+
+struct FailureEvent {
+  FailScope scope = FailScope::kProcess;
+  int target = 0;      // pid (kProcess) or node id (kNode)
+  Seconds at = 0.0;    // virtual time at which the target self-kills
+};
+
+class FailurePlan {
+ public:
+  FailurePlan& KillProcess(int pid, Seconds at) {
+    events_.push_back({FailScope::kProcess, pid, at});
+    return *this;
+  }
+  FailurePlan& KillNode(int node, Seconds at) {
+    events_.push_back({FailScope::kNode, node, at});
+    return *this;
+  }
+
+  const std::vector<FailureEvent>& events() const { return events_; }
+
+  // Arms the self-kill triggers on the cluster's endpoints. Node events
+  // arm every currently-registered pid on that node.
+  void ApplyTo(Cluster& cluster) const;
+
+  // Generates a Poisson process of process failures over [0, horizon)
+  // across `world` pids; used by the Eq. (1) ablation.
+  static FailurePlan Poisson(double rate_per_second, Seconds horizon,
+                             int world, uint64_t seed);
+
+ private:
+  std::vector<FailureEvent> events_;
+};
+
+}  // namespace rcc::sim

@@ -1,0 +1,90 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace rcc::trace {
+
+void Recorder::Record(int pid, const std::string& phase, sim::Seconds start,
+                      sim::Seconds end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{pid, phase, start, end});
+}
+
+std::vector<Event> Recorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<Event> Recorder::EventsForPhase(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.phase == phase) out.push_back(e);
+  }
+  return out;
+}
+
+std::map<std::string, double> Recorder::MaxByPhase() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const Event& e : events_) {
+    out[e.phase] = std::max(out[e.phase], e.duration());
+  }
+  return out;
+}
+
+std::map<std::string, double> Recorder::MeanByPhase() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> sum;
+  std::map<std::string, int> count;
+  for (const Event& e : events_) {
+    sum[e.phase] += e.duration();
+    count[e.phase] += 1;
+  }
+  for (auto& [phase, total] : sum) total /= count[phase];
+  return sum;
+}
+
+std::map<std::string, double> Recorder::MinByPhase() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const Event& e : events_) {
+    auto it = out.find(e.phase);
+    if (it == out.end()) {
+      out.emplace(e.phase, e.duration());
+    } else {
+      it->second = std::min(it->second, e.duration());
+    }
+  }
+  return out;
+}
+
+double Recorder::PhaseEnd(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double end = 0.0;
+  for (const Event& e : events_) {
+    if (e.phase == phase) end = std::max(end, e.end);
+  }
+  return end;
+}
+
+void Recorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+Table Recorder::ToTable() const {
+  Table table({"phase", "max (s)", "mean (s)", "events"});
+  auto max_by = MaxByPhase();
+  auto mean_by = MeanByPhase();
+  std::map<std::string, int> counts;
+  for (const Event& e : events()) counts[e.phase] += 1;
+  for (const auto& [phase, max_d] : max_by) {
+    table.AddRow({phase, FormatDouble(max_d, 4),
+                  FormatDouble(mean_by[phase], 4),
+                  std::to_string(counts[phase])});
+  }
+  return table;
+}
+
+}  // namespace rcc::trace

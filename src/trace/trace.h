@@ -1,0 +1,71 @@
+// Phase-tagged event tracing: each recovery step (catch exception,
+// shutdown, rendezvous, shrink, state sync, recompute, ...) records its
+// per-rank [start, end] interval in virtual time. Benches aggregate
+// these into the paper's per-phase cost breakdowns.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/endpoint.h"
+
+namespace rcc::trace {
+
+struct Event {
+  int pid = -1;
+  std::string phase;
+  sim::Seconds start = 0.0;
+  sim::Seconds end = 0.0;
+  double duration() const { return end - start; }
+};
+
+class Recorder {
+ public:
+  void Record(int pid, const std::string& phase, sim::Seconds start,
+              sim::Seconds end);
+
+  std::vector<Event> events() const;
+  std::vector<Event> EventsForPhase(const std::string& phase) const;
+
+  // Critical-path duration: the longest single-rank duration per phase
+  // (what an observer of the stalled training job experiences).
+  std::map<std::string, double> MaxByPhase() const;
+  // Mean duration per phase across ranks.
+  std::map<std::string, double> MeanByPhase() const;
+  // Shortest single event per phase: for phases that *wait* for slower
+  // participants (rendezvous, expand), this is the pure work component.
+  std::map<std::string, double> MinByPhase() const;
+  // Latest end time recorded for a phase.
+  double PhaseEnd(const std::string& phase) const;
+
+  void Clear();
+  Table ToTable() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// RAII phase scope: records [now at construction, now at destruction] on
+// the endpoint's virtual clock.
+class Scope {
+ public:
+  Scope(Recorder* rec, sim::Endpoint& ep, std::string phase)
+      : rec_(rec), ep_(ep), phase_(std::move(phase)), start_(ep.now()) {}
+  ~Scope() {
+    if (rec_ != nullptr) rec_->Record(ep_.pid(), phase_, start_, ep_.now());
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Recorder* rec_;
+  sim::Endpoint& ep_;
+  std::string phase_;
+  sim::Seconds start_;
+};
+
+}  // namespace rcc::trace

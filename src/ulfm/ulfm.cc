@@ -1,0 +1,315 @@
+#include "ulfm/ulfm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/log.h"
+
+namespace rcc::ulfm {
+
+namespace {
+
+int CeilLog2(int n) {
+  int bits = 0;
+  int v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+// ---------------------------------------------------------------------
+// Agreement synchronizer (see header: idealized ERA with explicit cost).
+// ---------------------------------------------------------------------
+struct AgreeState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<int, int> flags;               // pid -> contributed flag
+  std::map<int, int64_t> values;          // pid -> contributed value
+  std::map<int, sim::Seconds> arrivals;   // pid -> arrival virtual time
+  bool done = false;
+  AgreeOutcome outcome;
+  sim::Seconds finish_time = 0.0;
+  int leavers = 0;
+  int expected_leavers = 0;
+};
+
+std::mutex g_agree_mu;
+std::map<std::string, std::shared_ptr<AgreeState>> g_agree_registry;
+
+std::shared_ptr<AgreeState> AgreeStateFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_agree_mu);
+  auto it = g_agree_registry.find(key);
+  if (it != g_agree_registry.end()) return it->second;
+  auto state = std::make_shared<AgreeState>();
+  g_agree_registry.emplace(key, state);
+  return state;
+}
+
+void ReleaseAgreeState(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_agree_mu);
+  g_agree_registry.erase(key);
+}
+
+// ---------------------------------------------------------------------
+// Expand synchronizer (connect/accept + intercomm merge analogue).
+// ---------------------------------------------------------------------
+struct ExpandState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool survivors_known = false;
+  std::vector<int> old_group_pids;        // captured from the first survivor
+  std::set<int> survivor_arrived;
+  std::set<int> joiner_arrived;
+  std::map<int, sim::Seconds> arrivals;
+  bool done = false;
+  std::shared_ptr<mpi::CommGroup> new_group;
+  sim::Seconds finish_time = 0.0;
+  int leavers = 0;
+  int expected_leavers = 0;
+};
+
+std::mutex g_expand_mu;
+std::map<std::string, std::shared_ptr<ExpandState>> g_expand_registry;
+
+std::shared_ptr<ExpandState> ExpandStateFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_expand_mu);
+  auto it = g_expand_registry.find(key);
+  if (it != g_expand_registry.end()) return it->second;
+  auto state = std::make_shared<ExpandState>();
+  g_expand_registry.emplace(key, state);
+  return state;
+}
+
+void ReleaseExpandState(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_expand_mu);
+  g_expand_registry.erase(key);
+}
+
+}  // namespace
+
+sim::Seconds AgreementCost(const sim::SimConfig& cfg, int nranks) {
+  // ERA: two sweeps of a binary tree of small control messages.
+  const sim::Seconds per_hop = cfg.net.inter_latency +
+                               cfg.net.send_overhead + cfg.net.recv_overhead +
+                               64.0 / cfg.net.inter_bandwidth;
+  return 2.0 * CeilLog2(std::max(nranks, 2)) * per_hop;
+}
+
+std::vector<int> FailureAck(mpi::Comm& comm) {
+  std::set<int> acked = comm.locally_observed_failures();
+  for (int pid : comm.pids()) {
+    if (!comm.endpoint().fabric().IsAlive(pid)) acked.insert(pid);
+  }
+  comm.NoteFailedPids({acked.begin(), acked.end()});
+  return {acked.begin(), acked.end()};
+}
+
+std::vector<int> FailureGetAcked(mpi::Comm& comm) {
+  const std::set<int>& acked = comm.locally_observed_failures();
+  return {acked.begin(), acked.end()};
+}
+
+void Revoke(mpi::Comm& comm) {
+  sim::Fabric& fabric = comm.endpoint().fabric();
+  comm.endpoint().Busy(fabric.config().costs.ulfm_revoke_propagation);
+  comm.group()->revoke.Cancel();
+  fabric.WakeAll();
+}
+
+Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
+  sim::Endpoint& ep = comm.endpoint();
+  sim::Fabric& fabric = ep.fabric();
+  if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
+  ep.Busy(fabric.config().costs.ulfm_errhandler_dispatch);
+
+  const std::string key =
+      std::to_string(comm.context_id()) + "/agree/" +
+      std::to_string(comm.NextAgreeSeq());
+  auto state = AgreeStateFor(key);
+  const std::vector<int>& members = comm.pids();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->flags[ep.pid()] = flag;
+  state->values[ep.pid()] = value;
+  state->arrivals[ep.pid()] = ep.now();
+  state->cv.notify_all();
+
+  while (!state->done) {
+    if (!ep.alive()) return Status(Code::kAborted, "caller died in agree");
+    // Complete once every still-alive member has contributed.
+    bool complete = true;
+    for (int pid : members) {
+      if (state->flags.count(pid) == 0 && fabric.IsAlive(pid)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) {
+      AgreeOutcome outcome;
+      outcome.flag = ~0;
+      outcome.min_value = std::numeric_limits<int64_t>::max();
+      sim::Seconds latest = 0.0;
+      int alive_contributors = 0;
+      for (const auto& [pid, f] : state->flags) {
+        outcome.flag &= f;
+        outcome.min_value = std::min(outcome.min_value, state->values[pid]);
+        latest = std::max(latest, state->arrivals[pid]);
+        if (fabric.IsAlive(pid)) ++alive_contributors;
+      }
+      for (int pid : members) {
+        if (!fabric.IsAlive(pid)) outcome.failed_pids.push_back(pid);
+      }
+      std::sort(outcome.failed_pids.begin(), outcome.failed_pids.end());
+      state->outcome = std::move(outcome);
+      state->finish_time =
+          latest + AgreementCost(fabric.config(),
+                                 static_cast<int>(members.size()));
+      state->expected_leavers = alive_contributors;
+      state->done = true;
+      state->cv.notify_all();
+      break;
+    }
+    // Real-time poll so that deaths (which do not notify this condvar)
+    // are observed; virtual time is taken from finish_time, not from
+    // this polling interval.
+    state->cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+
+  AgreeOutcome outcome = state->outcome;
+  ep.AdvanceTo(state->finish_time);
+  comm.NoteFailedPids(outcome.failed_pids);
+  ++state->leavers;
+  const bool last = state->leavers >= state->expected_leavers;
+  lock.unlock();
+  if (last) ReleaseAgreeState(key);
+  return outcome;
+}
+
+Result<mpi::Comm> Shrink(mpi::Comm& comm) {
+  sim::Endpoint& ep = comm.endpoint();
+  auto agreed = Agree(comm, /*flag=*/1);
+  if (!agreed.ok()) return agreed.status();
+
+  std::vector<int> survivors;
+  for (int pid : comm.pids()) {
+    if (std::find(agreed.value().failed_pids.begin(),
+                  agreed.value().failed_pids.end(),
+                  pid) == agreed.value().failed_pids.end()) {
+      survivors.push_back(pid);
+    }
+  }
+  if (survivors.empty()) {
+    return Status(Code::kInternal, "shrink: no survivors");
+  }
+
+  // Real shrink performs a second agreement to allocate the new context
+  // id; charge its cost (clocks stay aligned: everyone left the first
+  // agreement at the same virtual time).
+  ep.Busy(AgreementCost(ep.fabric().config(),
+                        static_cast<int>(survivors.size())));
+
+  auto group = mpi::GetOrCreateGroup(
+      mpi::GroupKey(comm.context_id(), "shrink", survivors), survivors);
+  mpi::Comm next(&ep, group);
+  next.set_cost_scale(comm.cost_scale());
+  if (next.rank() == 0) {
+    ep.fabric().PurgeContext(comm.context_id());
+  }
+  return next;
+}
+
+Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
+                             const std::string& session,
+                             int expected_joiners) {
+  sim::Fabric& fabric = ep.fabric();
+  if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
+  const std::string key =
+      "expand/f" + std::to_string(fabric.id()) + "/" + session;
+  auto state = ExpandStateFor(key);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (old_comm != nullptr) {
+    if (!state->survivors_known) {
+      state->old_group_pids = old_comm->pids();
+      state->survivors_known = true;
+    }
+    state->survivor_arrived.insert(ep.pid());
+  } else {
+    state->joiner_arrived.insert(ep.pid());
+  }
+  state->arrivals[ep.pid()] = ep.now();
+  state->cv.notify_all();
+
+  while (!state->done) {
+    if (!ep.alive()) return Status(Code::kAborted, "caller died in expand");
+    bool complete = state->survivors_known || expected_joiners == 0;
+    if (state->survivors_known) {
+      for (int pid : state->old_group_pids) {
+        if (fabric.IsAlive(pid) && state->survivor_arrived.count(pid) == 0) {
+          complete = false;
+          break;
+        }
+      }
+    }
+    if (static_cast<int>(state->joiner_arrived.size()) < expected_joiners) {
+      complete = false;
+    }
+    if (complete) {
+      // Membership: surviving old ranks in old order, then joiners by pid.
+      std::vector<int> pids;
+      for (int pid : state->old_group_pids) {
+        if (state->survivor_arrived.count(pid) != 0 && fabric.IsAlive(pid)) {
+          pids.push_back(pid);
+        }
+      }
+      std::vector<int> joiners(state->joiner_arrived.begin(),
+                               state->joiner_arrived.end());
+      std::sort(joiners.begin(), joiners.end());
+      pids.insert(pids.end(), joiners.begin(), joiners.end());
+
+      sim::Seconds latest = 0.0;
+      int alive_count = 0;
+      for (int pid : pids) {
+        latest = std::max(latest, state->arrivals[pid]);
+        if (fabric.IsAlive(pid)) ++alive_count;
+      }
+      const int total = static_cast<int>(pids.size());
+      // connect/accept: one verbs-class connection per tree level, then
+      // an agreement-priced intercomm merge.
+      const sim::Seconds cost =
+          fabric.config().costs.conn_setup_verbs * CeilLog2(total) +
+          AgreementCost(fabric.config(), total);
+      state->new_group = mpi::GetOrCreateGroup(key, pids);
+      state->finish_time = latest + cost;
+      state->expected_leavers = alive_count;
+      state->done = true;
+      state->cv.notify_all();
+      break;
+    }
+    state->cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+
+  auto group = state->new_group;
+  ep.AdvanceTo(state->finish_time);
+  ++state->leavers;
+  const bool last = state->leavers >= state->expected_leavers;
+  lock.unlock();
+  if (last) ReleaseExpandState(key);
+
+  mpi::Comm next(&ep, group);
+  if (old_comm != nullptr) {
+    next.set_cost_scale(old_comm->cost_scale());
+    if (next.rank() == 0) fabric.PurgeContext(old_comm->context_id());
+  }
+  return next;
+}
+
+}  // namespace rcc::ulfm

@@ -1,0 +1,82 @@
+// The ULFM (User-Level Failure Mitigation) extension over rcc::mpi.
+//
+// Mirrors the MPIX_* API surface the paper builds on:
+//   FailureAck / FailureGetAcked  - acknowledge & query observed failures
+//   Revoke                        - interrupt all in-flight operations
+//   Agree                         - fault-tolerant agreement (flag AND +
+//                                   consistent failure set)
+//   Shrink                        - rebuild a sane communicator from the
+//                                   survivors
+//   ExpandComm                    - admit replacement/new workers
+//                                   (connect + intercomm-merge analogue)
+//
+// Agreement is implemented as an idealized synchronizer with an explicit
+// ERA-style cost model (2*ceil(log2 P) small-message rounds): Open MPI's
+// real agreement algorithm is out of scope, but its *cost shape* - the
+// quantity the paper measures - is preserved. See DESIGN.md.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mpi/comm.h"
+#include "sim/endpoint.h"
+
+namespace rcc::ulfm {
+
+// Acknowledges all failures this rank can currently observe on the
+// communicator (locally reported errors + transport-level death
+// notifications) and returns them, pid-sorted.
+std::vector<int> FailureAck(mpi::Comm& comm);
+
+// Returns the pids acknowledged so far (same snapshot rule as
+// FailureAck; provided for API parity with MPIX_Comm_failure_get_acked).
+std::vector<int> FailureGetAcked(mpi::Comm& comm);
+
+// Revokes the communicator: every rank blocked in an operation on it is
+// interrupted with kRevoked, and all future operations fail the same
+// way. Idempotent.
+void Revoke(mpi::Comm& comm);
+
+struct AgreeOutcome {
+  int flag = 0;                    // bitwise AND of all contributions
+  int64_t min_value = 0;           // MIN of all contributed values
+  std::vector<int> failed_pids;    // consistent failed set (pid-sorted)
+};
+
+// Fault-tolerant agreement across the communicator. Every *surviving*
+// caller receives the same outcome; processes that die before or during
+// the agreement are excluded and reported in `failed_pids`. Works on
+// revoked communicators (it is the first step of recovery).
+//
+// Besides the standard MPIX bitwise-AND flag, the agreement carries a
+// MIN-reduced int64 payload (`value`): the resilient-collective layer
+// uses it to agree on the earliest outstanding operation after a repair
+// (real ULFM applications encode such data into the flag bits).
+Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value = 0);
+
+// Shrink: agreement on the failed set, then a new communicator over the
+// survivors (old ranks' order preserved). The old communicator's queued
+// traffic is purged.
+Result<mpi::Comm> Shrink(mpi::Comm& comm);
+
+// Admits `expected_joiners` new processes into a communicator.
+// Survivors call with their (shrunk) communicator; joiners call with
+// old_comm == nullptr. `session` must be globally unique per expand
+// operation and identical on every participant. Survivors keep ranks
+// 0..S-1; joiners receive ranks S.. ordered by pid.
+//
+// Note: like MPI_Comm_accept, the expand blocks until every expected
+// joiner arrives; a joiner that dies before arriving stalls the
+// operation (the elastic layer only admits provisioned workers).
+Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
+                             const std::string& session,
+                             int expected_joiners);
+
+// Cost model for one agreement over `nranks` participants; exposed so
+// benches can report it and tests can check clock advancement.
+sim::Seconds AgreementCost(const sim::SimConfig& cfg, int nranks);
+
+}  // namespace rcc::ulfm

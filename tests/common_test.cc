@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace rcc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_TRUE(s.failed_pids().empty());
+}
+
+TEST(Status, ProcFailedCarriesPids) {
+  Status s = Status::ProcFailed({3, 1}, "boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Code::kProcFailed);
+  ASSERT_EQ(s.failed_pids().size(), 2u);
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(Status, MergeFailureUnionsSortedUnique) {
+  Status a = Status::ProcFailed({5, 2});
+  Status b = Status::ProcFailed({2, 7});
+  a.MergeFailure(b);
+  EXPECT_EQ(a.failed_pids(), (std::vector<int>{2, 5, 7}));
+}
+
+TEST(Status, MergeIntoOkAdoptsCode) {
+  Status a;
+  a.MergeFailure(Status::ProcFailed({1}));
+  EXPECT_EQ(a.code(), Code::kProcFailed);
+}
+
+TEST(Status, RevokeSupersedesProcFailed) {
+  Status a = Status::ProcFailed({1});
+  a.MergeFailure(Status(Code::kRevoked));
+  EXPECT_EQ(a.code(), Code::kRevoked);
+}
+
+TEST(Status, ToStringMentionsCodeAndPids) {
+  Status s = Status::ProcFailed({4});
+  EXPECT_NE(s.ToString().find("PROC_FAILED"), std::string::npos);
+  EXPECT_NE(s.ToString().find('4'), std::string::npos);
+}
+
+TEST(Status, CodeNamesAreDistinct) {
+  EXPECT_STREQ(CodeName(Code::kOk), "OK");
+  EXPECT_STREQ(CodeName(Code::kRevoked), "REVOKED");
+  EXPECT_STREQ(CodeName(Code::kTimeout), "TIMEOUT");
+  EXPECT_STREQ(CodeName(Code::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status(Code::kNotFound, "nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotFound);
+}
+
+TEST(Serial, RoundTripScalars) {
+  ByteWriter w;
+  w.WriteU8(7);
+  w.WriteU32(1234567);
+  w.WriteU64(0xDEADBEEFCAFEull);
+  w.WriteI32(-42);
+  w.WriteI64(-1234567890123ll);
+  w.WriteF32(3.25f);
+  w.WriteF64(-2.5);
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  int64_t i64;
+  float f32;
+  double f64;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadF32(&f32).ok());
+  ASSERT_TRUE(r.ReadF64(&f64).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 1234567u);
+  EXPECT_EQ(u64, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, -1234567890123ll);
+  EXPECT_FLOAT_EQ(f32, 3.25f);
+  EXPECT_DOUBLE_EQ(f64, -2.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serial, RoundTripStringAndFloats) {
+  ByteWriter w;
+  w.WriteString("hello world");
+  std::vector<float> v{1.0f, -2.0f, 0.5f};
+  w.WriteFloats(v.data(), v.size());
+  ByteReader r(w.data());
+  std::string s;
+  std::vector<float> out;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadFloats(&out).ok());
+  EXPECT_EQ(s, "hello world");
+  EXPECT_EQ(out, v);
+}
+
+TEST(Serial, ReadPastEndFails) {
+  ByteWriter w;
+  w.WriteU8(1);
+  ByteReader r(w.data());
+  uint32_t v;
+  EXPECT_EQ(r.ReadU32(&v).code(), Code::kIoError);
+}
+
+TEST(Serial, CorruptLengthPrefixFails) {
+  ByteWriter w;
+  w.WriteU64(1u << 30);  // claims 1G floats follow
+  ByteReader r(w.data());
+  std::vector<float> out;
+  EXPECT_EQ(r.ReadFloats(&out).code(), Code::kIoError);
+}
+
+TEST(Serial, BytesRoundTrip) {
+  ByteWriter w;
+  w.WriteBytes({1, 2, 3, 255});
+  ByteReader r(w.data());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(r.ReadBytes(&out).ok());
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3, 255}));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(123, 0), b(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(99);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("| name "), std::string::npos);
+  EXPECT_NE(ascii.find("longer-name"), std::string::npos);
+  // All lines have the same width.
+  size_t first_nl = ascii.find('\n');
+  size_t second_nl = ascii.find('\n', first_nl + 1);
+  EXPECT_EQ(first_nl, second_nl - first_nl - 1);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a"});
+  t.AddRow({"x,y"});
+  EXPECT_NE(t.ToCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, FormatSecondsPicksUnit) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.0025), "2.500 ms");
+  EXPECT_EQ(FormatSeconds(2.5e-6), "2.50 us");
+}
+
+TEST(Table, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(549e6), "549.0 MB");
+  EXPECT_EQ(FormatBytes(2.3e10), "23.00 GB");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+}
+
+}  // namespace
+}  // namespace rcc

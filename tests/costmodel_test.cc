@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "costmodel/costmodel.h"
+
+namespace rcc::costmodel {
+namespace {
+
+RecoveryParams BaseParams() {
+  RecoveryParams p;
+  p.checkpoint_bytes = 98e6;  // ResNet50V2
+  p.steps_per_second = 2.0;
+  p.checkpoint_interval_steps = 1;
+  p.reconfiguration_cost = 3.0;
+  p.new_worker_init_cost = 28.0;
+  p.fault_rate_per_hour = 2.0;
+  p.horizon_hours = 1.0;
+  return p;
+}
+
+TEST(Eq1, ZeroFaultsLeavesOnlySavingCost) {
+  sim::SimConfig cfg;
+  RecoveryParams p = BaseParams();
+  p.fault_rate_per_hour = 0.0;
+  auto b = Evaluate(cfg, p);
+  EXPECT_GT(b.saving, 0.0);
+  EXPECT_EQ(b.loading, 0.0);
+  EXPECT_EQ(b.reconfigure, 0.0);
+  EXPECT_EQ(b.recompute, 0.0);
+  EXPECT_EQ(b.worker_init, 0.0);
+}
+
+TEST(Eq1, SavingScalesInverselyWithInterval) {
+  sim::SimConfig cfg;
+  RecoveryParams p = BaseParams();
+  auto b1 = Evaluate(cfg, p);
+  p.checkpoint_interval_steps = 10;
+  auto b10 = Evaluate(cfg, p);
+  EXPECT_NEAR(b1.saving / b10.saving, 10.0, 1e-6);
+}
+
+TEST(Eq1, RecomputeScalesWithInterval) {
+  // The paper: "The cost of recomputation has an inverse relationship
+  // with the total cost of saving checkpoints."
+  sim::SimConfig cfg;
+  RecoveryParams p = BaseParams();
+  auto b1 = Evaluate(cfg, p);
+  p.checkpoint_interval_steps = 10;
+  auto b10 = Evaluate(cfg, p);
+  EXPECT_NEAR(b10.recompute / b1.recompute, 10.0, 1e-6);
+}
+
+TEST(Eq1, FaultTermsScaleWithFaultCount) {
+  sim::SimConfig cfg;
+  RecoveryParams p = BaseParams();
+  auto b2 = Evaluate(cfg, p);
+  p.fault_rate_per_hour = 4.0;
+  auto b4 = Evaluate(cfg, p);
+  EXPECT_NEAR(b4.loading / b2.loading, 2.0, 1e-6);
+  EXPECT_NEAR(b4.reconfigure / b2.reconfigure, 2.0, 1e-6);
+  EXPECT_NEAR(b4.worker_init / b2.worker_init, 2.0, 1e-6);
+}
+
+TEST(Eq1, TotalSumsComponents) {
+  sim::SimConfig cfg;
+  auto b = Evaluate(cfg, BaseParams());
+  EXPECT_DOUBLE_EQ(
+      b.total(),
+      b.saving + b.loading + b.reconfigure + b.recompute + b.worker_init);
+}
+
+TEST(Eq1, OptimalIntervalBalancesSavingAndRecompute) {
+  sim::SimConfig cfg;
+  RecoveryParams p = BaseParams();
+  const int opt = OptimalCheckpointIntervalSteps(cfg, p);
+  ASSERT_GE(opt, 1);
+  p.checkpoint_interval_steps = opt;
+  const double at_opt =
+      Evaluate(cfg, p).saving + Evaluate(cfg, p).recompute;
+  for (int other : {opt / 4 + 1, opt * 4}) {
+    p.checkpoint_interval_steps = other;
+    const double at_other =
+        Evaluate(cfg, p).saving + Evaluate(cfg, p).recompute;
+    EXPECT_LE(at_opt, at_other * 1.01) << "interval " << other;
+  }
+}
+
+TEST(Eq1, HigherFaultRateShrinksOptimalInterval) {
+  sim::SimConfig cfg;
+  RecoveryParams p = BaseParams();
+  p.fault_rate_per_hour = 0.5;
+  const int low = OptimalCheckpointIntervalSteps(cfg, p);
+  p.fault_rate_per_hour = 50.0;
+  const int high = OptimalCheckpointIntervalSteps(cfg, p);
+  EXPECT_LT(high, low);
+}
+
+TEST(Eq1, BiggerModelShiftsCostUp) {
+  sim::SimConfig cfg;
+  RecoveryParams small = BaseParams();
+  RecoveryParams big = BaseParams();
+  big.checkpoint_bytes = 549e6;  // VGG-16
+  EXPECT_GT(Evaluate(cfg, big).total(), Evaluate(cfg, small).total());
+}
+
+}  // namespace
+}  // namespace rcc::costmodel

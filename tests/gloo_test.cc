@@ -1,0 +1,208 @@
+// Gloo-like baseline semantics: KV rendezvous, collectives, and the
+// absence of fault tolerance (peer death => IoException, broken context).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/serial.h"
+#include "gloo/gloo.h"
+#include "sim/cluster.h"
+
+namespace rcc::gloo {
+namespace {
+
+TEST(Rendezvous, AssignsUniqueRanksAndSharedMembership) {
+  sim::Cluster cluster;
+  kv::Store store;
+  std::atomic<uint32_t> rank_mask{0};
+  cluster.Spawn(4, [&](sim::Endpoint& ep) {
+    auto ctx = Context::Connect(ep, store, "r0", 4);
+    ASSERT_EQ(ctx->size(), 4);
+    rank_mask |= 1u << ctx->rank();
+    ASSERT_EQ(ctx->pids().size(), 4u);
+  });
+  cluster.Join();
+  EXPECT_EQ(rank_mask.load(), 0b1111u);
+}
+
+TEST(Rendezvous, CostGrowsWithWorldSize) {
+  auto run = [](int world) {
+    sim::Cluster cluster;
+    kv::Store store(cluster.config().costs.kv_roundtrip);
+    std::atomic<double> max_t{0};
+    cluster.Spawn(world, [&](sim::Endpoint& ep) {
+      auto ctx = Context::Connect(ep, store, "r0", world);
+      double cur = max_t.load();
+      while (ep.now() > cur && !max_t.compare_exchange_weak(cur, ep.now())) {
+      }
+    });
+    cluster.Join();
+    return max_t.load();
+  };
+  const double t6 = run(6);
+  const double t24 = run(24);
+  EXPECT_GT(t24, 3.0 * t6);  // O(P) connects dominate
+}
+
+TEST(Collectives, AllreduceAllgatherBroadcastBarrier) {
+  sim::Cluster cluster;
+  kv::Store store;
+  cluster.Spawn(5, [&](sim::Endpoint& ep) {
+    auto ctx = Context::Connect(ep, store, "r0", 5);
+    std::vector<float> in(64, static_cast<float>(ctx->rank() + 1));
+    std::vector<float> out(64);
+    ctx->Allreduce<float>(in.data(), out.data(), 64);
+    for (float v : out) ASSERT_EQ(v, 15.0f);
+
+    float mine = static_cast<float>(ctx->rank());
+    std::vector<float> gathered(5);
+    ctx->Allgather<float>(&mine, gathered.data(), 1);
+    for (int r = 0; r < 5; ++r) ASSERT_EQ(gathered[r], r);
+
+    float root_val = ctx->rank() == 2 ? 9.0f : 0.0f;
+    ctx->Broadcast<float>(&root_val, 1, 2);
+    ASSERT_EQ(root_val, 9.0f);
+
+    ctx->Barrier();
+  });
+  cluster.Join();
+}
+
+TEST(Failure, PeerDeathThrowsIoException) {
+  sim::Cluster cluster;
+  kv::Store store;
+  std::atomic<int> exceptions{0};
+  std::atomic<int> connected{0};
+  cluster.Spawn(4, [&](sim::Endpoint& ep) {
+    auto ctx = Context::Connect(ep, store, "r0", 4);
+    connected++;
+    if (ctx->rank() == 1) {
+      // Die only once everyone is out of the rendezvous so the failure
+      // surfaces in the collective, not in Connect.
+      while (connected.load() < 4) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ep.fabric().Kill(ep.pid());
+      return;
+    }
+    std::vector<float> in(1024, 1.0f), out(1024);
+    try {
+      ctx->Allreduce<float>(in.data(), out.data(), in.size());
+    } catch (const IoException& ex) {
+      exceptions++;
+      EXPECT_TRUE(ctx->broken());
+      // A broken context refuses further work (no per-op recovery).
+      EXPECT_THROW(ctx->Barrier(), IoException);
+    }
+  });
+  cluster.Join();
+  // Death-watch semantics: EVERY survivor sees the failure, not just the
+  // dead rank's neighbour (the whole context tears down, Fig. 3).
+  EXPECT_EQ(exceptions.load(), 3);
+}
+
+TEST(Failure, DeathDuringRendezvousFailsRound) {
+  sim::Cluster cluster;
+  kv::Store store;
+  std::atomic<int> exceptions{0};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    if (ep.pid() == 2) {
+      // Publish the address, then die before connecting.
+      auto slot = store.AddAndGet(&ep, "r0/slots", 1);
+      ByteWriter w;
+      w.WriteI32(ep.pid());
+      store.Set(&ep,
+                "r0/addr/" + std::to_string(slot.value() - 1), w.Take());
+      ep.fabric().Kill(ep.pid());
+      return;
+    }
+    try {
+      auto ctx = Context::Connect(ep, store, "r0", 3);
+      // Connect may succeed only if the victim died after our check; a
+      // subsequent operation must then fail.
+      std::vector<float> in(16, 1.0f), out(16);
+      ctx->Allreduce<float>(in.data(), out.data(), 16);
+    } catch (const IoException&) {
+      exceptions++;
+    }
+  });
+  cluster.Join();
+  EXPECT_EQ(exceptions.load(), 2);
+}
+
+TEST(Failure, FreshRendezvousRoundRecoversAfterTeardown) {
+  // The Elastic-Horovod recovery pattern: catch, abandon the context,
+  // re-rendezvous with the survivors under a new round key.
+  sim::Cluster cluster;
+  kv::Store store;
+  std::atomic<int> recovered{0};
+  std::atomic<int> connected{0};
+  cluster.Spawn(4, [&](sim::Endpoint& ep) {
+    auto ctx = Context::Connect(ep, store, "round0", 4);
+    connected++;
+    if (ctx->rank() == 3) {
+      while (connected.load() < 4) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ep.fabric().Kill(ep.pid());
+      return;
+    }
+    std::vector<float> in(512, 1.0f), out(512);
+    try {
+      ctx->Allreduce<float>(in.data(), out.data(), in.size());
+    } catch (const IoException&) {
+      auto ctx2 = Context::Connect(ep, store, "round1", 3);
+      ctx2->Allreduce<float>(in.data(), out.data(), in.size());
+      EXPECT_EQ(out[0], 3.0f);
+      recovered++;
+    }
+  });
+  cluster.Join();
+  EXPECT_EQ(recovered.load(), 3);
+}
+
+TEST(Context, CostScaleInflatesModeledTime) {
+  auto run = [](double scale) {
+    sim::Cluster cluster;
+    kv::Store store;
+    std::atomic<double> t{0};
+    cluster.Spawn(2, [&](sim::Endpoint& ep) {
+      auto ctx = Context::Connect(ep, store, "r0", 2);
+      ctx->Barrier();  // align clocks after rendezvous
+      ctx->set_cost_scale(scale);
+      const double before = ep.now();
+      std::vector<float> in(1 << 16, 1.0f), out(1 << 16);
+      ctx->Allreduce<float>(in.data(), out.data(), in.size());
+      if (ctx->rank() == 0) t = ep.now() - before;
+    });
+    cluster.Join();
+    return t.load();
+  };
+  // The collective itself (rendezvous excluded) must scale with the
+  // declared wire size.
+  EXPECT_GT(run(64.0), run(1.0) * 16);
+}
+
+TEST(Rendezvous, OversubscribedRoundThrows) {
+  sim::Cluster cluster;
+  kv::Store store;
+  std::atomic<int> rejected{0};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    try {
+      auto ctx = Context::Connect(ep, store, "r0", 2);
+      // Two lucky ranks: hold the context so the loser's throw happens
+      // regardless of ordering.
+      std::vector<float> in(4, 1.0f), out(4);
+      ctx->Allreduce<float>(in.data(), out.data(), 4);
+    } catch (const IoException&) {
+      rejected++;
+    }
+  });
+  cluster.Join();
+  EXPECT_EQ(rejected.load(), 1);
+}
+
+}  // namespace
+}  // namespace rcc::gloo

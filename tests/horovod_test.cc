@@ -1,0 +1,173 @@
+// Elastic Horovod baseline: bucket construction and the full
+// checkpoint-restart recovery pipeline on synthetic plans.
+#include <gtest/gtest.h>
+
+#include "horovod/elastic_horovod.h"
+#include "horovod/plan.h"
+
+namespace rcc::horovod {
+namespace {
+
+SyntheticPlan SmallPlan() {
+  SyntheticPlan plan;
+  plan.spec = dnn::NasNetMobileSpec();
+  plan.initial_world = 12;
+  plan.batch_per_worker = 32;
+  plan.steps_per_epoch = 4;
+  plan.epochs = 2;
+  plan.max_physical_floats = 1024;
+  return plan;
+}
+
+double Phase(const trace::Recorder& rec, const std::string& name) {
+  auto by = rec.MaxByPhase();
+  auto it = by.find(name);
+  return it == by.end() ? 0.0 : it->second;
+}
+
+TEST(Buckets, VirtualBytesCoverModelAndPhysicalIsCapped) {
+  auto buckets = MakeBuckets(dnn::Vgg16Spec(), 64u << 20, 2048);
+  double virt = 0;
+  for (const auto& b : buckets) {
+    EXPECT_LE(b.data.size(), 2048u);
+    EXPECT_GE(b.cost_scale(), 1.0);
+    virt += b.virtual_bytes;
+  }
+  EXPECT_NEAR(virt, dnn::Vgg16Spec().total_parameters * sizeof(float),
+              1e3);
+}
+
+TEST(Buckets, MoreBucketsForFinerFusion) {
+  EXPECT_GT(MakeBuckets(dnn::ResNet50V2Spec(), 4u << 20).size(),
+            MakeBuckets(dnn::ResNet50V2Spec(), 64u << 20).size());
+}
+
+TEST(ElasticHorovod, CleanRunCompletesWithoutResets) {
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  auto stats = RunElasticHorovod(cluster, SmallPlan(), &rec);
+  EXPECT_EQ(stats.resets, 0);
+  EXPECT_EQ(stats.final_world, 12);
+  EXPECT_GT(stats.completion_time, 0.0);
+  // Initial setup is traced under init/, nothing under recovery/.
+  EXPECT_GT(Phase(rec, "init/rendezvous_global"), 0.0);
+  EXPECT_EQ(Phase(rec, "recovery/rendezvous_global"), 0.0);
+}
+
+TEST(ElasticHorovod, NodeFailureRunsFullRecoveryPipeline) {
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  SyntheticPlan plan = SmallPlan();
+  plan.drop_policy = DropPolicy::kNode;
+  plan.failures.push_back({/*epoch=*/1, /*step=*/1, /*bucket=*/0,
+                           /*victim_rank=*/3, sim::FailScope::kNode});
+  auto stats = RunElasticHorovod(cluster, plan, &rec);
+  EXPECT_GE(stats.resets, 1);
+  EXPECT_EQ(stats.final_world, 6);  // one of two nodes dropped
+  // Every Fig. 4 phase appears on the recovery path.
+  for (const char* phase :
+       {"recovery/catch_exception", "recovery/shutdown",
+        "recovery/blacklist", "recovery/elastic_reinit",
+        "recovery/gloo_reinit", "recovery/rendezvous_local",
+        "recovery/rendezvous_global", "recovery/nccl_reinit",
+        "recovery/state_sync", "recovery/recompute"}) {
+    EXPECT_GT(Phase(rec, phase), 0.0) << phase;
+  }
+}
+
+TEST(ElasticHorovod, ProcessDropKeepsNodePeers) {
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  SyntheticPlan plan = SmallPlan();
+  plan.drop_policy = DropPolicy::kProcess;
+  plan.failures.push_back(
+      {1, 0, 0, /*victim_rank=*/5, sim::FailScope::kProcess});
+  auto stats = RunElasticHorovod(cluster, plan, &rec);
+  EXPECT_EQ(stats.final_world, 11);
+  EXPECT_EQ(Phase(rec, "recovery/blacklist"), 0.0);
+}
+
+TEST(ElasticHorovod, RecoveryCostDominatedByRendezvousAndDriver) {
+  // The paper's Fig. 4 observation: Gloo context + rendezvous + driver
+  // re-init dwarf the exception handling itself.
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  SyntheticPlan plan = SmallPlan();
+  plan.failures.push_back({1, 1, 0, 3, sim::FailScope::kNode});
+  RunElasticHorovod(cluster, plan, &rec);
+  const double rendezvous = Phase(rec, "recovery/rendezvous_global") +
+                            Phase(rec, "recovery/gloo_reinit") +
+                            Phase(rec, "recovery/elastic_reinit");
+  EXPECT_GT(rendezvous, Phase(rec, "recovery/catch_exception"));
+}
+
+TEST(ElasticHorovod, UpscaleAddsWorkersWithColdStart) {
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  SyntheticPlan plan = SmallPlan();
+  plan.joins.push_back({/*epoch=*/1, /*count=*/6, /*cold=*/true});
+  auto stats = RunElasticHorovod(cluster, plan, &rec);
+  EXPECT_EQ(stats.final_world, 18);
+  // Cold start (library load + CUDA init) sits on the recovery path.
+  EXPECT_GE(Phase(rec, "recovery/worker_init"),
+            cluster.config().costs.worker_coldstart * 0.99);
+}
+
+TEST(ElasticHorovod, ReplacementRestoresWorldSize) {
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  SyntheticPlan plan = SmallPlan();
+  plan.drop_policy = DropPolicy::kNode;
+  plan.failures.push_back({0, 2, 0, 2, sim::FailScope::kNode});
+  plan.joins.push_back({/*epoch=*/1, /*count=*/6, /*cold=*/false});
+  auto stats = RunElasticHorovod(cluster, plan, &rec);
+  EXPECT_EQ(stats.final_world, 12);
+  EXPECT_GE(stats.resets, 1);
+}
+
+TEST(ElasticHorovod, FailureCostsMoreThanCleanRun) {
+  SyntheticPlan plan = SmallPlan();
+  sim::Cluster clean_cluster;
+  trace::Recorder rec1;
+  auto clean = RunElasticHorovod(clean_cluster, plan, &rec1);
+  plan.failures.push_back({1, 1, 0, 3, sim::FailScope::kNode});
+  sim::Cluster faulty_cluster;
+  trace::Recorder rec2;
+  auto faulty = RunElasticHorovod(faulty_cluster, plan, &rec2);
+  EXPECT_GT(faulty.completion_time, clean.completion_time + 1.0);
+}
+
+TEST(ElasticHorovod, ResponseCacheOffAddsNegotiationTraffic) {
+  SyntheticPlan plan = SmallPlan();
+  plan.spec = dnn::Vgg16Spec();  // 10 fusion buckets -> 10 negotiations/step
+  plan.steps_per_epoch = 5;
+  plan.epochs = 2;
+  sim::Cluster c1;
+  trace::Recorder r1;
+  RunElasticHorovod(c1, plan, &r1);
+  EXPECT_TRUE(r1.EventsForPhase("negotiation").empty());
+  plan.response_cache = false;
+  sim::Cluster c2;
+  trace::Recorder r2;
+  RunElasticHorovod(c2, plan, &r2);
+  // Every (worker, step, bucket) triple negotiates once.
+  const auto events = r2.EventsForPhase("negotiation");
+  EXPECT_EQ(events.size(),
+            static_cast<size_t>(plan.initial_world * plan.epochs *
+                                plan.steps_per_epoch * 10));
+  EXPECT_GT(r2.MeanByPhase().at("negotiation"), 0.0);
+}
+
+TEST(ReconstructionCostHelper, SumsTheRightPhases) {
+  std::map<std::string, double> phases{
+      {phase::kCatchException, 1.0}, {phase::kShutdown, 2.0},
+      {phase::kGlooReinit, 3.0},     {phase::kRecompute, 100.0},
+      {phase::kUlfmRepair, 5.0},     {phase::kNcclReinit, 7.0}};
+  EXPECT_DOUBLE_EQ(ReconstructionCost(phases, /*elastic_horovod=*/true),
+                   1.0 + 2.0 + 3.0 + 7.0);
+  EXPECT_DOUBLE_EQ(ReconstructionCost(phases, /*elastic_horovod=*/false),
+                   5.0 + 7.0);
+}
+
+}  // namespace
+}  // namespace rcc::horovod

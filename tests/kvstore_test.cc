@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "kvstore/kvstore.h"
+#include "sim/fabric.h"
+
+namespace rcc::kv {
+namespace {
+
+TEST(KvStore, SetGetRoundTrip) {
+  Store store;
+  ASSERT_TRUE(store.SetString(nullptr, "k", "value").ok());
+  auto r = store.GetString(nullptr, "k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "value");
+}
+
+TEST(KvStore, GetMissingIsNotFound) {
+  Store store;
+  EXPECT_EQ(store.Get(nullptr, "missing").status().code(), Code::kNotFound);
+}
+
+TEST(KvStore, OverwriteBumpsVersion) {
+  Store store;
+  store.SetString(nullptr, "k", "a");
+  store.SetString(nullptr, "k", "b");
+  auto v = store.VersionOf(nullptr, "k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 2u);
+  EXPECT_EQ(store.GetString(nullptr, "k").value(), "b");
+}
+
+TEST(KvStore, DeleteRemoves) {
+  Store store;
+  store.SetString(nullptr, "k", "a");
+  store.Delete(nullptr, "k");
+  EXPECT_EQ(store.Get(nullptr, "k").status().code(), Code::kNotFound);
+}
+
+TEST(KvStore, AddAndGetAllocatesSlots) {
+  Store store;
+  EXPECT_EQ(store.AddAndGet(nullptr, "c", 1).value(), 1);
+  EXPECT_EQ(store.AddAndGet(nullptr, "c", 1).value(), 2);
+  EXPECT_EQ(store.AddAndGet(nullptr, "c", 5).value(), 7);
+  EXPECT_EQ(store.AddAndGet(nullptr, "c", -7).value(), 0);
+}
+
+TEST(KvStore, CompareAndSwapFirstWriterWins) {
+  Store store;
+  EXPECT_TRUE(store.CompareAndSwap(nullptr, "k", 0, {1}).value());
+  EXPECT_FALSE(store.CompareAndSwap(nullptr, "k", 0, {2}).value());
+  EXPECT_TRUE(store.CompareAndSwap(nullptr, "k", 1, {3}).value());
+  EXPECT_EQ(store.Get(nullptr, "k").value(), std::vector<uint8_t>{3});
+}
+
+TEST(KvStore, ListPrefixSorted) {
+  Store store;
+  store.SetString(nullptr, "a/2", "x");
+  store.SetString(nullptr, "a/1", "x");
+  store.SetString(nullptr, "b/1", "x");
+  auto keys = store.ListPrefix(nullptr, "a/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a/1");
+  EXPECT_EQ(keys[1], "a/2");
+}
+
+TEST(KvStore, WaitBlocksUntilSet) {
+  Store store;
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    store.SetString(nullptr, "late", "v");
+  });
+  auto r = store.Wait(nullptr, "late");
+  setter.join();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r.value().begin(), r.value().end()), "v");
+}
+
+TEST(KvStore, WaitAbortsWhenCallerDies) {
+  sim::Fabric fabric{sim::SimConfig{}};
+  fabric.RegisterProcess(0);
+  sim::Endpoint ep(&fabric, 0);
+  Store store;
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.Kill(0);
+  });
+  auto r = store.Wait(&ep, "never");
+  killer.join();
+  EXPECT_EQ(r.status().code(), Code::kAborted);
+}
+
+TEST(KvStore, OperationsChargeRoundTrip) {
+  sim::Fabric fabric{sim::SimConfig{}};
+  fabric.RegisterProcess(0);
+  sim::Endpoint ep(&fabric, 0);
+  Store store(/*roundtrip=*/1e-3);
+  store.SetString(&ep, "k", "v");
+  EXPECT_NEAR(ep.now(), 1e-3, 1e-9);
+  store.GetString(&ep, "k");
+  EXPECT_NEAR(ep.now(), 2e-3, 1e-9);
+}
+
+TEST(KvStore, ReaderObservesWriterVirtualTime) {
+  sim::Fabric fabric{sim::SimConfig{}};
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  sim::Endpoint writer(&fabric, 0), reader(&fabric, 1);
+  writer.Busy(5.0);
+  Store store(1e-3);
+  store.SetString(&writer, "k", "v");
+  auto r = store.GetString(&reader, "k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(reader.now(), 5.0);  // causally after the write
+}
+
+TEST(KvStore, ClearEmptiesStore) {
+  Store store;
+  store.SetString(nullptr, "a", "1");
+  store.SetString(nullptr, "b", "2");
+  EXPECT_EQ(store.size(), 2u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rcc::kv

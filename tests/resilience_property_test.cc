@@ -1,0 +1,301 @@
+// Property tests on the forward-recovery invariants, swept over failure
+// positions, victims, drop policies and world sizes:
+//
+//   P1. Survivors execute every planned optimizer step exactly once
+//       (forward recovery re-runs collectives, never steps).
+//   P2. All surviving replicas hold bit-identical parameters.
+//   P3. Exactly the expected number of workers leave.
+//   P4. Loss still decreases across the failure.
+//   P5. Joiners are indistinguishable from founders after state sync.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+
+#include "core/elastic_trainer.h"
+#include "core/resilient.h"
+
+namespace rcc::core {
+namespace {
+
+struct Sweep {
+  int world = 4;
+  int epochs = 2;
+  int steps = 4;
+  int fail_epoch = 0;
+  int fail_step = 0;
+  int victim = 1;
+  horovod::DropPolicy policy = horovod::DropPolicy::kProcess;
+  int gpus_per_node = 6;
+};
+
+std::vector<TrainerReport> RunSweep(const Sweep& sweep) {
+  sim::SimConfig cfg;
+  cfg.gpus_per_node = sweep.gpus_per_node;
+  sim::Cluster cluster(cfg);
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  TrainerOptions opts;
+  opts.epochs = sweep.epochs;
+  opts.steps_per_epoch = sweep.steps;
+  opts.drop_policy = sweep.policy;
+  opts.failures.push_back({sweep.fail_epoch, sweep.fail_step, 0,
+                           sweep.victim, sim::FailScope::kProcess});
+  std::vector<std::atomic<bool>> flags(1);
+  flags[0] = false;
+  std::vector<int> pids(sweep.world);
+  std::iota(pids.begin(), pids.end(), 0);
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  cluster.Spawn(sweep.world, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.Join();
+  return reports;
+}
+
+void CheckInvariants(const std::vector<TrainerReport>& reports,
+                     const Sweep& sweep, int expected_leavers) {
+  int survivors = 0, leavers = 0;
+  const TrainerReport* ref = nullptr;
+  for (const auto& r : reports) {
+    if (r.aborted) {
+      ++leavers;
+      continue;
+    }
+    ++survivors;
+    // P1: no step re-execution.
+    EXPECT_EQ(r.steps_run, sweep.epochs * sweep.steps);
+    // P3 via world size.
+    EXPECT_EQ(r.final_world, sweep.world - expected_leavers);
+    EXPECT_EQ(r.repairs, 1);
+    // P4.
+    EXPECT_LT(r.last_loss, r.first_loss);
+    // P2.
+    if (ref == nullptr) {
+      ref = &r;
+    } else {
+      ASSERT_EQ(r.final_params.size(), ref->final_params.size());
+      for (size_t i = 0; i < r.final_params.size(); ++i) {
+        ASSERT_EQ(r.final_params[i], ref->final_params[i]) << "param " << i;
+      }
+    }
+  }
+  EXPECT_EQ(leavers, expected_leavers);
+  EXPECT_EQ(survivors, sweep.world - expected_leavers);
+}
+
+struct FailurePosition {
+  int epoch;
+  int step;
+  int victim;
+};
+
+class FailurePositionSweep
+    : public ::testing::TestWithParam<FailurePosition> {};
+
+TEST_P(FailurePositionSweep, ProcessDropInvariantsHold) {
+  Sweep sweep;
+  sweep.fail_epoch = GetParam().epoch;
+  sweep.fail_step = GetParam().step;
+  sweep.victim = GetParam().victim;
+  CheckInvariants(RunSweep(sweep), sweep, /*expected_leavers=*/1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Positions, FailurePositionSweep,
+    ::testing::Values(FailurePosition{0, 0, 1}, FailurePosition{0, 1, 0},
+                      FailurePosition{0, 3, 3}, FailurePosition{1, 0, 2},
+                      FailurePosition{1, 2, 1}, FailurePosition{1, 3, 0},
+                      FailurePosition{0, 2, 2}),
+    [](const ::testing::TestParamInfo<FailurePosition>& info) {
+      return "e" + std::to_string(info.param.epoch) + "_s" +
+             std::to_string(info.param.step) + "_v" +
+             std::to_string(info.param.victim);
+    });
+
+class WorldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldSweep, MidTrainingFailureInvariantsHold) {
+  Sweep sweep;
+  sweep.world = GetParam();
+  sweep.fail_epoch = 1;
+  sweep.fail_step = 1;
+  sweep.victim = GetParam() / 2;
+  CheckInvariants(RunSweep(sweep), sweep, /*expected_leavers=*/1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, WorldSweep,
+                         ::testing::Values(2, 3, 5, 6, 8, 12));
+
+TEST(NodePolicySweep, VictimsNodePeersLeaveWithIt) {
+  for (int victim : {0, 1, 2, 3}) {
+    Sweep sweep;
+    sweep.policy = horovod::DropPolicy::kNode;
+    sweep.gpus_per_node = 2;  // 4 workers on 2 nodes
+    sweep.fail_epoch = 0;
+    sweep.fail_step = 2;
+    sweep.victim = victim;
+    CheckInvariants(RunSweep(sweep), sweep, /*expected_leavers=*/2);
+  }
+}
+
+TEST(MultiFailure, TwoSequentialFailuresStillConsistent) {
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  TrainerOptions opts;
+  opts.epochs = 3;
+  opts.steps_per_epoch = 3;
+  opts.failures.push_back({0, 1, 0, /*victim_rank=*/4,
+                           sim::FailScope::kProcess});
+  opts.failures.push_back({1, 1, 0, /*victim_rank=*/1,
+                           sim::FailScope::kProcess});
+  std::vector<std::atomic<bool>> flags(2);
+  flags[0] = flags[1] = false;
+  std::vector<int> pids{0, 1, 2, 3, 4, 5};
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  cluster.Spawn(6, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.Join();
+  int survivors = 0;
+  const TrainerReport* ref = nullptr;
+  for (const auto& r : reports) {
+    if (r.aborted) continue;
+    ++survivors;
+    EXPECT_EQ(r.steps_run, 9);
+    EXPECT_EQ(r.final_world, 4);
+    EXPECT_EQ(r.repairs, 2);
+    if (ref == nullptr) {
+      ref = &r;
+    } else {
+      for (size_t i = 0; i < r.final_params.size(); ++i) {
+        ASSERT_EQ(r.final_params[i], ref->final_params[i]);
+      }
+    }
+  }
+  EXPECT_EQ(survivors, 4);
+}
+
+TEST(JoinerParity, JoinerEndsBitIdenticalToFounders) {
+  // P5: two joiners at different epochs; every finisher identical.
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  TrainerOptions opts;
+  opts.epochs = 3;
+  opts.steps_per_epoch = 3;
+  opts.joins[1] = 1;
+  opts.joins[2] = 1;
+  std::vector<std::atomic<bool>> flags(0);
+  std::vector<int> pids{0, 1};
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  cluster.Spawn(2, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  for (int join_epoch : {1, 2}) {
+    cluster.SpawnOnFreshNodes(1, [&, join_epoch](sim::Endpoint& ep) {
+      dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+      dnn::Sgd opt(model.Params(), opts.sgd);
+      auto rc = ResilientComm::JoinExisting(
+          ep, "trainer-epoch" + std::to_string(join_epoch), 1,
+          opts.drop_policy, nullptr);
+      ASSERT_NE(rc, nullptr);
+      checkpoint::TrainingCursor cursor;
+      ASSERT_TRUE(ElasticTrainer::SyncState(rc.get(), &model, &opt, &cursor,
+                                            true)
+                      .ok());
+      EXPECT_EQ(cursor.epoch, join_epoch);
+      ElasticTrainer trainer(rc.get(), &model, &opt, &data, opts, &flags);
+      auto report = trainer.Run(cursor);
+      std::lock_guard<std::mutex> lock(mu);
+      reports.push_back(std::move(report));
+    }, 0.0);
+  }
+  cluster.Join();
+  ASSERT_EQ(reports.size(), 4u);
+  const TrainerReport* ref = nullptr;
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.final_world, 4);
+    if (ref == nullptr) {
+      ref = &r;
+    } else {
+      ASSERT_EQ(r.final_params.size(), ref->final_params.size());
+      for (size_t i = 0; i < r.final_params.size(); ++i) {
+        ASSERT_EQ(r.final_params[i], ref->final_params[i]);
+      }
+    }
+  }
+}
+
+TEST(FailurePlusJoin, ReplacementKeepsTrainingEquivalent) {
+  // Scenario II end to end: fail at (0,1), replace at epoch 1; the final
+  // world is back to the original size and replicas agree.
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  TrainerOptions opts;
+  opts.epochs = 2;
+  opts.steps_per_epoch = 4;
+  opts.failures.push_back({0, 1, 0, 2, sim::FailScope::kProcess});
+  opts.joins[1] = 1;
+  std::vector<std::atomic<bool>> flags(1);
+  flags[0] = false;
+  std::vector<int> pids{0, 1, 2, 3};
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  cluster.Spawn(4, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.SpawnOnFreshNodes(1, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    auto rc = ResilientComm::JoinExisting(ep, "trainer-epoch1", 1,
+                                          opts.drop_policy, nullptr);
+    ASSERT_NE(rc, nullptr);
+    checkpoint::TrainingCursor cursor;
+    ASSERT_TRUE(
+        ElasticTrainer::SyncState(rc.get(), &model, &opt, &cursor, true)
+            .ok());
+    ElasticTrainer trainer(rc.get(), &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run(cursor);
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  }, 0.0);
+  cluster.Join();
+  int finishers = 0;
+  for (const auto& r : reports) {
+    if (r.aborted) continue;
+    ++finishers;
+    EXPECT_EQ(r.final_world, 4);
+  }
+  EXPECT_EQ(finishers, 4);
+}
+
+}  // namespace
+}  // namespace rcc::core

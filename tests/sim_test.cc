@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "sim/cluster.h"
+#include "sim/endpoint.h"
+#include "sim/fabric.h"
+#include "sim/failure.h"
+
+namespace rcc::sim {
+namespace {
+
+SimConfig TestConfig() {
+  SimConfig cfg;
+  return cfg;
+}
+
+std::vector<uint8_t> Payload(size_t n, uint8_t fill = 0xAB) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+TEST(Fabric, RegisterAssignsSequentialPids) {
+  Fabric fabric(TestConfig());
+  EXPECT_EQ(fabric.RegisterProcess(0), 0);
+  EXPECT_EQ(fabric.RegisterProcess(0), 1);
+  EXPECT_EQ(fabric.RegisterProcess(1), 2);
+  EXPECT_EQ(fabric.ProcessCount(), 3);
+  EXPECT_EQ(fabric.NodeOf(2), 1);
+}
+
+TEST(Fabric, SendRecvDeliversPayload) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0), b(&fabric, 1);
+  ASSERT_TRUE(a.Send(1, 10, 5, Payload(16)).ok());
+  Message msg;
+  ASSERT_TRUE(b.Recv(0, 10, 5, &msg).ok());
+  EXPECT_EQ(msg.payload.size(), 16u);
+  EXPECT_EQ(msg.src, 0);
+}
+
+TEST(Fabric, RecvMatchesChannelAndTag) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0), b(&fabric, 1);
+  ASSERT_TRUE(a.Send(1, 10, 1, Payload(1, 0x01)).ok());
+  ASSERT_TRUE(a.Send(1, 10, 2, Payload(1, 0x02)).ok());
+  ASSERT_TRUE(a.Send(1, 20, 1, Payload(1, 0x03)).ok());
+  Message msg;
+  ASSERT_TRUE(b.Recv(0, 10, 2, &msg).ok());
+  EXPECT_EQ(msg.payload[0], 0x02);
+  ASSERT_TRUE(b.Recv(0, 20, 1, &msg).ok());
+  EXPECT_EQ(msg.payload[0], 0x03);
+  ASSERT_TRUE(b.Recv(0, 10, 1, &msg).ok());
+  EXPECT_EQ(msg.payload[0], 0x01);
+}
+
+TEST(Fabric, VirtualTimeAdvancesWithBandwidth) {
+  SimConfig cfg = TestConfig();
+  Fabric fabric(cfg);
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(1);  // different node -> inter-node params
+  Endpoint a(&fabric, 0), b(&fabric, 1);
+  const double bytes = 23e9;  // exactly one second at injection bandwidth
+  ASSERT_TRUE(a.Send(1, 1, 0, Payload(8), bytes).ok());
+  Message msg;
+  ASSERT_TRUE(b.Recv(0, 1, 0, &msg).ok());
+  EXPECT_NEAR(b.now(), 1.0, 1e-3);
+}
+
+TEST(Fabric, IntraNodeFasterThanInterNode) {
+  SimConfig cfg = TestConfig();
+  Fabric fabric(cfg);
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);  // same node
+  fabric.RegisterProcess(1);  // other node
+  Endpoint a(&fabric, 0), b(&fabric, 1), c(&fabric, 2);
+  const double bytes = 1e9;
+  ASSERT_TRUE(a.Send(1, 1, 0, Payload(8), bytes).ok());
+  ASSERT_TRUE(a.Send(2, 1, 0, Payload(8), bytes).ok());
+  Message m1, m2;
+  ASSERT_TRUE(b.Recv(0, 1, 0, &m1).ok());
+  ASSERT_TRUE(c.Recv(0, 1, 0, &m2).ok());
+  EXPECT_LT(b.now(), c.now());
+}
+
+TEST(Fabric, RecvMergesMaxOfClockAndArrival) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0), b(&fabric, 1);
+  b.AdvanceTo(5.0);  // receiver already ahead
+  ASSERT_TRUE(a.Send(1, 1, 0, Payload(8)).ok());
+  Message msg;
+  ASSERT_TRUE(b.Recv(0, 1, 0, &msg).ok());
+  EXPECT_GE(b.now(), 5.0);
+  EXPECT_LT(b.now(), 5.001);
+}
+
+TEST(Fabric, RecvFromDeadPeerReportsFailure) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint b(&fabric, 1);
+  fabric.Kill(0);
+  Message msg;
+  Status s = b.Recv(0, 1, 0, &msg);
+  EXPECT_EQ(s.code(), Code::kProcFailed);
+  EXPECT_EQ(s.failed_pids(), std::vector<int>{0});
+  // Detection latency charged.
+  EXPECT_NEAR(b.now(), TestConfig().net.failure_detect_latency, 1e-9);
+}
+
+TEST(Fabric, QueuedMessageDeliveredEvenAfterSenderDies) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0), b(&fabric, 1);
+  ASSERT_TRUE(a.Send(1, 1, 0, Payload(4)).ok());
+  fabric.Kill(0);
+  Message msg;
+  EXPECT_TRUE(b.Recv(0, 1, 0, &msg).ok());  // data first, then error
+  EXPECT_EQ(b.Recv(0, 1, 0, &msg).code(), Code::kProcFailed);
+}
+
+TEST(Fabric, SendToDeadPeerIsSilentlyDropped) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  fabric.Kill(1);
+  EXPECT_TRUE(a.Send(1, 1, 0, Payload(4)).ok());
+}
+
+TEST(Fabric, DeadReceiverGetsAborted) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  fabric.Kill(0);
+  Message msg;
+  EXPECT_EQ(a.Recv(0, 1, 0, &msg).code(), Code::kAborted);
+}
+
+TEST(Fabric, CancelTokenInterruptsBlockedRecv) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  CancelToken token;
+  std::atomic<bool> got_revoked{false};
+  std::thread receiver([&] {
+    Endpoint b(&fabric, 1);
+    Message msg;
+    Status s = b.Recv(0, 1, 0, &msg, &token);
+    got_revoked = (s.code() == Code::kRevoked);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  fabric.WakeAll();
+  receiver.join();
+  EXPECT_TRUE(got_revoked.load());
+}
+
+TEST(Fabric, DeathWatchTriggersOnAnyWatchedDeath) {
+  Fabric fabric(TestConfig());
+  for (int i = 0; i < 4; ++i) fabric.RegisterProcess(0);
+  std::vector<int> watch{0, 2, 3};
+  std::atomic<int> failed_pid{-1};
+  std::thread receiver([&] {
+    Endpoint b(&fabric, 1);
+    Message msg;
+    Status s = b.Recv(0, 1, 0, &msg, nullptr, &watch);
+    if (s.code() == Code::kProcFailed && !s.failed_pids().empty()) {
+      failed_pid = s.failed_pids()[0];
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  fabric.Kill(3);
+  receiver.join();
+  EXPECT_EQ(failed_pid.load(), 3);
+}
+
+TEST(Fabric, WatchGraceLetsDrainableMessagesThrough) {
+  // pid 1 awaits a message from ALIVE pid 0 while watched pid 2 is dead;
+  // pid 0 sends shortly after the death. The grace period must let the
+  // message through instead of preempting the op.
+  Fabric fabric(TestConfig());
+  for (int i = 0; i < 3; ++i) fabric.RegisterProcess(0);
+  std::vector<int> watch{0, 1, 2};
+  std::atomic<bool> delivered{false};
+  std::thread receiver([&] {
+    Endpoint b(&fabric, 1);
+    Message msg;
+    Status s = b.Recv(0, 1, 0, &msg, nullptr, &watch);
+    delivered = s.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fabric.Kill(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Endpoint a(&fabric, 0);
+  ASSERT_TRUE(a.Send(1, 1, 0, Payload(4)).ok());
+  receiver.join();
+  EXPECT_TRUE(delivered.load());
+}
+
+TEST(Fabric, WatchFiresAfterGraceWhenTrulyStalled) {
+  Fabric fabric(TestConfig());
+  for (int i = 0; i < 3; ++i) fabric.RegisterProcess(0);
+  std::vector<int> watch{0, 1, 2};
+  std::atomic<bool> failed{false};
+  const auto start = std::chrono::steady_clock::now();
+  std::thread receiver([&] {
+    Endpoint b(&fabric, 1);
+    Message msg;
+    Status s = b.Recv(0, 1, 0, &msg, nullptr, &watch);
+    failed = (s.code() == Code::kProcFailed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fabric.Kill(2);
+  receiver.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(failed.load());
+  // Fired no earlier than the configured grace.
+  EXPECT_GE(elapsed.count(),
+            static_cast<long>(TestConfig().net.watch_drain_grace_real_ms));
+}
+
+TEST(Fabric, KillNodeKillsAllResidents) {
+  SimConfig cfg = TestConfig();
+  Fabric fabric(cfg);
+  for (int i = 0; i < 12; ++i) fabric.RegisterProcess(i / 6);
+  fabric.KillNode(0);
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(fabric.IsAlive(i));
+  for (int i = 6; i < 12; ++i) EXPECT_TRUE(fabric.IsAlive(i));
+  EXPECT_EQ(fabric.AlivePids().size(), 6u);
+  EXPECT_EQ(fabric.DeadPids().size(), 6u);
+}
+
+TEST(Fabric, PurgeContextDropsOnlyThatContext) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0), b(&fabric, 1);
+  ASSERT_TRUE(a.Send(1, ChannelKey(7, 1), 0, Payload(1)).ok());
+  ASSERT_TRUE(a.Send(1, ChannelKey(8, 1), 0, Payload(1)).ok());
+  fabric.PurgeContext(7);
+  Message msg;
+  EXPECT_EQ(b.TryRecv(0, ChannelKey(7, 1), 0, &msg).code(),
+            Code::kUnavailable);
+  EXPECT_TRUE(b.TryRecv(0, ChannelKey(8, 1), 0, &msg).ok());
+}
+
+TEST(Fabric, TryRecvDoesNotBlock) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  Message msg;
+  EXPECT_EQ(a.TryRecv(kAnySource, 1, 0, &msg).code(), Code::kUnavailable);
+}
+
+TEST(Fabric, AnySourceMatchesFirstArrival) {
+  Fabric fabric(TestConfig());
+  for (int i = 0; i < 3; ++i) fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0), b(&fabric, 1), c(&fabric, 2);
+  ASSERT_TRUE(b.Send(0, 1, 0, Payload(1, 0x0B)).ok());
+  ASSERT_TRUE(c.Send(0, 1, 0, Payload(1, 0x0C)).ok());
+  Message msg;
+  ASSERT_TRUE(a.Recv(kAnySource, 1, 0, &msg).ok());
+  EXPECT_TRUE(msg.src == 1 || msg.src == 2);
+}
+
+TEST(Endpoint, ComputeAdvancesClockAtGpuRate) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  a.Compute(7.8e12);  // one second of V100-class math
+  EXPECT_NEAR(a.now(), 1.0, 1e-9);
+}
+
+TEST(Endpoint, SelfKillTriggersAtVirtualTime) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  a.SetKillAtTime(0.5);
+  a.Busy(0.4);
+  EXPECT_TRUE(a.alive());
+  a.Busy(0.2);  // crosses the trigger
+  EXPECT_FALSE(a.alive());
+}
+
+TEST(Endpoint, SendAfterSelfKillAborts) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  a.KillNow();
+  EXPECT_EQ(a.Send(1, 1, 0, Payload(1)).code(), Code::kAborted);
+}
+
+TEST(Cluster, SpawnPacksGpusPerNode) {
+  Cluster cluster;
+  std::atomic<int> ran{0};
+  auto pids = cluster.Spawn(13, [&](Endpoint&) { ran++; });
+  cluster.Join();
+  EXPECT_EQ(ran.load(), 13);
+  EXPECT_EQ(cluster.fabric().NodeOf(pids[0]), 0);
+  EXPECT_EQ(cluster.fabric().NodeOf(pids[5]), 0);
+  EXPECT_EQ(cluster.fabric().NodeOf(pids[6]), 1);
+  EXPECT_EQ(cluster.fabric().NodeOf(pids[12]), 2);
+  EXPECT_EQ(cluster.nodes_allocated(), 3);
+}
+
+TEST(Cluster, SpawnOnFreshNodesSkipsPartialNode) {
+  Cluster cluster;
+  cluster.Spawn(7, [](Endpoint&) {});
+  auto pids = cluster.SpawnOnFreshNodes(1, [](Endpoint&) {}, 0.0);
+  cluster.Join();
+  EXPECT_EQ(cluster.fabric().NodeOf(pids[0]), 2);
+}
+
+TEST(Cluster, PingPongAcrossThreads) {
+  Cluster cluster;
+  std::atomic<double> b_final{0};
+  cluster.Spawn(2, [&](Endpoint& ep) {
+    Message msg;
+    if (ep.pid() == 0) {
+      ASSERT_TRUE(ep.Send(1, 1, 0, Payload(1 << 20)).ok());
+      ASSERT_TRUE(ep.Recv(1, 1, 1, &msg).ok());
+    } else {
+      ASSERT_TRUE(ep.Recv(0, 1, 0, &msg).ok());
+      ASSERT_TRUE(ep.Send(0, 1, 1, Payload(1 << 20)).ok());
+      b_final = ep.now();
+    }
+  });
+  cluster.Join();
+  EXPECT_GT(b_final.load(), 0.0);
+}
+
+TEST(FailurePlan, AppliesProcessAndNodeEvents) {
+  Cluster cluster;
+  std::atomic<bool> armed{false};
+  // Workers tick virtual time until their trigger fires or they finish.
+  auto worker = [&](Endpoint& ep) {
+    while (!armed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (int i = 0; i < 100 && ep.alive(); ++i) ep.Busy(1e-3);
+  };
+  cluster.Spawn(12, worker);
+  FailurePlan plan;
+  plan.KillProcess(1, 0.05).KillNode(1, 0.05);
+  plan.ApplyTo(cluster);
+  armed = true;
+  cluster.Join();
+  EXPECT_FALSE(cluster.fabric().IsAlive(1));
+  for (int pid = 6; pid < 12; ++pid) {
+    EXPECT_FALSE(cluster.fabric().IsAlive(pid));
+  }
+  EXPECT_TRUE(cluster.fabric().IsAlive(0));
+}
+
+TEST(FailurePlan, PoissonIsDeterministicAndBounded) {
+  auto a = FailurePlan::Poisson(10.0, 100.0, 8, 42);
+  auto b = FailurePlan::Poisson(10.0, 100.0, 8, 42);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_GT(a.events().size(), 100u);  // ~1000 expected
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    EXPECT_LT(a.events()[i].at, 100.0);
+    EXPECT_LT(a.events()[i].target, 8);
+  }
+}
+
+}  // namespace
+}  // namespace rcc::sim

@@ -1,0 +1,42 @@
+// Shared helpers for the simulated-world tests.
+#pragma once
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "sim/cluster.h"
+
+namespace rcc::testing {
+
+// Spawns an `n`-rank world on a fresh cluster (pids are 0..n-1) and runs
+// `fn` on every rank with a world communicator. Blocks until all ranks
+// return.
+inline void RunWorld(
+    int n, const std::function<void(mpi::Comm&, sim::Endpoint&)>& fn,
+    sim::SimConfig cfg = sim::SimConfig{}) {
+  sim::Cluster cluster(cfg);
+  std::vector<int> pids(n);
+  std::iota(pids.begin(), pids.end(), 0);
+  cluster.Spawn(n, [fn, pids](sim::Endpoint& ep) {
+    mpi::Comm comm = mpi::Comm::World(ep, pids);
+    fn(comm, ep);
+  });
+  cluster.Join();
+}
+
+// Same, exposing the cluster to the caller (failure injection etc.).
+inline void RunWorldOn(
+    sim::Cluster& cluster, int n,
+    const std::function<void(mpi::Comm&, sim::Endpoint&)>& fn) {
+  std::vector<int> pids(n);
+  std::iota(pids.begin(), pids.end(), 0);
+  // NB: capture fn by value - the spawned threads outlive this call.
+  cluster.Spawn(n, [fn, pids](sim::Endpoint& ep) {
+    mpi::Comm comm = mpi::Comm::World(ep, pids);
+    fn(comm, ep);
+  });
+}
+
+}  // namespace rcc::testing

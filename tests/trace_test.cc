@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "trace/trace.h"
+
+namespace rcc::trace {
+namespace {
+
+TEST(Recorder, RecordsAndAggregates) {
+  Recorder rec;
+  rec.Record(0, "rendezvous", 1.0, 3.0);
+  rec.Record(1, "rendezvous", 1.0, 2.5);
+  rec.Record(0, "shrink", 3.0, 3.1);
+  auto max_by = rec.MaxByPhase();
+  EXPECT_DOUBLE_EQ(max_by["rendezvous"], 2.0);
+  EXPECT_NEAR(max_by["shrink"], 0.1, 1e-9);
+  auto mean_by = rec.MeanByPhase();
+  EXPECT_DOUBLE_EQ(mean_by["rendezvous"], 1.75);
+  EXPECT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.EventsForPhase("rendezvous").size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.PhaseEnd("rendezvous"), 3.0);
+}
+
+TEST(Recorder, ClearEmpties) {
+  Recorder rec;
+  rec.Record(0, "x", 0, 1);
+  rec.Clear();
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(Recorder, ToTableHasRowPerPhase) {
+  Recorder rec;
+  rec.Record(0, "a", 0, 1);
+  rec.Record(0, "b", 1, 2);
+  EXPECT_EQ(rec.ToTable().num_rows(), 2u);
+}
+
+TEST(Scope, MeasuresVirtualInterval) {
+  sim::Cluster cluster;
+  Recorder rec;
+  cluster.Spawn(1, [&](sim::Endpoint& ep) {
+    ep.Busy(1.0);
+    {
+      Scope scope(&rec, ep, "work");
+      ep.Busy(0.25);
+    }
+  });
+  cluster.Join();
+  auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(events[0].end, 1.25);
+  EXPECT_DOUBLE_EQ(events[0].duration(), 0.25);
+}
+
+TEST(Scope, NullRecorderIsNoop) {
+  sim::Cluster cluster;
+  cluster.Spawn(1, [&](sim::Endpoint& ep) {
+    Scope scope(nullptr, ep, "ignored");
+    ep.Busy(0.1);
+  });
+  cluster.Join();
+}
+
+TEST(Recorder, ThreadSafeUnderConcurrentWrites) {
+  Recorder rec;
+  sim::Cluster cluster;
+  cluster.Spawn(8, [&](sim::Endpoint& ep) {
+    for (int i = 0; i < 100; ++i) {
+      rec.Record(ep.pid(), "phase" + std::to_string(i % 3), i, i + 1);
+    }
+  });
+  cluster.Join();
+  EXPECT_EQ(rec.events().size(), 800u);
+}
+
+}  // namespace
+}  // namespace rcc::trace
