@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_fusion.cc" "bench/CMakeFiles/bench_ablation_fusion.dir/bench_ablation_fusion.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_fusion.dir/bench_ablation_fusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rcc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulfm/CMakeFiles/rcc_ulfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/rcc_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/horovod/CMakeFiles/rcc_horovod.dir/DependInfo.cmake"
+  "/root/repo/build/src/nccl/CMakeFiles/rcc_nccl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/rcc_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rcc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gloo/CMakeFiles/rcc_gloo.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/rcc_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/rcc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/rcc_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hierarchical.dir/bench_ablation_hierarchical.cc.o"
+  "CMakeFiles/bench_ablation_hierarchical.dir/bench_ablation_hierarchical.cc.o.d"
+  "bench_ablation_hierarchical"
+  "bench_ablation_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

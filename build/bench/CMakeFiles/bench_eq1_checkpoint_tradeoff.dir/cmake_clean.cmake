@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_checkpoint_tradeoff.dir/bench_eq1_checkpoint_tradeoff.cc.o"
+  "CMakeFiles/bench_eq1_checkpoint_tradeoff.dir/bench_eq1_checkpoint_tradeoff.cc.o.d"
+  "bench_eq1_checkpoint_tradeoff"
+  "bench_eq1_checkpoint_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_checkpoint_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_capability_layers.dir/bench_fig3_capability_layers.cc.o"
+  "CMakeFiles/bench_fig3_capability_layers.dir/bench_fig3_capability_layers.cc.o.d"
+  "bench_fig3_capability_layers"
+  "bench_fig3_capability_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_capability_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nasnet.dir/bench_fig7_nasnet.cc.o"
+  "CMakeFiles/bench_fig7_nasnet.dir/bench_fig7_nasnet.cc.o.d"
+  "bench_fig7_nasnet"
+  "bench_fig7_nasnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nasnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/rcc_bench_util.dir/bench_util.cc.o.d"
+  "librcc_bench_util.a"
+  "librcc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

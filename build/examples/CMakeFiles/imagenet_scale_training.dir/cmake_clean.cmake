@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagenet_scale_training.dir/imagenet_scale_training.cpp.o"
+  "CMakeFiles/imagenet_scale_training.dir/imagenet_scale_training.cpp.o.d"
+  "imagenet_scale_training"
+  "imagenet_scale_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagenet_scale_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

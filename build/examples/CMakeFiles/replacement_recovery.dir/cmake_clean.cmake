@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_recovery.dir/replacement_recovery.cpp.o"
+  "CMakeFiles/replacement_recovery.dir/replacement_recovery.cpp.o.d"
+  "replacement_recovery"
+  "replacement_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_market_elasticity.dir/spot_market_elasticity.cpp.o"
+  "CMakeFiles/spot_market_elasticity.dir/spot_market_elasticity.cpp.o.d"
+  "spot_market_elasticity"
+  "spot_market_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_market_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("kvstore")
+subdirs("coll")
+subdirs("mpi")
+subdirs("ulfm")
+subdirs("gloo")
+subdirs("nccl")
+subdirs("dnn")
+subdirs("checkpoint")
+subdirs("trace")
+subdirs("horovod")
+subdirs("core")
+subdirs("costmodel")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/checkpoint.cc" "src/checkpoint/CMakeFiles/rcc_checkpoint.dir/checkpoint.cc.o" "gcc" "src/checkpoint/CMakeFiles/rcc_checkpoint.dir/checkpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/rcc_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_checkpoint.dir/checkpoint.cc.o"
+  "CMakeFiles/rcc_checkpoint.dir/checkpoint.cc.o.d"
+  "librcc_checkpoint.a"
+  "librcc_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_coll.dir/algorithms.cc.o"
+  "CMakeFiles/rcc_coll.dir/algorithms.cc.o.d"
+  "librcc_coll.a"
+  "librcc_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_common.dir/log.cc.o"
+  "CMakeFiles/rcc_common.dir/log.cc.o.d"
+  "CMakeFiles/rcc_common.dir/status.cc.o"
+  "CMakeFiles/rcc_common.dir/status.cc.o.d"
+  "CMakeFiles/rcc_common.dir/table.cc.o"
+  "CMakeFiles/rcc_common.dir/table.cc.o.d"
+  "librcc_common.a"
+  "librcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

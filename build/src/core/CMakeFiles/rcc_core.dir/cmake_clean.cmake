@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_core.dir/elastic_trainer.cc.o"
+  "CMakeFiles/rcc_core.dir/elastic_trainer.cc.o.d"
+  "CMakeFiles/rcc_core.dir/resilient.cc.o"
+  "CMakeFiles/rcc_core.dir/resilient.cc.o.d"
+  "CMakeFiles/rcc_core.dir/ulfm_elastic.cc.o"
+  "CMakeFiles/rcc_core.dir/ulfm_elastic.cc.o.d"
+  "librcc_core.a"
+  "librcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

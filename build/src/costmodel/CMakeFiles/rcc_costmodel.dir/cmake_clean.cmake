@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_costmodel.dir/costmodel.cc.o"
+  "CMakeFiles/rcc_costmodel.dir/costmodel.cc.o.d"
+  "librcc_costmodel.a"
+  "librcc_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

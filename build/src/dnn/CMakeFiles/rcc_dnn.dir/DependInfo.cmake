@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/data.cc" "src/dnn/CMakeFiles/rcc_dnn.dir/data.cc.o" "gcc" "src/dnn/CMakeFiles/rcc_dnn.dir/data.cc.o.d"
+  "/root/repo/src/dnn/layers.cc" "src/dnn/CMakeFiles/rcc_dnn.dir/layers.cc.o" "gcc" "src/dnn/CMakeFiles/rcc_dnn.dir/layers.cc.o.d"
+  "/root/repo/src/dnn/model.cc" "src/dnn/CMakeFiles/rcc_dnn.dir/model.cc.o" "gcc" "src/dnn/CMakeFiles/rcc_dnn.dir/model.cc.o.d"
+  "/root/repo/src/dnn/optimizer.cc" "src/dnn/CMakeFiles/rcc_dnn.dir/optimizer.cc.o" "gcc" "src/dnn/CMakeFiles/rcc_dnn.dir/optimizer.cc.o.d"
+  "/root/repo/src/dnn/zoo.cc" "src/dnn/CMakeFiles/rcc_dnn.dir/zoo.cc.o" "gcc" "src/dnn/CMakeFiles/rcc_dnn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_dnn.dir/data.cc.o"
+  "CMakeFiles/rcc_dnn.dir/data.cc.o.d"
+  "CMakeFiles/rcc_dnn.dir/layers.cc.o"
+  "CMakeFiles/rcc_dnn.dir/layers.cc.o.d"
+  "CMakeFiles/rcc_dnn.dir/model.cc.o"
+  "CMakeFiles/rcc_dnn.dir/model.cc.o.d"
+  "CMakeFiles/rcc_dnn.dir/optimizer.cc.o"
+  "CMakeFiles/rcc_dnn.dir/optimizer.cc.o.d"
+  "CMakeFiles/rcc_dnn.dir/zoo.cc.o"
+  "CMakeFiles/rcc_dnn.dir/zoo.cc.o.d"
+  "librcc_dnn.a"
+  "librcc_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_gloo.dir/gloo.cc.o"
+  "CMakeFiles/rcc_gloo.dir/gloo.cc.o.d"
+  "librcc_gloo.a"
+  "librcc_gloo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_gloo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_horovod.dir/elastic_horovod.cc.o"
+  "CMakeFiles/rcc_horovod.dir/elastic_horovod.cc.o.d"
+  "CMakeFiles/rcc_horovod.dir/plan.cc.o"
+  "CMakeFiles/rcc_horovod.dir/plan.cc.o.d"
+  "librcc_horovod.a"
+  "librcc_horovod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_horovod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

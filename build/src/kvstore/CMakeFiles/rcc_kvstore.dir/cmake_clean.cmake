@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/rcc_kvstore.dir/kvstore.cc.o.d"
+  "librcc_kvstore.a"
+  "librcc_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

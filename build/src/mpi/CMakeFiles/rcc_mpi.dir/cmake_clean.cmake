@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_mpi.dir/comm.cc.o"
+  "CMakeFiles/rcc_mpi.dir/comm.cc.o.d"
+  "CMakeFiles/rcc_mpi.dir/group.cc.o"
+  "CMakeFiles/rcc_mpi.dir/group.cc.o.d"
+  "librcc_mpi.a"
+  "librcc_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_nccl.dir/nccl.cc.o"
+  "CMakeFiles/rcc_nccl.dir/nccl.cc.o.d"
+  "librcc_nccl.a"
+  "librcc_nccl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_nccl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_sim.dir/cluster.cc.o"
+  "CMakeFiles/rcc_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/rcc_sim.dir/fabric.cc.o"
+  "CMakeFiles/rcc_sim.dir/fabric.cc.o.d"
+  "CMakeFiles/rcc_sim.dir/failure.cc.o"
+  "CMakeFiles/rcc_sim.dir/failure.cc.o.d"
+  "librcc_sim.a"
+  "librcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

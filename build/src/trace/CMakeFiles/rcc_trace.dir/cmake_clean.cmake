@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_trace.dir/trace.cc.o"
+  "CMakeFiles/rcc_trace.dir/trace.cc.o.d"
+  "librcc_trace.a"
+  "librcc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcc_ulfm.dir/ulfm.cc.o"
+  "CMakeFiles/rcc_ulfm.dir/ulfm.cc.o.d"
+  "librcc_ulfm.a"
+  "librcc_ulfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcc_ulfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gloo_test.dir/gloo_test.cc.o"
+  "CMakeFiles/gloo_test.dir/gloo_test.cc.o.d"
+  "gloo_test"
+  "gloo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gloo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horovod_test.dir/horovod_test.cc.o"
+  "CMakeFiles/horovod_test.dir/horovod_test.cc.o.d"
+  "horovod_test"
+  "horovod_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horovod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

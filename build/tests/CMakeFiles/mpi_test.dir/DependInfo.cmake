@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi_test.cc" "tests/CMakeFiles/mpi_test.dir/mpi_test.cc.o" "gcc" "tests/CMakeFiles/mpi_test.dir/mpi_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/rcc_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/rcc_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nccl_test.dir/nccl_test.cc.o"
+  "CMakeFiles/nccl_test.dir/nccl_test.cc.o.d"
+  "nccl_test"
+  "nccl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nccl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulfm_test.dir/ulfm_test.cc.o"
+  "CMakeFiles/ulfm_test.dir/ulfm_test.cc.o.d"
+  "ulfm_test"
+  "ulfm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
