@@ -1,0 +1,125 @@
+#include "coll/request.h"
+
+#include <cstring>
+#include <utility>
+
+namespace rcc::coll {
+
+Request Request::Start(Info info, sim::Seconds submit, Body body,
+                       const Request* after) {
+  Request req;
+  req.state_ = std::make_shared<State>();
+  State* st = req.state_.get();
+  st->info = info;
+  st->submit = submit;
+  st->complete = submit;
+  std::shared_ptr<State> pred =
+      (after != nullptr) ? after->state_ : nullptr;
+  st->worker = std::thread(
+      [st, pred = std::move(pred), body = std::move(body)]() mutable {
+        if (pred) {
+          std::unique_lock<std::mutex> lock(pred->mu);
+          pred->cv.wait(lock, [&] { return pred->done; });
+          // In-order engine: start no earlier than the predecessor's
+          // completion.
+          if (pred->complete > st->complete) st->complete = pred->complete;
+        }
+        pred.reset();
+        Status s = body(&st->complete);
+        {
+          std::lock_guard<std::mutex> lock(st->mu);
+          st->status = std::move(s);
+          st->done = true;
+        }
+        st->done_flag.store(true, std::memory_order_release);
+        st->cv.notify_all();
+      });
+  return req;
+}
+
+Request Request::Failed(Info info, sim::Seconds submit, Status status) {
+  Request req;
+  req.state_ = std::make_shared<State>();
+  State* st = req.state_.get();
+  st->info = info;
+  st->submit = submit;
+  st->complete = submit;
+  st->status = std::move(status);
+  st->done = true;
+  st->done_flag.store(true, std::memory_order_release);
+  return req;
+}
+
+Status Request::Join() {
+  if (!state_) return Status(Code::kInvalid, "join on empty request");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->status;
+}
+
+bool FabricChannel::SelfKilled() {
+  if (*now_ >= ep_->kill_at()) {
+    fabric_->Kill(ep_->pid());
+    return true;
+  }
+  return false;
+}
+
+Status FabricChannel::SendTo(int dst_rank, int tag, const void* data,
+                             size_t bytes) {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status(Code::kRevoked, "communicator revoked");
+  }
+  if (dst_rank < 0 || dst_rank >= size()) {
+    return Status(Code::kInvalid, "dst rank out of range");
+  }
+  if (SelfKilled()) return Status(Code::kAborted, "sender killed");
+  *now_ += fabric_->config().net.send_overhead;
+  sim::Message msg;
+  msg.src = ep_->pid();
+  msg.dst = (*pids_)[dst_rank];
+  msg.channel = channel_;
+  msg.tag = tag;
+  msg.depart = *now_;
+  msg.cost_bytes = static_cast<double>(bytes) * cost_scale_;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+  return fabric_->Send(std::move(msg));
+}
+
+Status FabricChannel::RawRecv(int src_rank, int tag, sim::Message* out) {
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return Status(Code::kRevoked, "communicator revoked");
+  }
+  if (src_rank < 0 || src_rank >= size()) {
+    return Status(Code::kInvalid, "src rank out of range");
+  }
+  if (SelfKilled()) return Status(Code::kAborted, "receiver killed");
+  Status s = fabric_->Recv(ep_->pid(), now_, (*pids_)[src_rank], channel_,
+                           tag, out, cancel_, death_watch_);
+  if (s.ok() && SelfKilled()) {
+    return Status(Code::kAborted, "receiver killed");
+  }
+  return s;
+}
+
+Status FabricChannel::RecvFrom(int src_rank, int tag, void* data,
+                               size_t bytes) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(RawRecv(src_rank, tag, &msg));
+  if (msg.payload.size() != bytes) {
+    return Status(Code::kInvalid, "payload size mismatch");
+  }
+  std::memcpy(data, msg.payload.data(), bytes);
+  return Status::Ok();
+}
+
+Status FabricChannel::RecvBlob(int src_rank, int tag,
+                               std::vector<uint8_t>* out) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(RawRecv(src_rank, tag, &msg));
+  *out = std::move(msg.payload);
+  return Status::Ok();
+}
+
+}  // namespace rcc::coll

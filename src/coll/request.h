@@ -1,0 +1,143 @@
+// Nonblocking collective requests.
+//
+// A Request is a shared handle onto one in-flight collective op. Ranks
+// are real OS threads, so each op runs on a background worker thread
+// over the timestamped fabric with a *private* virtual clock: the
+// fabric's Recv already takes the clock by pointer, which keeps the
+// virtual-time cost model exact while the submitting rank's own clock
+// keeps advancing through compute.
+//
+// Ops submitted on one communicator are chained (each worker starts at
+// max(submit time, predecessor completion)): the modeled engine executes
+// collectives in order, like a NCCL stream, so the in-flight window size
+// controls how far compute can run ahead of communication rather than
+// how many ops transfer concurrently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "coll/transport.h"
+#include "common/status.h"
+#include "sim/endpoint.h"
+
+namespace rcc::coll {
+
+class Request {
+ public:
+  struct Info {
+    uint64_t op_id = 0;       // communicator-local sequence number
+    const char* algo = "";    // kernel name ("ring", "binomial_bcast", ...)
+    double bytes = 0.0;       // modeled wire payload
+  };
+
+  // The op body. Runs on the worker thread; receives the op's private
+  // virtual clock (pre-advanced to the effective start time) and leaves
+  // the completion time in it.
+  using Body = std::function<Status(sim::Seconds*)>;
+
+  Request() = default;
+
+  // Starts the op on a background worker. `submit` is the submitting
+  // rank's clock at submission; if `after` holds an active request, the
+  // worker first waits for it and starts no earlier than its completion.
+  static Request Start(Info info, sim::Seconds submit, Body body,
+                       const Request* after = nullptr);
+
+  // An already-completed failed request (submission-time errors such as
+  // a revoked or aborted communicator).
+  static Request Failed(Info info, sim::Seconds submit, Status status);
+
+  bool active() const { return state_ != nullptr; }
+  const Info& info() const { return state_->info; }
+  sim::Seconds submit_time() const { return state_->submit; }
+  // Valid once the op completed (Test() true or Join() returned).
+  sim::Seconds complete_time() const { return state_->complete; }
+
+  // Nonblocking completion probe.
+  bool Test() const {
+    return state_ != nullptr &&
+           state_->done_flag.load(std::memory_order_acquire);
+  }
+
+  // Blocks (in real time) until the op completes; idempotent; returns
+  // the op status. Virtual-clock merging is the communicator's job
+  // (mpi::Comm::Wait / nccl::Comm::Wait).
+  Status Join();
+
+ private:
+  struct State {
+    Info info;
+    sim::Seconds submit = 0.0;
+    sim::Seconds complete = 0.0;
+    Status status;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;  // guarded by mu
+    std::atomic<bool> done_flag{false};
+    std::thread worker;
+    ~State() {
+      if (worker.joinable()) worker.join();
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// A Transport over the raw fabric for background op workers: the same
+// send/recv cost accounting as sim::Endpoint + mpi::Comm::RawSend/RawRecv
+// (self-kill checks, per-byte cost scaling, cancel token or death watch),
+// but advancing a private clock instead of the rank's clock.
+class FabricChannel : public Transport {
+ public:
+  // `pids` must outlive the channel (the op body keeps the owning group
+  // alive via shared_ptr). Exactly one of `cancel` / `death_watch` is
+  // normally set (mpi-style revocation vs nccl-style peer watching);
+  // both may be null.
+  FabricChannel(sim::Endpoint& ep, const std::vector<int>& pids, int rank,
+                uint64_t channel, double cost_scale, sim::Seconds* now,
+                const sim::CancelToken* cancel,
+                const std::vector<int>* death_watch)
+      : fabric_(&ep.fabric()),
+        ep_(&ep),
+        pids_(&pids),
+        rank_(rank),
+        channel_(channel),
+        cost_scale_(cost_scale),
+        now_(now),
+        cancel_(cancel),
+        death_watch_(death_watch) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return static_cast<int>(pids_->size()); }
+
+  Status SendTo(int dst_rank, int tag, const void* data,
+                size_t bytes) override;
+  Status RecvFrom(int src_rank, int tag, void* data, size_t bytes) override;
+  Status RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) override;
+
+ private:
+  // Mirrors Endpoint::MaybeSelfKill against the op's private clock so
+  // deterministic virtual-time failure injection still fires when the
+  // blocking wrappers run Start + Wait.
+  bool SelfKilled();
+  Status RawRecv(int src_rank, int tag, sim::Message* out);
+
+  sim::Fabric* fabric_;
+  sim::Endpoint* ep_;
+  const std::vector<int>* pids_;
+  int rank_;
+  uint64_t channel_;
+  double cost_scale_;
+  sim::Seconds* now_;
+  const sim::CancelToken* cancel_;
+  const std::vector<int>* death_watch_;
+};
+
+}  // namespace rcc::coll

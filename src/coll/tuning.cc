@@ -1,0 +1,98 @@
+#include "coll/tuning.h"
+
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+
+namespace rcc::coll {
+
+namespace {
+
+AllreduceTuning WithEnv(AllreduceTuning t) {
+  ApplyAllreduceEnv(&t);
+  return t;
+}
+
+}  // namespace
+
+AllreduceTuning MpiAllreduceTuning() {
+  AllreduceTuning t;
+  t.rows = {{INT_MAX, 65536.0}};
+  t.small_algo = AllreduceAlgo::kRecursiveDoubling;
+  t.large_algo = AllreduceAlgo::kRing;
+  return WithEnv(t);
+}
+
+AllreduceTuning NcclAllreduceTuning() {
+  AllreduceTuning t;
+  t.rows = {{INT_MAX, 32768.0}};
+  t.small_algo = AllreduceAlgo::kReduceBcast;
+  t.large_algo = AllreduceAlgo::kRing;
+  return WithEnv(t);
+}
+
+AllreduceTuning GlooAllreduceTuning() {
+  AllreduceTuning t;
+  t.rows = {{INT_MAX, 0.0}};
+  t.small_algo = AllreduceAlgo::kRing;
+  t.large_algo = AllreduceAlgo::kRing;
+  return WithEnv(t);
+}
+
+AllreduceAlgo ChooseAllreduce(const AllreduceTuning& tuning,
+                              AllreduceAlgo requested, double modeled_bytes,
+                              int ranks) {
+  if (requested != AllreduceAlgo::kAuto) return requested;
+  double cutoff = 0.0;
+  for (const auto& row : tuning.rows) {
+    cutoff = row.cutoff_bytes;
+    if (ranks <= row.max_ranks) break;
+  }
+  return modeled_bytes <= cutoff ? tuning.small_algo : tuning.large_algo;
+}
+
+AllreduceAlgo ParseAllreduceAlgo(const char* name) {
+  if (name == nullptr) return AllreduceAlgo::kAuto;
+  if (std::strcmp(name, "ring") == 0) return AllreduceAlgo::kRing;
+  if (std::strcmp(name, "recursive_doubling") == 0) {
+    return AllreduceAlgo::kRecursiveDoubling;
+  }
+  if (std::strcmp(name, "reduce_bcast") == 0) {
+    return AllreduceAlgo::kReduceBcast;
+  }
+  if (std::strcmp(name, "rabenseifner") == 0) {
+    return AllreduceAlgo::kRabenseifner;
+  }
+  return AllreduceAlgo::kAuto;
+}
+
+const char* AllreduceAlgoName(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kAuto: return "auto";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive_doubling";
+    case AllreduceAlgo::kReduceBcast: return "reduce_bcast";
+    case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+  }
+  return "unknown";
+}
+
+void ApplyAllreduceEnv(AllreduceTuning* t) {
+  if (const char* cutoff = std::getenv("RCC_ALLREDUCE_CUTOFF_BYTES")) {
+    char* end = nullptr;
+    const double v = std::strtod(cutoff, &end);
+    if (end != cutoff && v >= 0.0) {
+      for (auto& row : t->rows) row.cutoff_bytes = v;
+    }
+  }
+  if (const char* small = std::getenv("RCC_ALLREDUCE_SMALL_ALGO")) {
+    const AllreduceAlgo a = ParseAllreduceAlgo(small);
+    if (a != AllreduceAlgo::kAuto) t->small_algo = a;
+  }
+  if (const char* large = std::getenv("RCC_ALLREDUCE_LARGE_ALGO")) {
+    const AllreduceAlgo a = ParseAllreduceAlgo(large);
+    if (a != AllreduceAlgo::kAuto) t->large_algo = a;
+  }
+}
+
+}  // namespace rcc::coll

@@ -1,0 +1,83 @@
+// Shared allreduce algorithm selection.
+//
+// Every stack (mpi, nccl, gloo) used to hardcode its own byte threshold
+// for picking a latency-bound vs bandwidth-bound allreduce. The decision
+// now lives here as a bytes x ranks table so the stacks share one
+// chooser, and so benches/users can override it (set_allreduce_tuning or
+// the RCC_ALLREDUCE_* environment knobs) without recompiling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/transport.h"
+#include "common/status.h"
+
+namespace rcc::coll {
+
+enum class AllreduceAlgo {
+  kAuto,               // pick by payload size
+  kRing,               // bandwidth-optimal
+  kRecursiveDoubling,  // latency-optimal
+  kReduceBcast,        // reduce-to-root + bcast
+  kRabenseifner,       // reduce-scatter + allgather, log rounds
+};
+
+// Decision table keyed by (modeled wire bytes, communicator ranks):
+// the first row whose max_ranks covers the world supplies the byte
+// cutoff below which the latency-bound algorithm wins.
+struct AllreduceTuning {
+  struct Row {
+    int max_ranks;        // row applies to worlds of up to this many ranks
+    double cutoff_bytes;  // modeled bytes at/below which small_algo wins
+  };
+  std::vector<Row> rows;  // sorted by max_ranks ascending; last row is the
+                          // catch-all (max_ranks == INT_MAX)
+  AllreduceAlgo small_algo = AllreduceAlgo::kRecursiveDoubling;
+  AllreduceAlgo large_algo = AllreduceAlgo::kRing;
+};
+
+// Default tables reproducing each stack's historical thresholds.
+// Environment overrides (RCC_ALLREDUCE_CUTOFF_BYTES,
+// RCC_ALLREDUCE_SMALL_ALGO, RCC_ALLREDUCE_LARGE_ALGO) are applied on
+// top, so one knob retunes all stacks at once.
+AllreduceTuning MpiAllreduceTuning();   // 64 KiB: recursive-doubling / ring
+AllreduceTuning NcclAllreduceTuning();  // 32 KiB: reduce+bcast / ring
+AllreduceTuning GlooAllreduceTuning();  // ring-only (cutoff 0)
+
+// Resolves the algorithm: an explicit `requested` wins; kAuto consults
+// the table with the modeled payload size and world size.
+AllreduceAlgo ChooseAllreduce(const AllreduceTuning& tuning,
+                              AllreduceAlgo requested, double modeled_bytes,
+                              int ranks);
+
+// Parses "ring" / "recursive_doubling" / "reduce_bcast" / "rabenseifner"
+// / "auto". Returns kAuto on unknown strings.
+AllreduceAlgo ParseAllreduceAlgo(const char* name);
+const char* AllreduceAlgoName(AllreduceAlgo algo);
+
+// Applies the RCC_ALLREDUCE_* environment overrides to `t` (no-op when
+// unset). Called by the default-table factories.
+void ApplyAllreduceEnv(AllreduceTuning* t);
+
+// Runs the chosen kernel. `algo` must be concrete (not kAuto).
+template <typename T, typename Op = SumOp>
+Status RunAllreduce(AllreduceAlgo algo, Transport& t, const T* sendbuf,
+                    T* recvbuf, size_t count) {
+  switch (algo) {
+    case AllreduceAlgo::kRing:
+      return RingAllreduce<T, Op>(t, sendbuf, recvbuf, count);
+    case AllreduceAlgo::kRecursiveDoubling:
+      return RecursiveDoublingAllreduce<T, Op>(t, sendbuf, recvbuf, count);
+    case AllreduceAlgo::kReduceBcast:
+      return ReduceBcastAllreduce<T, Op>(t, sendbuf, recvbuf, count);
+    case AllreduceAlgo::kRabenseifner:
+      return RabenseifnerAllreduce<T, Op>(t, sendbuf, recvbuf, count);
+    case AllreduceAlgo::kAuto:
+      break;
+  }
+  return Status(Code::kInvalid, "allreduce algorithm not resolved");
+}
+
+}  // namespace rcc::coll

@@ -36,11 +36,11 @@ Status ElasticTrainer::SyncState(ResilientComm* rc, dnn::Model* model,
   return Status::Ok();
 }
 
-bool ElasticTrainer::MaybeDie(int epoch, int step) {
+bool ElasticTrainer::MaybeDie(int epoch, int step, int bucket) {
   for (size_t i = 0; i < opts_.failures.size(); ++i) {
     const auto& f = opts_.failures[i];
-    if (f.epoch == epoch && f.step == step && f.victim_rank == rc_->rank() &&
-        !(*failure_flags_)[i].load()) {
+    if (f.epoch == epoch && f.step == step && f.bucket == bucket &&
+        f.victim_rank == rc_->rank() && !(*failure_flags_)[i].load()) {
       (*failure_flags_)[i].store(true);
       if (f.scope == sim::FailScope::kNode) {
         rc_->endpoint().fabric().KillNode(rc_->endpoint().node());
@@ -74,8 +74,34 @@ Status ElasticTrainer::TrainStep(int epoch, int step, float* loss_out) {
     flat.insert(flat.end(), p->grad.data(), p->grad.data() + p->grad.size());
   }
   std::vector<float> reduced(flat.size());
-  RCC_RETURN_IF_ERROR(
-      rc_->Allreduce(flat.data(), reduced.data(), flat.size()));
+  // Split the flat gradient into contiguous fusion buckets and reduce
+  // them in order - blocking, or pipelined through the resilient
+  // in-flight window with one WaitAll before the optimizer step. The
+  // scripted victim dies right before submitting its target bucket,
+  // possibly with earlier buckets still in flight.
+  const int nbuckets = opts_.grad_buckets < 1 ? 1 : opts_.grad_buckets;
+  const bool pipelined = opts_.inflight_window >= 1;
+  if (pipelined) rc_->set_max_inflight(opts_.inflight_window);
+  Status st;
+  for (int b = 0; b < nbuckets; ++b) {
+    if (MaybeDie(epoch, step, b)) {
+      rc_->WaitAll();  // flat/reduced are frame-local: drain the workers
+      return Status(Code::kAborted, "scripted failure: self killed");
+    }
+    const size_t begin = flat.size() * static_cast<size_t>(b) / nbuckets;
+    const size_t end = flat.size() * static_cast<size_t>(b + 1) / nbuckets;
+    if (begin == end) continue;
+    st = pipelined ? rc_->IAllreduce(flat.data() + begin,
+                                     reduced.data() + begin, end - begin)
+                   : rc_->Allreduce(flat.data() + begin,
+                                    reduced.data() + begin, end - begin);
+    if (!st.ok()) break;
+  }
+  if (pipelined) {
+    Status drained = rc_->WaitAll();
+    if (st.ok()) st = drained;
+  }
+  RCC_RETURN_IF_ERROR(st);
   const float inv = 1.0f / static_cast<float>(rc_->size());
   size_t off = 0;
   for (dnn::Param* p : params) {
@@ -121,10 +147,6 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start) {
       }
     }
     while (step < opts_.steps_per_epoch) {
-      if (MaybeDie(epoch, step)) {
-        report.aborted = true;
-        return report;
-      }
       float loss = 0;
       Status st = TrainStep(epoch, step, &loss);
       if (!st.ok()) {

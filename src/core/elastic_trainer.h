@@ -34,8 +34,16 @@ struct TrainerOptions {
   // paper cites for scale changes.
   bool linear_lr_scaling = false;
   int lr_warmup_steps = 0;
+  // Gradient fusion: the flat gradient is split into this many contiguous
+  // buckets, each reduced by its own resilient allreduce.
+  int grad_buckets = 1;
+  // 0 = blocking allreduce per bucket. >= 1: buckets are submitted into
+  // the resilient in-flight window (rc->IAllreduce) and drained by a
+  // single WaitAll before the optimizer step.
+  int inflight_window = 0;
   horovod::DropPolicy drop_policy = horovod::DropPolicy::kProcess;
-  // Scripted failures: victim `rank` dies at the start of (epoch, step).
+  // Scripted failures: victim `rank` dies right before reducing bucket
+  // `bucket` of (epoch, step).
   std::vector<horovod::ScriptedFailure> failures;
   // epoch -> number of joiners merging at that epoch boundary.
   std::map<int, int> joins;
@@ -69,7 +77,7 @@ class ElasticTrainer {
                           bool receiver);
 
  private:
-  bool MaybeDie(int epoch, int step);
+  bool MaybeDie(int epoch, int step, int bucket);
   Status TrainStep(int epoch, int step, float* loss_out);
 
   ResilientComm* rc_;

@@ -1,5 +1,7 @@
 #include "core/resilient.h"
 
+#include <limits>
+
 #include "coll/algorithms.h"
 #include "common/log.h"
 
@@ -9,6 +11,9 @@ namespace {
 std::string NcclId(const mpi::Comm& comm) {
   return "ulfm-ctx-" + std::to_string(comm.context_id());
 }
+
+// Agreement contribution of a rank that needs no replay: MIN-neutral.
+constexpr int64_t kNoIncompleteOp = std::numeric_limits<int64_t>::max();
 }  // namespace
 
 ResilientComm::ResilientComm(sim::Endpoint& ep, const std::vector<int>& pids,
@@ -163,34 +168,206 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
       if (st.ok()) return Status::Ok();
     }
     if (st.code() == Code::kAborted) return st;
-    RCC_RETURN_IF_ERROR(Repair(st));
-    repaired = true;
-    // Post-repair resolution (see header): agree on the earliest
-    // outstanding op across the survivors, then on whether its data
-    // phase completed everywhere.
-    auto min_r = ulfm::Agree(*comm_, /*flag=*/1, op_id);
-    if (!min_r.ok()) return min_r.status();
-    const int64_t min_id = min_r.value().min_value;
-    const int mine = (op_id > min_id || data_done) ? 1 : 0;
-    auto all_done = ulfm::Agree(*comm_, mine, op_id);
-    if (!all_done.ok()) return all_done.status();
-    if (op_id == min_id) {
-      if (all_done.value().flag == 1) {
-        // Every survivor holds this op's data and the repair itself
-        // synchronized us: the op is complete.
+    // Post-repair resolution (see header): ONE agreement on the earliest
+    // op id whose data any survivor still needs. One round per repair in
+    // every resilient path (blocking and windowed) keeps the per-comm
+    // agreement sequences paired when mixed protocols recover together.
+    bool resolved = false;
+    while (!resolved) {
+      Status drained = DrainRequests();
+      if (drained.code() == Code::kAborted) return drained;
+      RCC_RETURN_IF_ERROR(Repair(st));
+      repaired = true;
+      int64_t contribution = FirstIncompleteWindowOp();
+      if (contribution == kNoIncompleteOp && !data_done) contribution = op_id;
+      auto verdict = ulfm::Agree(*comm_, /*flag=*/1, contribution);
+      if (!verdict.ok()) return verdict.status();
+      const int64_t min_id = verdict.value().min_value;
+      if (min_id == kNoIncompleteOp || min_id > op_id) {
+        // Every survivor holds the data of this op (and of everything
+        // before it) and the repair itself synchronized us: complete.
         return Status::Ok();
       }
-      // Forward recovery: re-execute only this collective's data phase
-      // on the shrunk communicator - the inputs are preserved, so the
-      // survivors' contributions carry over and the mini-batch continues
-      // (the paper's Fig. 2). Ranks that already held a result replace
-      // it with the survivor-only one, keeping SPMD state consistent.
-      data_done = false;
+      // Forward recovery: re-execute every op >= MIN in program order on
+      // the shrunk communicator - first any windowed ops still in
+      // flight, then this op's data phase (re-executed even where it
+      // locally completed, so the collective stays aligned). The inputs
+      // are preserved, so the survivors' contributions carry over and
+      // the mini-batch continues (the paper's Fig. 2); ranks that
+      // already held a result replace it with the survivor-only one,
+      // keeping SPMD state consistent.
+      Status replay = ReplayWindowFrom(min_id);
+      if (replay.ok()) {
+        data_done = false;
+        resolved = true;
+      } else if (replay.code() == Code::kAborted) {
+        return replay;
+      } else {
+        st = replay;  // repaired communicator broke again: next round
+      }
     }
-    // op_id > min_id: the laggards complete their (earlier) op through
-    // the branch above and will re-join this op's phases on the repaired
-    // communicator right after us - per-communicator op streams stay
-    // aligned because the decision is agreement-uniform.
+  }
+}
+
+void ResilientComm::SubmitOp(WindowOp* op) {
+  // A missing GPU communicator (deferred init failure) is surfaced by
+  // WaitOp; the recovery path rebuilds it before replaying.
+  if (gpu_ == nullptr) return;
+  gpu_->set_cost_scale(op->cost_scale);
+  op->req = gpu_->IAllreduce<float>(op->sendbuf, op->recvbuf, op->count);
+  gpu_->set_cost_scale(1.0);
+}
+
+Status ResilientComm::WaitOp(WindowOp* op) {
+  Status st;
+  if (op->req.active()) {
+    st = op->req.Join();
+    ep_.AdvanceTo(op->req.complete_time());
+  } else {
+    st = gpu_init_status_.ok()
+             ? Status(Code::kInternal, "windowed op was never submitted")
+             : gpu_init_status_;
+  }
+  if (st.ok()) {
+    op->done = true;
+    if (rec_ != nullptr) {
+      rec_->RecordOp(ep_.pid(), static_cast<uint64_t>(op->id),
+                     op->req.info().algo, op->req.info().bytes,
+                     op->req.submit_time(), op->req.complete_time());
+    }
+  }
+  return st;
+}
+
+Status ResilientComm::DrainRequests() {
+  Status first;
+  for (auto& op : window_) {
+    if (op.done) continue;
+    Status st = WaitOp(&op);
+    if (st.code() == Code::kAborted) return st;
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
+int64_t ResilientComm::FirstIncompleteWindowOp() const {
+  for (const auto& op : window_) {
+    if (!op.done) return op.id;
+  }
+  return kNoIncompleteOp;
+}
+
+Status ResilientComm::ReplayWindowFrom(int64_t min_id) {
+  for (auto& op : window_) {
+    if (op.id < min_id) continue;
+    trace::Scope scope(
+        rec_, ep_, std::string("recovery/") + horovod::phase::kRetryCollective);
+    if (gpu_ == nullptr) return gpu_init_status_;
+    gpu_->set_cost_scale(op.cost_scale);
+    Status st = gpu_->Allreduce<float>(op.sendbuf, op.recvbuf, op.count);
+    gpu_->set_cost_scale(1.0);
+    if (!st.ok()) return st;
+    op.done = true;
+    op.req = coll::Request();  // the pre-failure request is retired
+  }
+  return Status::Ok();
+}
+
+Status ResilientComm::RecoverWindow(Status failure, bool* need_barrier) {
+  *need_barrier = true;
+  for (;;) {
+    Status drained = DrainRequests();
+    if (drained.code() == Code::kAborted) return drained;
+    RCC_RETURN_IF_ERROR(Repair(failure));
+    auto verdict = ulfm::Agree(*comm_, /*flag=*/1, FirstIncompleteWindowOp());
+    if (!verdict.ok()) return verdict.status();
+    const int64_t min_id = verdict.value().min_value;
+    const int64_t last_submitted = window_.empty() ? 0 : window_.back().id;
+    if (min_id == kNoIncompleteOp || min_id > last_submitted) {
+      // No survivor needs anything this rank submitted: the repair
+      // synchronized us. The closing barrier must not be re-run (ranks
+      // already past it will not participate again).
+      *need_barrier = false;
+      return Status::Ok();
+    }
+    Status st = ReplayWindowFrom(min_id);
+    if (st.ok()) {
+      *need_barrier = true;
+      return Status::Ok();
+    }
+    if (st.code() == Code::kAborted) return st;
+    failure = st;
+  }
+}
+
+Status ResilientComm::GpuBarrier() {
+  if (gpu_ == nullptr) return gpu_init_status_;
+  gpu_->set_cost_scale(1.0);
+  return gpu_->Barrier();
+}
+
+int ResilientComm::inflight() const {
+  int n = 0;
+  for (const auto& op : window_) {
+    if (!op.done) ++n;
+  }
+  return n;
+}
+
+Status ResilientComm::IAllreduce(const float* sendbuf, float* recvbuf,
+                                 size_t count, double cost_scale) {
+  if (!ep_.alive()) return Status(Code::kAborted, "self dead");
+  WindowOp op;
+  op.id = static_cast<int64_t>(++op_counter_);
+  op.sendbuf = sendbuf;
+  op.recvbuf = recvbuf;
+  op.count = count;
+  op.cost_scale = cost_scale;
+  window_.push_back(std::move(op));
+  SubmitOp(&window_.back());
+  // Bound the in-flight window on the oldest outstanding op.
+  while (inflight() > max_inflight_) {
+    WindowOp* oldest = nullptr;
+    for (auto& w : window_) {
+      if (!w.done) {
+        oldest = &w;
+        break;
+      }
+    }
+    Status st = WaitOp(oldest);
+    if (st.ok()) continue;
+    if (st.code() == Code::kAborted) return st;
+    bool need_barrier = false;
+    RCC_RETURN_IF_ERROR(RecoverWindow(st, &need_barrier));
+  }
+  return Status::Ok();
+}
+
+Status ResilientComm::WaitAll() {
+  if (window_.empty()) return Status::Ok();
+  for (;;) {
+    Status st = DrainRequests();
+    if (st.ok()) st = GpuBarrier();
+    if (st.ok()) {
+      window_.clear();
+      return Status::Ok();
+    }
+    if (st.code() == Code::kAborted) {
+      window_.clear();
+      return st;
+    }
+    bool need_barrier = true;
+    Status rec = RecoverWindow(st, &need_barrier);
+    if (!rec.ok()) {
+      window_.clear();
+      return rec;
+    }
+    if (!need_barrier) {
+      window_.clear();
+      return Status::Ok();
+    }
+    // Replays completed: re-run the closing barrier with every rank
+    // still inside the window.
   }
 }
 

@@ -14,27 +14,34 @@
 //
 // Resilient-op protocol. A failure can catch the SPMD ranks straddling
 // two consecutive collectives (one rank may finish allreduce N and move
-// on while another is still inside it). Every resilient operation is
-// therefore structured as a data phase plus a synchronizing phase (a
+// on while another is still inside it), and — with the nonblocking
+// pipeline — with a whole *window* of collectives in flight. Every
+// resilient operation therefore carries a monotonically increasing op id,
+// and blocking ops pair their data phase with a synchronizing phase (a
 // dissemination barrier, whose completion at any rank implies every rank
-// entered it - so ranks can differ by at most one operation). After a
-// repair the survivors run two agreements - the MIN outstanding op id,
-// then an AND of "the data of that op is everywhere" - which decides
-// uniformly whether the earliest op's data phase must be re-executed on
-// the shrunk communicator (with the preserved inputs) or whether the
-// repair itself already completed it. This is the standard ULFM
-// recovery pattern for synchronous collectives.
+// entered it); a submission window is closed the same way by WaitAll's
+// barrier. After a repair the survivors run ONE agreement: each
+// contributes the earliest op id whose data it still needs (its first
+// incomplete in-flight op, else the none sentinel), MIN-reduced. The
+// uniform decision rule is "re-execute every op >= MIN in program order
+// on the shrunk communicator, with the preserved out-of-place inputs";
+// MIN == sentinel (or beyond everything a rank submitted) means the
+// repair itself synchronized the survivors and nothing is replayed.
+// This generalizes the standard ULFM recovery pattern for synchronous
+// collectives to a bounded in-flight window (see DESIGN.md §5.6/§5.10).
 //
 // Replacement and upscaling workers are admitted with Expand /
 // JoinExisting at epoch boundaries, while the survivors keep training in
 // degraded mode.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "coll/request.h"
 #include "horovod/plan.h"
 #include "mpi/comm.h"
 #include "nccl/nccl.h"
@@ -72,6 +79,23 @@ class ResilientComm {
   Status Allreduce(const float* sendbuf, float* recvbuf, size_t count,
                    double cost_scale = 1.0);
 
+  // --- nonblocking pipeline ---
+  // Submits a resilient allreduce into the bounded in-flight window
+  // (blocking on the oldest outstanding op once the window is full).
+  // Both buffers must stay alive and untouched until WaitAll returns:
+  // sendbuf doubles as the preserved replay input. Returns kAborted if
+  // this rank dies; other failures are repaired internally.
+  Status IAllreduce(const float* sendbuf, float* recvbuf, size_t count,
+                    double cost_scale = 1.0);
+  // Drains the window and closes it with a synchronizing GPU barrier,
+  // running the windowed recovery protocol on failures. The window is
+  // empty afterwards regardless of outcome.
+  Status WaitAll();
+  // Bounds the number of in-flight ops (compute run-ahead depth).
+  void set_max_inflight(int n) { max_inflight_ = n < 1 ? 1 : n; }
+  int max_inflight() const { return max_inflight_; }
+  int inflight() const;
+
   // Resilient host-side blob broadcast (state sync): root is a rank of
   // the *current* membership; repairs keep survivor rank order, so
   // "rank 0" remains a state-holding survivor.
@@ -94,6 +118,19 @@ class ResilientComm {
   Status Repair(const Status& failure);
 
  private:
+  // One windowed op: request handle plus the preserved out-of-place
+  // buffers the recovery replays from. deque keeps references stable
+  // across submissions.
+  struct WindowOp {
+    int64_t id = 0;
+    const float* sendbuf = nullptr;
+    float* recvbuf = nullptr;
+    size_t count = 0;
+    double cost_scale = 1.0;
+    coll::Request req;
+    bool done = false;
+  };
+
   ResilientComm(sim::Endpoint& ep, mpi::Comm comm,
                 horovod::DropPolicy policy, trace::Recorder* rec);
 
@@ -106,6 +143,30 @@ class ResilientComm {
   Status InitGpu(const char* phase_prefix);
   bool ShouldLeaveNode() const;  // node-drop policy: my node lost a member
 
+  // --- windowed-recovery machinery ---
+  void SubmitOp(WindowOp* op);
+  // Joins one op, merging its completion into the rank clock; marks it
+  // done and records the op trace event on success.
+  Status WaitOp(WindowOp* op);
+  // Joins every outstanding op in the window; returns the first failure
+  // (kAborted short-circuits).
+  Status DrainRequests();
+  // Earliest window op whose data this rank still needs, else the
+  // kNoIncompleteOp sentinel.
+  int64_t FirstIncompleteWindowOp() const;
+  // Blocking re-execution of every window op with id >= min_id, in
+  // program order, on the repaired communicator (traced as
+  // recovery/retry_collective). Locally-complete ops are re-executed too
+  // so the survivors' op streams stay aligned.
+  Status ReplayWindowFrom(int64_t min_id);
+  // Repair + single agreement + replay for window-context failures.
+  // Sets *need_barrier to false when the agreement shows no survivor
+  // needs a replay at or before this rank's last submitted op: the
+  // repair itself synchronized the survivors and the window's closing
+  // barrier must NOT be re-run (ranks past it will not participate).
+  Status RecoverWindow(Status failure, bool* need_barrier);
+  Status GpuBarrier();
+
   sim::Endpoint& ep_;
   std::unique_ptr<mpi::Comm> comm_;
   std::unique_ptr<nccl::Comm> gpu_;
@@ -114,6 +175,8 @@ class ResilientComm {
   Status gpu_init_status_;
   int repairs_ = 0;
   uint64_t op_counter_ = 0;
+  int max_inflight_ = 8;
+  std::deque<WindowOp> window_;
 };
 
 }  // namespace rcc::core

@@ -163,6 +163,22 @@ class UlfmWorker {
 
   // Returns false when this worker leaves (death or node drop).
   bool TrainStep(int* known_repairs) {
+    const bool ok = ss_->plan.inflight_window < 1
+                        ? TrainStepBlocking()
+                        : TrainStepPipelined();
+    if (ok && rc_->repairs() != *known_repairs) {
+      *known_repairs = rc_->repairs();
+      ss_->repairs.fetch_add(1);
+      if (rc_->rank() == 0) {
+        // Replacement provisioning signal (Scenario II): standby
+        // workers spin up as soon as the failure is confirmed.
+        ss_->store->CompareAndSwap(&ep_, "provision/failure", 0, {1});
+      }
+    }
+    return ok;
+  }
+
+  bool TrainStepBlocking() {
     ep_.Busy(ss_->step_compute_seconds);
     for (size_t b = 0; b < buckets_.size(); ++b) {
       MaybeDie(static_cast<int>(b));
@@ -182,14 +198,63 @@ class UlfmWorker {
       // lost; survivors average over the *current* membership.
       const float inv = 1.0f / static_cast<float>(rc_->size());
       for (size_t i = 0; i < out.size(); ++i) bucket.data[i] = out[i] * inv;
-      if (rc_->repairs() != *known_repairs) {
-        *known_repairs = rc_->repairs();
-        ss_->repairs.fetch_add(1);
-        if (rc_->rank() == 0) {
-          // Replacement provisioning signal (Scenario II): standby
-          // workers spin up as soon as the failure is confirmed.
-          ss_->store->CompareAndSwap(&ep_, "provision/failure", 0, {1});
+    }
+    return true;
+  }
+
+  // Overlapped step over the resilient window: each bucket's allreduce
+  // is submitted as backprop produces it (bounded in-flight window,
+  // failures repaired and replayed inside the resilient layer), and only
+  // the optimizer step drains the window.
+  bool TrainStepPipelined() {
+    rc_->set_max_inflight(ss_->plan.inflight_window);
+    ep_.Busy(ss_->step_compute_seconds / 3.0);  // forward pass
+    const double backward = ss_->step_compute_seconds * 2.0 / 3.0;
+    double total_bytes = 0;
+    for (const Bucket& bucket : buckets_) total_bytes += bucket.virtual_bytes;
+    // The out buffers feed live op workers: the window must be drained
+    // (WaitAll) on every exit path before this frame unwinds.
+    std::vector<std::vector<float>> outs(buckets_.size());
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      // Backward slice producing this bucket's gradients.
+      const double frac = total_bytes > 0
+                              ? buckets_[b].virtual_bytes / total_bytes
+                              : 1.0 / static_cast<double>(buckets_.size());
+      ep_.Busy(backward * frac);
+      MaybeDie(static_cast<int>(b));
+      if (!ep_.alive()) {
+        rc_->WaitAll();
+        return false;
+      }
+      if (!ss_->plan.response_cache) {
+        trace::Scope scope(ss_->rec, ep_, "negotiation");
+        if (!Negotiate(b)) {
+          rc_->WaitAll();
+          return false;
         }
+      }
+      Bucket& bucket = buckets_[b];
+      outs[b].resize(bucket.data.size());
+      Status st = rc_->IAllreduce(bucket.data.data(), outs[b].data(),
+                                  bucket.data.size(), bucket.cost_scale());
+      RCC_LOG(kDebug) << "pid " << ep_.pid() << " e" << epoch_ << " s"
+                      << step_ << " b" << b << " submit -> " << st.ToString();
+      if (!st.ok()) {
+        rc_->WaitAll();
+        return false;  // kAborted: dead or node-dropped
+      }
+    }
+    Status st = rc_->WaitAll();
+    RCC_LOG(kDebug) << "pid " << ep_.pid() << " e" << epoch_ << " s" << step_
+                    << " waitall -> " << st.ToString();
+    if (!st.ok()) return false;
+    // Optimizer step: average over the *post-recovery* membership (the
+    // failed worker's contribution to buckets reduced before the failure
+    // is lost - degraded-mode averaging at window granularity).
+    const float inv = 1.0f / static_cast<float>(rc_->size());
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      for (size_t i = 0; i < outs[b].size(); ++i) {
+        buckets_[b].data[i] = outs[b][i] * inv;
       }
     }
     return true;

@@ -16,6 +16,7 @@
 
 #include "coll/algorithms.h"
 #include "coll/transport.h"
+#include "coll/tuning.h"
 #include "kvstore/kvstore.h"
 #include "mpi/group.h"
 #include "sim/endpoint.h"
@@ -58,7 +59,12 @@ class Context : public coll::Transport {
   template <typename T>
   void Allreduce(const T* sendbuf, T* recvbuf, size_t count) {
     BeginOp();
-    Raise(coll::RingAllreduce<T>(*this, sendbuf, recvbuf, count));
+    // Shared selection table (ring-only by default, like real Gloo's
+    // ring allreduce; overridable via RCC_ALLREDUCE_* knobs).
+    const coll::AllreduceAlgo algo = coll::ChooseAllreduce(
+        tuning_, coll::AllreduceAlgo::kAuto,
+        static_cast<double>(count * sizeof(T)) * cost_scale_, size());
+    Raise(coll::RunAllreduce<T>(algo, *this, sendbuf, recvbuf, count));
   }
   template <typename T>
   void Allgather(const T* sendbuf, T* recvbuf, size_t count) {
@@ -96,6 +102,7 @@ class Context : public coll::Transport {
   std::shared_ptr<mpi::CommGroup> group_;
   int rank_;
   double cost_scale_;
+  coll::AllreduceTuning tuning_ = coll::GlooAllreduceTuning();
   bool broken_ = false;
   uint64_t op_seq_ = 0;
   uint64_t current_phase_ = 0;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "coll/request.h"
 #include "common/log.h"
 #include "common/serial.h"
 #include "gloo/gloo.h"
@@ -203,20 +204,21 @@ class EhWorker {
   }
 
   void TrainStep() {
+    if (ss_->plan.inflight_window < 1) {
+      TrainStepBlocking();
+    } else {
+      TrainStepPipelined();
+    }
+  }
+
+  void TrainStepBlocking() {
     ep_.Busy(ss_->step_compute_seconds);
     for (size_t b = 0; b < buckets_.size(); ++b) {
       MaybeDie(static_cast<int>(b));
       if (!ep_.alive()) {
         throw gloo::IoException(Status(Code::kAborted, "self killed"));
       }
-      if (!ss_->plan.response_cache) {
-        // Uncached response negotiation: a small host-side allgather
-        // coordinating which tensors are ready (Horovod's control plane).
-        trace::Scope scope(ss_->rec, ep_, "negotiation");
-        uint64_t ready = b;
-        std::vector<uint64_t> all(ctx_->size());
-        ctx_->Allgather<uint64_t>(&ready, all.data(), 1);
-      }
+      Negotiate(b);
       Bucket& bucket = buckets_[b];
       std::vector<float> out(bucket.data.size());
       gpu_->set_cost_scale(bucket.cost_scale());
@@ -227,6 +229,84 @@ class EhWorker {
       const float inv = 1.0f / static_cast<float>(ctx_->size());
       for (size_t i = 0; i < out.size(); ++i) bucket.data[i] = out[i] * inv;
     }
+  }
+
+  // Overlapped step: backprop produces buckets in order, each bucket's
+  // allreduce is submitted the moment its backward slice finishes, and
+  // only the optimizer step waits for the stragglers. Step time becomes
+  // max(compute, comm) per pipeline stage instead of compute + comm.
+  void TrainStepPipelined() {
+    const auto window = static_cast<size_t>(ss_->plan.inflight_window);
+    ep_.Busy(ss_->step_compute_seconds / 3.0);  // forward pass
+    const double backward = ss_->step_compute_seconds * 2.0 / 3.0;
+    double total_bytes = 0;
+    for (const Bucket& bucket : buckets_) total_bytes += bucket.virtual_bytes;
+    std::vector<std::vector<float>> outs(buckets_.size());
+    std::vector<coll::Request> reqs(buckets_.size());
+    size_t oldest = 0;  // first request still outstanding
+    // The outs/reqs buffers feed live worker threads: every submitted
+    // request must be joined before this frame unwinds.
+    auto drain = [&](size_t submitted) {
+      Status first;
+      for (; oldest < submitted; ++oldest) {
+        Status st = gpu_->Wait(&reqs[oldest]);
+        if (first.ok() && !st.ok()) first = st;
+      }
+      return first;
+    };
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      // Backward slice producing this bucket's gradients.
+      const double frac = total_bytes > 0
+                              ? buckets_[b].virtual_bytes / total_bytes
+                              : 1.0 / static_cast<double>(buckets_.size());
+      ep_.Busy(backward * frac);
+      MaybeDie(static_cast<int>(b));
+      if (!ep_.alive()) {
+        drain(b);
+        throw gloo::IoException(Status(Code::kAborted, "self killed"));
+      }
+      Negotiate(b);
+      Bucket& bucket = buckets_[b];
+      outs[b].resize(bucket.data.size());
+      gpu_->set_cost_scale(bucket.cost_scale());
+      reqs[b] = gpu_->IAllreduce<float>(bucket.data.data(), outs[b].data(),
+                                        bucket.data.size());
+      gpu_->set_cost_scale(1.0);
+      if (b + 1 - oldest > window) {
+        Status st = gpu_->Wait(&reqs[oldest]);
+        ++oldest;
+        if (!st.ok()) {
+          drain(b + 1);
+          throw gloo::IoException(st);
+        }
+      }
+    }
+    Status st = drain(buckets_.size());
+    if (!st.ok()) throw gloo::IoException(st);
+    if (ss_->rec != nullptr) {
+      for (const coll::Request& req : reqs) {
+        ss_->rec->RecordOp(ep_.pid(), req.info().op_id, req.info().algo,
+                           req.info().bytes, req.submit_time(),
+                           req.complete_time());
+      }
+    }
+    // Optimizer step after the whole window completed.
+    const float inv = 1.0f / static_cast<float>(ctx_->size());
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      for (size_t i = 0; i < outs[b].size(); ++i) {
+        buckets_[b].data[i] = outs[b][i] * inv;
+      }
+    }
+  }
+
+  void Negotiate(size_t b) {
+    if (ss_->plan.response_cache) return;
+    // Uncached response negotiation: a small host-side allgather
+    // coordinating which tensors are ready (Horovod's control plane).
+    trace::Scope scope(ss_->rec, ep_, "negotiation");
+    uint64_t ready = b;
+    std::vector<uint64_t> all(ctx_->size());
+    ctx_->Allgather<uint64_t>(&ready, all.data(), 1);
   }
 
   void CommitStep() {

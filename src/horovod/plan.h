@@ -78,6 +78,12 @@ struct SyntheticPlan {
   // mode training - without simulating thousands of collectives.
   int padded_steps_per_epoch = 0;
   double padded_step_seconds = 0.0;
+  // Nonblocking pipeline: 0 = blocking baseline (compute, then every
+  // bucket's allreduce back-to-back). >= 1 overlaps bucketed allreduce
+  // with backprop: each bucket's reduction is submitted as soon as its
+  // backward slice produces it, with at most `inflight_window` ops
+  // outstanding, and the optimizer step waits for all of them.
+  int inflight_window = 0;
   DropPolicy drop_policy = DropPolicy::kNode;
   std::vector<ScriptedFailure> failures;
   std::vector<ScriptedJoin> joins;

@@ -36,6 +36,38 @@ Status Comm::FinishCollective(Status s) {
   return s;
 }
 
+coll::Request Comm::StartOp(coll::Request::Info info,
+                            coll::Request::Body body) {
+  coll::Request req = coll::Request::Start(info, ep_->now(), std::move(body),
+                                           &engine_tail_);
+  engine_tail_ = req;
+  return req;
+}
+
+Status Comm::Wait(coll::Request* req) {
+  if (req == nullptr || !req->active()) {
+    return Status(Code::kInvalid, "wait on empty request");
+  }
+  Status s = req->Join();
+  ep_->AdvanceTo(req->complete_time());
+  if (s.code() == Code::kProcFailed) NoteFailedPids(s.failed_pids());
+  return s;
+}
+
+bool Comm::Test(const coll::Request* req) const {
+  return req != nullptr && req->Test();
+}
+
+Status Comm::WaitAll(std::vector<coll::Request>* reqs) {
+  Status first;
+  for (auto& req : *reqs) {
+    if (!req.active()) continue;
+    Status s = Wait(&req);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
 Status Comm::RawSend(int dst_rank, uint64_t channel, int tag,
                      const void* data, size_t bytes) {
   if (revoked()) return Status(Code::kRevoked, "communicator revoked");

@@ -5,6 +5,13 @@
 // failed pids, kRevoked once the communicator has been revoked) and the
 // communicator stays usable for the survivor-side recovery operations in
 // rcc::ulfm (failure_ack / agree / shrink).
+//
+// Allreduce and Bcast are request-based: IAllreduce/IBcast submit the op
+// to a background worker (its own virtual clock over the fabric) and
+// return a coll::Request; Wait merges the op's completion time into the
+// rank's clock. The blocking calls are thin Start + Wait wrappers, so
+// their virtual-time behaviour is identical to the old inline kernels.
+// Ops on one communicator execute in submission order (engine chaining).
 #pragma once
 
 #include <cstdint>
@@ -13,20 +20,17 @@
 #include <vector>
 
 #include "coll/algorithms.h"
+#include "coll/request.h"
 #include "coll/transport.h"
+#include "coll/tuning.h"
 #include "common/status.h"
 #include "mpi/group.h"
 #include "sim/endpoint.h"
 
 namespace rcc::mpi {
 
-enum class AllreduceAlgo {
-  kAuto,
-  kRing,
-  kRecursiveDoubling,
-  kReduceBcast,
-  kRabenseifner,
-};
+// Algorithm selection is shared across stacks; see coll/tuning.h.
+using AllreduceAlgo = coll::AllreduceAlgo;
 enum class AllgatherAlgo { kAuto, kRing, kBruck };
 
 class Comm : public coll::Transport {
@@ -57,32 +61,86 @@ class Comm : public coll::Transport {
   void set_cost_scale(double s) { cost_scale_ = s; }
   double cost_scale() const { return cost_scale_; }
 
+  // Algorithm-selection table (bytes x ranks); overridable per comm and
+  // via the RCC_ALLREDUCE_* environment knobs.
+  void set_allreduce_tuning(coll::AllreduceTuning t) { tuning_ = std::move(t); }
+  const coll::AllreduceTuning& allreduce_tuning() const { return tuning_; }
+
   // --- point-to-point (rank addressed, user tag space) ---
   Status Send(int dst_rank, int tag, const void* data, size_t bytes);
   Status Recv(int src_rank, int tag, void* data, size_t bytes);
   Status RecvBlobFrom(int src_rank, int tag, std::vector<uint8_t>* out);
 
-  // --- collectives ---
+  // --- nonblocking collectives ---
+  // The caller must keep sendbuf/recvbuf alive and untouched until the
+  // request completes. Requests complete in submission order.
+  template <typename T>
+  coll::Request IAllreduce(const T* sendbuf, T* recvbuf, size_t count,
+                           AllreduceAlgo algo = AllreduceAlgo::kAuto) {
+    const double modeled_bytes =
+        static_cast<double>(count * sizeof(T)) * cost_scale_;
+    const AllreduceAlgo chosen =
+        coll::ChooseAllreduce(tuning_, algo, modeled_bytes, size());
+    coll::Request::Info info{0, coll::AllreduceAlgoName(chosen),
+                             modeled_bytes};
+    if (revoked()) {
+      return coll::Request::Failed(info, ep_->now(),
+                                   Status(Code::kRevoked, "communicator revoked"));
+    }
+    ++coll_seq_;
+    info.op_id = coll_seq_;
+    const uint64_t channel =
+        sim::ChannelKey(group_->ctx_id, 1 + (coll_seq_ % 65534));
+    auto group = group_;
+    auto* ep = ep_;
+    const int rank = rank_;
+    const double cs = cost_scale_;
+    return StartOp(info, [group, ep, rank, cs, channel, chosen, sendbuf,
+                          recvbuf, count](sim::Seconds* now) -> Status {
+      coll::FabricChannel ch(*ep, group->pids, rank, channel, cs, now,
+                             &group->revoke, /*death_watch=*/nullptr);
+      return coll::RunAllreduce<T>(chosen, ch, sendbuf, recvbuf, count);
+    });
+  }
+
+  template <typename T>
+  coll::Request IBcast(T* buf, size_t count, int root) {
+    coll::Request::Info info{
+        0, "binomial_bcast", static_cast<double>(count * sizeof(T)) * cost_scale_};
+    if (revoked()) {
+      return coll::Request::Failed(info, ep_->now(),
+                                   Status(Code::kRevoked, "communicator revoked"));
+    }
+    ++coll_seq_;
+    info.op_id = coll_seq_;
+    const uint64_t channel =
+        sim::ChannelKey(group_->ctx_id, 1 + (coll_seq_ % 65534));
+    auto group = group_;
+    auto* ep = ep_;
+    const int rank = rank_;
+    const double cs = cost_scale_;
+    return StartOp(info, [group, ep, rank, cs, channel, buf, count,
+                          root](sim::Seconds* now) -> Status {
+      coll::FabricChannel ch(*ep, group->pids, rank, channel, cs, now,
+                             &group->revoke, /*death_watch=*/nullptr);
+      return coll::BinomialBcast<T>(ch, buf, count, root);
+    });
+  }
+
+  // Blocks until the request completes; merges its completion time into
+  // this rank's clock and records any observed failures.
+  Status Wait(coll::Request* req);
+  // Nonblocking completion probe (completion effects still via Wait).
+  bool Test(const coll::Request* req) const;
+  // Waits for every request; returns the first error encountered.
+  Status WaitAll(std::vector<coll::Request>* reqs);
+
+  // --- blocking collectives ---
   template <typename T>
   Status Allreduce(const T* sendbuf, T* recvbuf, size_t count,
                    AllreduceAlgo algo = AllreduceAlgo::kAuto) {
-    RCC_RETURN_IF_ERROR(BeginCollective());
-    Status s;
-    switch (ChooseAllreduce(algo, count * sizeof(T))) {
-      case AllreduceAlgo::kRing:
-        s = coll::RingAllreduce<T>(*this, sendbuf, recvbuf, count);
-        break;
-      case AllreduceAlgo::kReduceBcast:
-        s = coll::ReduceBcastAllreduce<T>(*this, sendbuf, recvbuf, count);
-        break;
-      case AllreduceAlgo::kRabenseifner:
-        s = coll::RabenseifnerAllreduce<T>(*this, sendbuf, recvbuf, count);
-        break;
-      default:
-        s = coll::RecursiveDoublingAllreduce<T>(*this, sendbuf, recvbuf, count);
-        break;
-    }
-    return FinishCollective(s);
+    coll::Request req = IAllreduce(sendbuf, recvbuf, count, algo);
+    return Wait(&req);
   }
 
   template <typename T>
@@ -101,8 +159,8 @@ class Comm : public coll::Transport {
 
   template <typename T>
   Status Bcast(T* buf, size_t count, int root) {
-    RCC_RETURN_IF_ERROR(BeginCollective());
-    return FinishCollective(coll::BinomialBcast<T>(*this, buf, count, root));
+    coll::Request req = IBcast(buf, count, root);
+    return Wait(&req);
   }
 
   template <typename T>
@@ -151,17 +209,12 @@ class Comm : public coll::Transport {
   uint64_t NextAgreeSeq() { return agree_seq_++; }
 
  private:
-  AllreduceAlgo ChooseAllreduce(AllreduceAlgo algo, size_t bytes) const {
-    if (algo != AllreduceAlgo::kAuto) return algo;
-    // Latency-bound below 64 KiB, bandwidth-bound above. The modeled
-    // wire size decides (physical buffers may be reduced stand-ins).
-    return static_cast<double>(bytes) * cost_scale_ <= 65536.0
-               ? AllreduceAlgo::kRecursiveDoubling
-               : AllreduceAlgo::kRing;
-  }
-
   Status BeginCollective();
   Status FinishCollective(Status s);
+
+  // Launches the op worker chained after the previous op on this
+  // communicator instance.
+  coll::Request StartOp(coll::Request::Info info, coll::Request::Body body);
 
   Status RawSend(int dst_rank, uint64_t channel, int tag, const void* data,
                  size_t bytes);
@@ -172,9 +225,11 @@ class Comm : public coll::Transport {
   std::shared_ptr<CommGroup> group_;
   int rank_;
   double cost_scale_ = 1.0;
+  coll::AllreduceTuning tuning_ = coll::MpiAllreduceTuning();
   uint64_t coll_seq_ = 0;     // per-rank collective sequence (SPMD-aligned)
   uint64_t current_phase_ = 0;  // channel phase of the running collective
   uint64_t agree_seq_ = 0;
+  coll::Request engine_tail_;  // last submitted op (ordering chain)
   std::set<int> observed_failed_;
 };
 

@@ -51,7 +51,46 @@ void Comm::NodeGroups(std::vector<std::vector<int>>* by_node,
   }
 }
 
+coll::Request Comm::StartOp(coll::Request::Info info,
+                            coll::Request::Body body) {
+  coll::Request req = coll::Request::Start(info, ep_->now(), std::move(body),
+                                           &engine_tail_);
+  engine_tail_ = req;
+  return req;
+}
+
+void Comm::SyncStream() {
+  if (!engine_tail_.active()) return;
+  engine_tail_.Join();
+  ep_->AdvanceTo(engine_tail_.complete_time());
+}
+
+Status Comm::Wait(coll::Request* req) {
+  if (req == nullptr || !req->active()) {
+    return Status(Code::kInvalid, "wait on empty request");
+  }
+  Status s = req->Join();
+  ep_->AdvanceTo(req->complete_time());
+  if (!s.ok()) broken_ = true;
+  return s;
+}
+
+bool Comm::Test(const coll::Request* req) const {
+  return req != nullptr && req->Test();
+}
+
+Status Comm::WaitAll(std::vector<coll::Request>* reqs) {
+  Status first;
+  for (auto& req : *reqs) {
+    if (!req.active()) continue;
+    Status s = Wait(&req);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
 Status Comm::BeginOp() {
+  SyncStream();
   if (broken_) return Status(Code::kIoError, "nccl communicator aborted");
   ++op_seq_;
   current_phase_ = 1 + (op_seq_ % 65534);

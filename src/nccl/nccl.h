@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "coll/algorithms.h"
+#include "coll/request.h"
 #include "coll/transport.h"
+#include "coll/tuning.h"
 #include "mpi/group.h"
 #include "sim/endpoint.h"
 
@@ -43,22 +45,82 @@ class Comm : public coll::Transport {
   Status RecvFrom(int src_rank, int tag, void* data, size_t bytes) override;
   Status RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) override;
 
-  // --- collectives ---
+  // --- nonblocking collectives ---
+  // Submits the op to a background worker (GPU-stream analogue: ops on
+  // one communicator execute in submission order). Buffers must stay
+  // alive and untouched until the request completes. Algorithm choice
+  // follows the *modeled* wire size (physical buffers may be reduced
+  // stand-ins for declared-size gradient buckets).
+  template <typename T>
+  coll::Request IAllreduce(const T* sendbuf, T* recvbuf, size_t count) {
+    const double modeled_bytes =
+        static_cast<double>(count * sizeof(T)) * cost_scale_;
+    const coll::AllreduceAlgo chosen = coll::ChooseAllreduce(
+        tuning_, coll::AllreduceAlgo::kAuto, modeled_bytes, size());
+    coll::Request::Info info{0, coll::AllreduceAlgoName(chosen),
+                             modeled_bytes};
+    if (broken_) {
+      return coll::Request::Failed(
+          info, ep_->now(), Status(Code::kIoError, "nccl communicator aborted"));
+    }
+    ++op_seq_;
+    info.op_id = op_seq_;
+    const uint64_t channel =
+        sim::ChannelKey(group_->ctx_id, 1 + (op_seq_ % 65534));
+    auto group = group_;
+    auto* ep = ep_;
+    const int rank = rank_;
+    const double cs = cost_scale_;
+    return StartOp(info, [group, ep, rank, cs, channel, chosen, sendbuf,
+                          recvbuf, count](sim::Seconds* now) -> Status {
+      // Async error handling: any member death is communicator-fatal.
+      coll::FabricChannel ch(*ep, group->pids, rank, channel, cs, now,
+                             /*cancel=*/nullptr, &group->pids);
+      return coll::RunAllreduce<T>(chosen, ch, sendbuf, recvbuf, count);
+    });
+  }
+
+  template <typename T>
+  coll::Request IBroadcast(T* buf, size_t count, int root) {
+    coll::Request::Info info{
+        0, "binomial_bcast", static_cast<double>(count * sizeof(T)) * cost_scale_};
+    if (broken_) {
+      return coll::Request::Failed(
+          info, ep_->now(), Status(Code::kIoError, "nccl communicator aborted"));
+    }
+    ++op_seq_;
+    info.op_id = op_seq_;
+    const uint64_t channel =
+        sim::ChannelKey(group_->ctx_id, 1 + (op_seq_ % 65534));
+    auto group = group_;
+    auto* ep = ep_;
+    const int rank = rank_;
+    const double cs = cost_scale_;
+    return StartOp(info, [group, ep, rank, cs, channel, buf, count,
+                          root](sim::Seconds* now) -> Status {
+      coll::FabricChannel ch(*ep, group->pids, rank, channel, cs, now,
+                             /*cancel=*/nullptr, &group->pids);
+      return coll::BinomialBcast<T>(ch, buf, count, root);
+    });
+  }
+
+  // Blocks until the request completes, merges its completion time into
+  // this rank's clock; a failed op permanently breaks the communicator
+  // (async error handling).
+  Status Wait(coll::Request* req);
+  bool Test(const coll::Request* req) const;
+  Status WaitAll(std::vector<coll::Request>* reqs);
+
+  // --- blocking collectives (Start + Wait) ---
   template <typename T>
   Status Allreduce(const T* sendbuf, T* recvbuf, size_t count) {
-    RCC_RETURN_IF_ERROR(BeginOp());
-    // Algorithm choice follows the *modeled* wire size (physical buffers
-    // may be reduced stand-ins for declared-size gradient buckets).
-    if (count * sizeof(T) * cost_scale_ <= 32768) {
-      return FinishOp(
-          coll::ReduceBcastAllreduce<T>(*this, sendbuf, recvbuf, count));
-    }
-    return FinishOp(coll::RingAllreduce<T>(*this, sendbuf, recvbuf, count));
+    coll::Request req = IAllreduce(sendbuf, recvbuf, count);
+    return Wait(&req);
   }
   template <typename T>
   Status Broadcast(T* buf, size_t count, int root) {
-    RCC_RETURN_IF_ERROR(BeginOp());
-    return FinishOp(coll::BinomialBcast<T>(*this, buf, count, root));
+    coll::Request req = IBroadcast(buf, count, root);
+    return Wait(&req);
   }
   template <typename T>
   Status Allgather(const T* sendbuf, T* recvbuf, size_t count) {
@@ -99,6 +161,11 @@ class Comm : public coll::Transport {
        double cost_scale);
   Status BeginOp();
   Status FinishOp(Status s);
+  coll::Request StartOp(coll::Request::Info info, coll::Request::Body body);
+  // Stream-ordering for the inline collectives: drains any in-flight
+  // request-based op before an inline op starts (real NCCL serializes
+  // everything on the stream).
+  void SyncStream();
 
   // Node-grouped rank lists: by_node[k] = ranks of the k-th distinct
   // node in rank order (each sorted ascending); local_group = ranks on
@@ -150,9 +217,11 @@ class Comm : public coll::Transport {
   std::shared_ptr<mpi::CommGroup> group_;
   int rank_;
   double cost_scale_;
+  coll::AllreduceTuning tuning_ = coll::NcclAllreduceTuning();
   bool broken_ = false;
   uint64_t op_seq_ = 0;
   uint64_t current_phase_ = 0;
+  coll::Request engine_tail_;  // last submitted op (stream-order chain)
 };
 
 }  // namespace rcc::nccl

@@ -45,6 +45,10 @@ class Endpoint {
   void SetKillAtTime(Seconds t) { kill_at_.store(t, std::memory_order_release); }
   // Immediately marks this rank dead at its next operation.
   void KillNow() { SetKillAtTime(0.0); }
+  // The scheduled self-kill time (readable from any thread; background
+  // collective workers replicate the MaybeSelfKill check against their
+  // private op clocks).
+  Seconds kill_at() const { return kill_at_.load(std::memory_order_acquire); }
   // Checks the trigger; returns true if this rank just died.
   bool MaybeSelfKill() {
     const Seconds t = kill_at_.load(std::memory_order_acquire);

@@ -7,7 +7,27 @@ namespace rcc::trace {
 void Recorder::Record(int pid, const std::string& phase, sim::Seconds start,
                       sim::Seconds end) {
   std::lock_guard<std::mutex> lock(mu_);
+  const double d = end - start;
+  PhaseAgg& agg = by_phase_[phase];
+  if (agg.count == 0) {
+    agg.max = d;
+    agg.min = d;
+  } else {
+    agg.max = std::max(agg.max, d);
+    agg.min = std::min(agg.min, d);
+  }
+  agg.sum += d;
+  agg.count += 1;
+  agg.latest_end = std::max(agg.latest_end, end);
+  agg.event_idx.push_back(events_.size());
   events_.push_back(Event{pid, phase, start, end});
+}
+
+void Recorder::RecordOp(int pid, uint64_t op_id, const std::string& algo,
+                        double bytes, sim::Seconds submit,
+                        sim::Seconds complete) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_events_.push_back(OpEvent{pid, op_id, algo, bytes, submit, complete});
 }
 
 std::vector<Event> Recorder::events() const {
@@ -18,71 +38,59 @@ std::vector<Event> Recorder::events() const {
 std::vector<Event> Recorder::EventsForPhase(const std::string& phase) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Event> out;
-  for (const Event& e : events_) {
-    if (e.phase == phase) out.push_back(e);
-  }
+  auto it = by_phase_.find(phase);
+  if (it == by_phase_.end()) return out;
+  out.reserve(it->second.event_idx.size());
+  for (size_t idx : it->second.event_idx) out.push_back(events_[idx]);
   return out;
+}
+
+std::vector<OpEvent> Recorder::op_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_events_;
 }
 
 std::map<std::string, double> Recorder::MaxByPhase() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
-  for (const Event& e : events_) {
-    out[e.phase] = std::max(out[e.phase], e.duration());
-  }
+  for (const auto& [phase, agg] : by_phase_) out[phase] = agg.max;
   return out;
 }
 
 std::map<std::string, double> Recorder::MeanByPhase() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::map<std::string, double> sum;
-  std::map<std::string, int> count;
-  for (const Event& e : events_) {
-    sum[e.phase] += e.duration();
-    count[e.phase] += 1;
-  }
-  for (auto& [phase, total] : sum) total /= count[phase];
-  return sum;
+  std::map<std::string, double> out;
+  for (const auto& [phase, agg] : by_phase_) out[phase] = agg.sum / agg.count;
+  return out;
 }
 
 std::map<std::string, double> Recorder::MinByPhase() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
-  for (const Event& e : events_) {
-    auto it = out.find(e.phase);
-    if (it == out.end()) {
-      out.emplace(e.phase, e.duration());
-    } else {
-      it->second = std::min(it->second, e.duration());
-    }
-  }
+  for (const auto& [phase, agg] : by_phase_) out[phase] = agg.min;
   return out;
 }
 
 double Recorder::PhaseEnd(const std::string& phase) const {
   std::lock_guard<std::mutex> lock(mu_);
-  double end = 0.0;
-  for (const Event& e : events_) {
-    if (e.phase == phase) end = std::max(end, e.end);
-  }
-  return end;
+  auto it = by_phase_.find(phase);
+  return it == by_phase_.end() ? 0.0 : it->second.latest_end;
 }
 
 void Recorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
+  by_phase_.clear();
+  op_events_.clear();
 }
 
 Table Recorder::ToTable() const {
   Table table({"phase", "max (s)", "mean (s)", "events"});
-  auto max_by = MaxByPhase();
-  auto mean_by = MeanByPhase();
-  std::map<std::string, int> counts;
-  for (const Event& e : events()) counts[e.phase] += 1;
-  for (const auto& [phase, max_d] : max_by) {
-    table.AddRow({phase, FormatDouble(max_d, 4),
-                  FormatDouble(mean_by[phase], 4),
-                  std::to_string(counts[phase])});
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [phase, agg] : by_phase_) {
+    table.AddRow({phase, FormatDouble(agg.max, 4),
+                  FormatDouble(agg.sum / agg.count, 4),
+                  std::to_string(agg.count)});
   }
   return table;
 }

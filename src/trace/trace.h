@@ -2,8 +2,15 @@
 // shutdown, rendezvous, shrink, state sync, recompute, ...) records its
 // per-rank [start, end] interval in virtual time. Benches aggregate
 // these into the paper's per-phase cost breakdowns.
+//
+// Events are indexed by phase at record time: per-phase aggregates
+// (max/mean/min/latest-end) are maintained incrementally, so queries are
+// O(phases) instead of re-scanning every event under the mutex — per-op
+// tracing (one event per gradient bucket) would otherwise degrade bench
+// runtime quadratically.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -22,13 +29,30 @@ struct Event {
   double duration() const { return end - start; }
 };
 
+// One collective operation as seen by a rank: submission and completion
+// in virtual time, plus the op identity the resilient layer replays by.
+struct OpEvent {
+  int pid = -1;
+  uint64_t op_id = 0;
+  std::string algo;
+  double bytes = 0.0;
+  sim::Seconds submit = 0.0;
+  sim::Seconds complete = 0.0;
+  double latency() const { return complete - submit; }
+};
+
 class Recorder {
  public:
   void Record(int pid, const std::string& phase, sim::Seconds start,
               sim::Seconds end);
 
+  // Per-op tracing for the nonblocking pipeline.
+  void RecordOp(int pid, uint64_t op_id, const std::string& algo,
+                double bytes, sim::Seconds submit, sim::Seconds complete);
+
   std::vector<Event> events() const;
   std::vector<Event> EventsForPhase(const std::string& phase) const;
+  std::vector<OpEvent> op_events() const;
 
   // Critical-path duration: the longest single-rank duration per phase
   // (what an observer of the stalled training job experiences).
@@ -45,8 +69,21 @@ class Recorder {
   Table ToTable() const;
 
  private:
+  // Incremental aggregates + the indices of the phase's events in
+  // events_, maintained by Record.
+  struct PhaseAgg {
+    double max = 0.0;
+    double min = 0.0;
+    double sum = 0.0;
+    int count = 0;
+    double latest_end = 0.0;
+    std::vector<size_t> event_idx;
+  };
+
   mutable std::mutex mu_;
   std::vector<Event> events_;
+  std::map<std::string, PhaseAgg> by_phase_;
+  std::vector<OpEvent> op_events_;
 };
 
 // RAII phase scope: records [now at construction, now at destruction] on

@@ -1,0 +1,204 @@
+// Request-based nonblocking collectives: the pipelined path must be
+// bit-identical to the blocking one (same kernels, same reduction
+// order), requests must complete in submission order (engine chaining),
+// and the shared tuning table must reproduce each stack's historical
+// algorithm choices.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "coll/tuning.h"
+#include "mpi/comm.h"
+#include "nccl/nccl.h"
+#include "test_util.h"
+
+namespace rcc {
+namespace {
+
+using rcc::testing::RunWorld;
+
+// Deterministic, rank- and op-dependent input (exercises non-uniform
+// float summation so reduction-order differences would show).
+std::vector<float> MakeInput(int rank, int op, size_t count) {
+  std::vector<float> v(count);
+  for (size_t i = 0; i < count; ++i) {
+    v[i] = 0.25f * static_cast<float>((rank * 31 + op * 7 + i * 13) % 97) -
+           12.0f;
+  }
+  return v;
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(Pipeline, IAllreduceMatchesBlockingAllAlgorithms) {
+  const coll::AllreduceAlgo algos[] = {
+      coll::AllreduceAlgo::kRing, coll::AllreduceAlgo::kRecursiveDoubling,
+      coll::AllreduceAlgo::kReduceBcast, coll::AllreduceAlgo::kRabenseifner};
+  const size_t counts[] = {1, 7, 1023, 4099};
+  for (int world : {3, 5, 8}) {
+    for (coll::AllreduceAlgo algo : algos) {
+      RunWorld(world, [&](mpi::Comm& comm, sim::Endpoint&) {
+        constexpr int kInflight = 4;
+        std::vector<std::vector<float>> ins, blocking, pipelined;
+        // Blocking reference pass.
+        for (int op = 0; op < kInflight; ++op) {
+          const size_t count = counts[op % 4];
+          ins.push_back(MakeInput(comm.rank(), op, count));
+          blocking.emplace_back(count);
+          ASSERT_TRUE(comm.Allreduce(ins[op].data(), blocking[op].data(),
+                                     count, algo)
+                          .ok());
+        }
+        // Same ops submitted back-to-back, all in flight at once.
+        std::vector<coll::Request> reqs;
+        for (int op = 0; op < kInflight; ++op) {
+          pipelined.emplace_back(ins[op].size());
+          reqs.push_back(comm.IAllreduce(ins[op].data(), pipelined[op].data(),
+                                         ins[op].size(), algo));
+        }
+        ASSERT_TRUE(comm.WaitAll(&reqs).ok());
+        for (int op = 0; op < kInflight; ++op) {
+          EXPECT_TRUE(BitIdentical(blocking[op], pipelined[op]))
+              << "world=" << world << " algo=" << coll::AllreduceAlgoName(algo)
+              << " op=" << op;
+        }
+      });
+    }
+  }
+}
+
+TEST(Pipeline, RequestsCompleteInSubmissionOrder) {
+  RunWorld(4, [](mpi::Comm& comm, sim::Endpoint& ep) {
+    constexpr int kOps = 6;
+    std::vector<std::vector<float>> ins, outs;
+    std::vector<coll::Request> reqs;
+    const sim::Seconds submit_clock = ep.now();
+    for (int op = 0; op < kOps; ++op) {
+      ins.push_back(MakeInput(comm.rank(), op, 512));
+      outs.emplace_back(512);
+      reqs.push_back(
+          comm.IAllreduce(ins[op].data(), outs[op].data(), outs[op].size()));
+    }
+    // Submission is instantaneous in virtual time: compute keeps running.
+    EXPECT_EQ(ep.now(), submit_clock);
+    ASSERT_TRUE(comm.WaitAll(&reqs).ok());
+    for (int op = 1; op < kOps; ++op) {
+      EXPECT_GE(reqs[op].complete_time(), reqs[op - 1].complete_time());
+      EXPECT_TRUE(reqs[op].Test());
+    }
+    // Wait merged the last completion into the rank clock.
+    EXPECT_GE(ep.now(), reqs[kOps - 1].complete_time());
+  });
+}
+
+TEST(Pipeline, IBcastMatchesBlockingAndOverlaps) {
+  RunWorld(5, [](mpi::Comm& comm, sim::Endpoint&) {
+    std::vector<float> a(33), b(129);
+    if (comm.rank() == 2) {
+      a = MakeInput(99, 1, a.size());
+      b = MakeInput(99, 2, b.size());
+    }
+    coll::Request ra = comm.IBcast(a.data(), a.size(), /*root=*/2);
+    coll::Request rb = comm.IBcast(b.data(), b.size(), /*root=*/2);
+    ASSERT_TRUE(comm.Wait(&ra).ok());
+    ASSERT_TRUE(comm.Wait(&rb).ok());
+    EXPECT_TRUE(BitIdentical(a, MakeInput(99, 1, a.size())));
+    EXPECT_TRUE(BitIdentical(b, MakeInput(99, 2, b.size())));
+  });
+}
+
+TEST(Pipeline, NcclIAllreduceMatchesBlocking) {
+  sim::Cluster cluster;
+  std::vector<int> pids(6);
+  for (int i = 0; i < 6; ++i) pids[i] = i;
+  cluster.Spawn(6, [pids](sim::Endpoint& ep) {
+    auto comm = nccl::Comm::InitRank(ep, pids, "pipeline-test");
+    ASSERT_NE(comm, nullptr);
+    std::vector<std::vector<float>> ins, blocking, pipelined;
+    for (int op = 0; op < 3; ++op) {
+      const size_t count = 257 + 64 * op;
+      ins.push_back(MakeInput(comm->rank(), op, count));
+      blocking.emplace_back(count);
+      ASSERT_TRUE(
+          comm->Allreduce<float>(ins[op].data(), blocking[op].data(), count)
+              .ok());
+    }
+    std::vector<coll::Request> reqs;
+    for (int op = 0; op < 3; ++op) {
+      pipelined.emplace_back(ins[op].size());
+      reqs.push_back(comm->IAllreduce<float>(
+          ins[op].data(), pipelined[op].data(), ins[op].size()));
+    }
+    ASSERT_TRUE(comm->WaitAll(&reqs).ok());
+    for (int op = 0; op < 3; ++op) {
+      EXPECT_TRUE(BitIdentical(blocking[op], pipelined[op])) << "op=" << op;
+    }
+  });
+  cluster.Join();
+}
+
+TEST(Pipeline, BlockingApiStaysApiCompatible) {
+  // The seed's call shape - blocking Allreduce with an explicit
+  // algorithm - still compiles and sums correctly.
+  RunWorld(3, [](mpi::Comm& comm, sim::Endpoint&) {
+    float mine = static_cast<float>(comm.rank() + 1);
+    float sum = 0;
+    ASSERT_TRUE(
+        comm.Allreduce(&mine, &sum, 1, mpi::AllreduceAlgo::kRing).ok());
+    EXPECT_EQ(sum, 6.0f);
+  });
+}
+
+TEST(Tuning, DefaultTablesReproduceHistoricalThresholds) {
+  const auto mpi_t = coll::MpiAllreduceTuning();
+  EXPECT_EQ(coll::ChooseAllreduce(mpi_t, coll::AllreduceAlgo::kAuto, 1024, 8),
+            coll::AllreduceAlgo::kRecursiveDoubling);
+  EXPECT_EQ(coll::ChooseAllreduce(mpi_t, coll::AllreduceAlgo::kAuto, 65536, 8),
+            coll::AllreduceAlgo::kRecursiveDoubling);  // at the cutoff
+  EXPECT_EQ(coll::ChooseAllreduce(mpi_t, coll::AllreduceAlgo::kAuto, 65537, 8),
+            coll::AllreduceAlgo::kRing);
+  const auto nccl_t = coll::NcclAllreduceTuning();
+  EXPECT_EQ(coll::ChooseAllreduce(nccl_t, coll::AllreduceAlgo::kAuto, 1024, 8),
+            coll::AllreduceAlgo::kReduceBcast);
+  EXPECT_EQ(coll::ChooseAllreduce(nccl_t, coll::AllreduceAlgo::kAuto, 1e6, 8),
+            coll::AllreduceAlgo::kRing);
+  const auto gloo_t = coll::GlooAllreduceTuning();
+  EXPECT_EQ(coll::ChooseAllreduce(gloo_t, coll::AllreduceAlgo::kAuto, 1, 8),
+            coll::AllreduceAlgo::kRing);
+  // An explicit request always wins over the table.
+  EXPECT_EQ(coll::ChooseAllreduce(mpi_t, coll::AllreduceAlgo::kRabenseifner,
+                                  1024, 8),
+            coll::AllreduceAlgo::kRabenseifner);
+}
+
+TEST(Tuning, ParseAndNameRoundTrip) {
+  for (coll::AllreduceAlgo algo :
+       {coll::AllreduceAlgo::kRing, coll::AllreduceAlgo::kRecursiveDoubling,
+        coll::AllreduceAlgo::kReduceBcast,
+        coll::AllreduceAlgo::kRabenseifner}) {
+    EXPECT_EQ(coll::ParseAllreduceAlgo(coll::AllreduceAlgoName(algo)), algo);
+  }
+  EXPECT_EQ(coll::ParseAllreduceAlgo("no_such_algo"),
+            coll::AllreduceAlgo::kAuto);
+}
+
+TEST(Tuning, PerCommOverrideChangesSelection) {
+  RunWorld(4, [](mpi::Comm& comm, sim::Endpoint&) {
+    coll::AllreduceTuning ring_only;
+    ring_only.rows = {{/*max_ranks=*/1 << 30, /*cutoff_bytes=*/0.0}};
+    ring_only.large_algo = coll::AllreduceAlgo::kRing;
+    comm.set_allreduce_tuning(ring_only);
+    std::vector<float> in(8, 1.0f), out(8);
+    coll::Request req = comm.IAllreduce(in.data(), out.data(), in.size());
+    EXPECT_STREQ(req.info().algo, "ring");
+    ASSERT_TRUE(comm.Wait(&req).ok());
+    for (float v : out) EXPECT_EQ(v, 4.0f);
+  });
+}
+
+}  // namespace
+}  // namespace rcc

@@ -25,7 +25,10 @@ struct Sweep {
   int steps = 4;
   int fail_epoch = 0;
   int fail_step = 0;
+  int fail_bucket = 0;
   int victim = 1;
+  int grad_buckets = 1;
+  int inflight_window = 0;  // 0 = blocking per-bucket allreduce
   horovod::DropPolicy policy = horovod::DropPolicy::kProcess;
   int gpus_per_node = 6;
 };
@@ -39,8 +42,11 @@ std::vector<TrainerReport> RunSweep(const Sweep& sweep) {
   opts.epochs = sweep.epochs;
   opts.steps_per_epoch = sweep.steps;
   opts.drop_policy = sweep.policy;
-  opts.failures.push_back({sweep.fail_epoch, sweep.fail_step, 0,
-                           sweep.victim, sim::FailScope::kProcess});
+  opts.grad_buckets = sweep.grad_buckets;
+  opts.inflight_window = sweep.inflight_window;
+  opts.failures.push_back({sweep.fail_epoch, sweep.fail_step,
+                           sweep.fail_bucket, sweep.victim,
+                           sim::FailScope::kProcess});
   std::vector<std::atomic<bool>> flags(1);
   flags[0] = false;
   std::vector<int> pids(sweep.world);
@@ -133,6 +139,61 @@ TEST_P(WorldSweep, MidTrainingFailureInvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Worlds, WorldSweep,
                          ::testing::Values(2, 3, 5, 6, 8, 12));
+
+// Windowed recovery: the victim dies with K > 1 bucket allreduces in
+// flight; survivors must drain the window, agree on the earliest
+// incomplete op, replay from there on the shrunk communicator, and keep
+// every invariant (P1-P4) of the blocking protocol.
+struct InflightFailure {
+  int fail_bucket;
+  int window;
+};
+
+class InflightFailureSweep
+    : public ::testing::TestWithParam<InflightFailure> {};
+
+TEST_P(InflightFailureSweep, WindowedRecoveryInvariantsHold) {
+  Sweep sweep;
+  sweep.grad_buckets = 4;
+  sweep.inflight_window = GetParam().window;
+  sweep.fail_epoch = 0;
+  sweep.fail_step = 1;
+  sweep.fail_bucket = GetParam().fail_bucket;
+  sweep.victim = 2;
+  CheckInvariants(RunSweep(sweep), sweep, /*expected_leavers=*/1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, InflightFailureSweep,
+    ::testing::Values(InflightFailure{1, 2}, InflightFailure{2, 2},
+                      InflightFailure{3, 2}, InflightFailure{1, 4},
+                      InflightFailure{3, 4}, InflightFailure{2, 8},
+                      InflightFailure{0, 4}),
+    [](const ::testing::TestParamInfo<InflightFailure>& info) {
+      return "b" + std::to_string(info.param.fail_bucket) + "_w" +
+             std::to_string(info.param.window);
+    });
+
+TEST(InflightFailure, PipelinedCleanRunMatchesBlocking) {
+  // Without failures the windowed path must produce the same parameters
+  // as the blocking path: same buckets, same kernels, same averaging.
+  Sweep blocking;
+  blocking.grad_buckets = 4;
+  blocking.fail_epoch = -1;  // never fires
+  Sweep windowed = blocking;
+  windowed.inflight_window = 4;
+  auto a = RunSweep(blocking);
+  auto b = RunSweep(windowed);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& r : b) {
+    EXPECT_FALSE(r.aborted);
+    ASSERT_EQ(r.final_params.size(), a[0].final_params.size());
+    for (size_t i = 0; i < r.final_params.size(); ++i) {
+      ASSERT_EQ(r.final_params[i], a[0].final_params[i]) << "param " << i;
+    }
+  }
+}
 
 TEST(NodePolicySweep, VictimsNodePeersLeaveWithIt) {
   for (int victim : {0, 1, 2, 3}) {
