@@ -46,6 +46,7 @@ int main() {
                       3)});
     std::printf(".");
     std::fflush(stdout);
+    bench::DumpObservability(rec);
   }
   std::printf("\n");
   bench::EmitTable(table,

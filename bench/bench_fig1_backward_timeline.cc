@@ -50,5 +50,6 @@ int main() {
       "\nThe training state rolls back to the last mini-batch commit and\n"
       "the lost mini-batch is re-computed after the full context rebuild\n"
       "(the paper's Fig. 1 checkpoint-rollback arc).\n");
+  bench::DumpObservability(rec);
   return 0;
 }

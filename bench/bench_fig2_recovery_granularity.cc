@@ -54,5 +54,6 @@ int main() {
                    "fig2_recovery_granularity.csv");
   std::printf("\nrepeated-work ratio (EH / ULFM): %.1fx\n",
               eh_recompute / ulfm_retry);
+  bench::DumpObservability(ulfm_rec);
   return 0;
 }

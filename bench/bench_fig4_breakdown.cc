@@ -81,6 +81,7 @@ int main() {
                      std::string("fig4_breakdown_") + level_name + ".csv");
     std::printf("speedup (EH total / ULFM total): %.1fx\n\n",
                 eh_total / ulfm_total);
+    bench::DumpObservability(ulfm_rec);
   }
   return 0;
 }

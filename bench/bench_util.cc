@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "core/ulfm_elastic.h"
+#include "obs/export.h"
 
 namespace rcc::bench {
 
@@ -150,7 +151,15 @@ ScenarioCosts RunScenario(Stack stack, const dnn::ModelSpec& spec,
   costs.clean_time = clean_stats.completion_time;
   costs.faulty_time = stats.completion_time;
   costs.total_overhead = stats.completion_time - clean_stats.completion_time;
+  // Env-driven observability dump: each scenario overwrites the files,
+  // so they hold the final scenario's faulty-run trace and the metrics
+  // accumulated over the whole bench.
+  obs::DumpIfRequested(&rec);
   return costs;
+}
+
+void DumpObservability(const trace::Recorder& rec) {
+  obs::DumpIfRequested(&rec);
 }
 
 void EmitTable(const Table& table, const std::string& title,

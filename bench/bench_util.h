@@ -69,4 +69,10 @@ void RunCostFigure(const dnn::ModelSpec& spec,
 void EmitTable(const Table& table, const std::string& title,
                const std::string& csv_name);
 
+// Env-driven observability dump (RCC_TRACE_JSON / RCC_METRICS_OUT) for
+// benches managing their own recorders; RunScenario callers get it
+// automatically. Repeated calls overwrite, so the files hold the last
+// dumped run.
+void DumpObservability(const trace::Recorder& rec);
+
 }  // namespace rcc::bench

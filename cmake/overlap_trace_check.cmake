@@ -1,0 +1,55 @@
+# Script-mode ctest driving the observability acceptance check: run
+# bench_ablation_overlap with the RCC_TRACE_JSON / RCC_METRICS_OUT env
+# knobs set, then require that
+#   (1) the bench's own cross-check passed ("overlap metrics check: OK"
+#       -- the rcc_step_*-derived comm-hidden fraction within 2 points
+#       of the bench's wall-clock ratio),
+#   (2) the emitted Chrome trace JSON validates against the schema
+#       (trace_json_check), and
+#   (3) the metrics dumps (Prometheus text + CSV) were written.
+#
+# Usage:
+#   cmake -DBENCH=<bench exe> -DCHECKER=<checker exe> -DOUT_DIR=<dir> \
+#         -P overlap_trace_check.cmake
+foreach(var BENCH CHECKER OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(TRACE_JSON "${OUT_DIR}/ablation_overlap_trace.json")
+set(METRICS_OUT "${OUT_DIR}/ablation_overlap_metrics.prom")
+set(ENV{RCC_TRACE_JSON} "${TRACE_JSON}")
+set(ENV{RCC_METRICS_OUT} "${METRICS_OUT}")
+
+execute_process(
+  COMMAND "${BENCH}"
+  WORKING_DIRECTORY "${OUT_DIR}"
+  OUTPUT_VARIABLE bench_out
+  ERROR_VARIABLE bench_err
+  RESULT_VARIABLE bench_rc)
+message("${bench_out}")
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench failed (rc=${bench_rc}): ${bench_err}")
+endif()
+string(FIND "${bench_out}" "overlap metrics check: OK" ok_pos)
+if(ok_pos EQUAL -1)
+  message(FATAL_ERROR "bench output lacks 'overlap metrics check: OK'")
+endif()
+
+foreach(f "${TRACE_JSON}" "${METRICS_OUT}" "${METRICS_OUT}.csv")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "expected observability dump missing: ${f}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CHECKER}" "${TRACE_JSON}"
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "trace schema check failed: ${check_out}${check_err}")
+endif()
+message("overlap trace + metrics dumps validated")

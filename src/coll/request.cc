@@ -3,7 +3,29 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace rcc::coll {
+namespace {
+
+// Queue-wait vs service breakdown and in-flight depth for the request
+// pipeline. Instruments are resolved per algo label (cheap shared-lock
+// lookup after first use); the gauge is global across communicators.
+void RecordRequestMetrics(const Request::Info& info, sim::Seconds submit,
+                          sim::Seconds start, sim::Seconds complete,
+                          bool ok) {
+  auto& reg = obs::Registry::Global();
+  const obs::Labels algo{{"algo", info.algo}};
+  reg.GetHistogram("rcc_coll_queue_wait_seconds", algo)
+      ->Observe(start - submit);
+  reg.GetHistogram("rcc_coll_service_seconds", algo)
+      ->Observe(complete - start);
+  reg.GetCounter(ok ? "rcc_coll_ops_total" : "rcc_coll_ops_failed_total",
+                 algo)
+      ->Increment();
+}
+
+}  // namespace
 
 Request Request::Start(Info info, sim::Seconds submit, Body body,
                        const Request* after) {
@@ -12,11 +34,15 @@ Request Request::Start(Info info, sim::Seconds submit, Body body,
   State* st = req.state_.get();
   st->info = info;
   st->submit = submit;
+  st->start = submit;
   st->complete = submit;
+  obs::Gauge* inflight =
+      obs::Registry::Global().GetGauge("rcc_coll_inflight");
+  inflight->Add(1.0);
   std::shared_ptr<State> pred =
       (after != nullptr) ? after->state_ : nullptr;
   st->worker = std::thread(
-      [st, pred = std::move(pred), body = std::move(body)]() mutable {
+      [st, inflight, pred = std::move(pred), body = std::move(body)]() mutable {
         if (pred) {
           std::unique_lock<std::mutex> lock(pred->mu);
           pred->cv.wait(lock, [&] { return pred->done; });
@@ -25,7 +51,11 @@ Request Request::Start(Info info, sim::Seconds submit, Body body,
           if (pred->complete > st->complete) st->complete = pred->complete;
         }
         pred.reset();
+        st->start = st->complete;
         Status s = body(&st->complete);
+        RecordRequestMetrics(st->info, st->submit, st->start, st->complete,
+                             s.ok());
+        inflight->Add(-1.0);
         {
           std::lock_guard<std::mutex> lock(st->mu);
           st->status = std::move(s);
@@ -43,6 +73,7 @@ Request Request::Failed(Info info, sim::Seconds submit, Status status) {
   State* st = req.state_.get();
   st->info = info;
   st->submit = submit;
+  st->start = submit;
   st->complete = submit;
   st->status = std::move(status);
   st->done = true;

@@ -59,6 +59,11 @@ class Request {
   sim::Seconds submit_time() const { return state_->submit; }
   // Valid once the op completed (Test() true or Join() returned).
   sim::Seconds complete_time() const { return state_->complete; }
+  // Effective start time: max(submit, predecessor completion), i.e. when
+  // the modeled engine actually began executing the op. complete - start
+  // is the service time, start - submit the queue wait. Valid once the
+  // op completed.
+  sim::Seconds start_time() const { return state_->start; }
 
   // Nonblocking completion probe.
   bool Test() const {
@@ -75,6 +80,7 @@ class Request {
   struct State {
     Info info;
     sim::Seconds submit = 0.0;
+    sim::Seconds start = 0.0;
     sim::Seconds complete = 0.0;
     Status status;
     std::mutex mu;

@@ -1,6 +1,7 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -26,6 +27,31 @@ const char* LevelTag(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel ParseLogLevel(const char* spec, LogLevel fallback) {
+  if (spec == nullptr || *spec == '\0') return fallback;
+  std::string s(spec);
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "trace" || s == "0") return LogLevel::kTrace;
+  if (s == "debug" || s == "1") return LogLevel::kDebug;
+  if (s == "info" || s == "2") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning" || s == "3") return LogLevel::kWarn;
+  if (s == "error" || s == "4") return LogLevel::kError;
+  if (s == "off" || s == "none" || s == "5") return LogLevel::kOff;
+  return fallback;
+}
+
+namespace {
+// Applies RCC_LOG_LEVEL before main() so even static-init logging obeys
+// it; explicit SetLogLevel calls still override later.
+struct LogEnvInit {
+  LogEnvInit() {
+    if (const char* e = std::getenv("RCC_LOG_LEVEL")) {
+      SetLogLevel(ParseLogLevel(e));
+    }
+  }
+} g_log_env_init;
+}  // namespace
 
 namespace internal {
 

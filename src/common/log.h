@@ -11,9 +11,16 @@ namespace rcc {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-// Global minimum level; messages below it are dropped cheaply.
+// Global minimum level; messages below it are dropped cheaply. The
+// initial level honors the RCC_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off, case-insensitive, or a numeric
+// level 0-5); unset or unparseable falls back to warn.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses an RCC_LOG_LEVEL-style spec. Returns `fallback` on nullptr or
+// unrecognized input.
+LogLevel ParseLogLevel(const char* spec, LogLevel fallback = LogLevel::kWarn);
 
 namespace internal {
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg);

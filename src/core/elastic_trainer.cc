@@ -3,6 +3,7 @@
 #include "common/log.h"
 #include "dnn/layers.h"
 #include "dnn/optimizer.h"
+#include "obs/metrics.h"
 
 namespace rcc::core {
 
@@ -54,6 +55,8 @@ bool ElasticTrainer::MaybeDie(int epoch, int step, int bucket) {
 }
 
 Status ElasticTrainer::TrainStep(int epoch, int step, float* loss_out) {
+  const sim::Seconds step_start = rc_->endpoint().now();
+  rc_->TakeCommServiceSeconds();  // drop pre-step traffic (state sync &c)
   // Per-worker shard of the global batch under the *current* membership
   // (after a shrink the survivors re-partition the data - degraded mode).
   dnn::Batch batch = data_->ShardBatch(epoch, step, opts_.batch_per_worker,
@@ -121,6 +124,29 @@ Status ElasticTrainer::TrainStep(int epoch, int step, float* loss_out) {
         opts_.sgd.lr;
   }
   opt_->Step(lr_scale);
+  {
+    // Per-step driver metrics (real-numerics trainer). Compute is the
+    // charged FLOP time; comm service comes from the resilient comm's
+    // accumulator, so only this step's GPU collectives count.
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"stack", "elastic_trainer"}};
+    const double wall = rc_->endpoint().now() - step_start;
+    const double compute =
+        3.0 * model_->LastForwardFlops() /
+        rc_->endpoint().fabric().config().net.gpu_flops;
+    const double service = rc_->TakeCommServiceSeconds();
+    const double exposed = wall > compute ? wall - compute : 0.0;
+    reg.GetCounter("rcc_steps_total", labels)->Increment();
+    reg.GetCounter("rcc_step_seconds_total", labels)->Add(wall);
+    reg.GetCounter("rcc_step_compute_seconds_total", labels)->Add(compute);
+    reg.GetCounter("rcc_step_comm_service_seconds_total", labels)
+        ->Add(service);
+    reg.GetCounter("rcc_step_comm_exposed_seconds_total", labels)
+        ->Add(exposed);
+    reg.GetHistogram("rcc_step_seconds", labels)->Observe(wall);
+    reg.GetGauge("rcc_world_size", labels)
+        ->Set(static_cast<double>(rc_->size()));
+  }
   return Status::Ok();
 }
 

@@ -4,6 +4,8 @@
 
 #include "coll/algorithms.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rcc::core {
 
@@ -49,8 +51,8 @@ std::unique_ptr<ResilientComm> ResilientComm::JoinExisting(
 }
 
 Status ResilientComm::InitGpu(const char* phase_prefix) {
-  trace::Scope scope(rec_, ep_,
-                     std::string(phase_prefix) + horovod::phase::kNcclReinit);
+  obs::Span span(rec_, ep_,
+                 std::string(phase_prefix) + horovod::phase::kNcclReinit);
   gpu_ = nccl::Comm::InitRank(ep_, comm_->pids(), NcclId(*comm_));
   if (gpu_ == nullptr) {
     return Status(Code::kProcFailed, "nccl init failed");
@@ -72,17 +74,23 @@ bool ResilientComm::ShouldLeaveNode() const {
 Status ResilientComm::Repair(const Status& failure) {
   if (!ep_.alive()) return Status(Code::kAborted, "self dead");
   ++repairs_;
+  obs::Registry::Global()
+      .GetCounter("rcc_recovery_repairs_total")
+      ->Increment();
   RCC_LOG(kDebug) << "pid " << ep_.pid() << " repair start: "
                   << failure.ToString();
   {
-    trace::Scope scope(rec_, ep_,
-                       std::string("recovery/") + horovod::phase::kUlfmRepair);
-    // Error-handler path (Section 3.1): revoke to interrupt every rank
-    // still blocked in the broken collective, acknowledge the failures,
-    // then agree + shrink.
-    comm_->NoteFailedPids(failure.failed_pids());
-    ulfm::Revoke(*comm_);
-    ulfm::FailureAck(*comm_);
+    obs::Span span(rec_, ep_,
+                   std::string("recovery/") + horovod::phase::kUlfmRepair);
+    {
+      // Error-handler path (Section 3.1): revoke to interrupt every rank
+      // still blocked in the broken collective, acknowledge the
+      // failures, then agree + shrink.
+      obs::Span revoke(rec_, ep_, "recovery/revoke");
+      comm_->NoteFailedPids(failure.failed_pids());
+      ulfm::Revoke(*comm_);
+      ulfm::FailureAck(*comm_);
+    }
     if (ShouldLeaveNode()) {
       // Node-drop policy: this process's host lost a member, so it
       // leaves the training job immediately; the survivors' shrink
@@ -94,6 +102,7 @@ Status ResilientComm::Repair(const Status& failure) {
     // die concurrently with the first shrink; the stability check is
     // itself an agreement so every survivor takes the same number of
     // shrink rounds.
+    obs::Span shrink_span(rec_, ep_, "recovery/shrink");
     auto shrunk = ulfm::Shrink(*comm_);
     if (!shrunk.ok()) return shrunk.status();
     for (;;) {
@@ -128,8 +137,8 @@ Status ResilientComm::Repair(const Status& failure) {
                        ? Status::ProcFailed(verdict.value().failed_pids,
                                             "peer failed during gpu rebuild")
                        : gpu_init_status_;
-    trace::Scope scope(rec_, ep_,
-                       std::string("recovery/") + horovod::phase::kUlfmRepair);
+    obs::Span span(rec_, ep_,
+                   std::string("recovery/") + horovod::phase::kUlfmRepair);
     comm_->NoteFailedPids(again.failed_pids());
     ulfm::Revoke(*comm_);
     if (ShouldLeaveNode()) {
@@ -154,7 +163,7 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
     Status st;
     if (!data_done) {
       if (repaired) {
-        trace::Scope scope(
+        obs::Span span(
             rec_, ep_,
             std::string("recovery/") + horovod::phase::kRetryCollective);
         st = data_fn();
@@ -180,7 +189,10 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
       repaired = true;
       int64_t contribution = FirstIncompleteWindowOp();
       if (contribution == kNoIncompleteOp && !data_done) contribution = op_id;
-      auto verdict = ulfm::Agree(*comm_, /*flag=*/1, contribution);
+      auto verdict = [&] {
+        obs::Span agree(rec_, ep_, "recovery/agree");
+        return ulfm::Agree(*comm_, /*flag=*/1, contribution);
+      }();
       if (!verdict.ok()) return verdict.status();
       const int64_t min_id = verdict.value().min_value;
       if (min_id == kNoIncompleteOp || min_id > op_id) {
@@ -230,6 +242,7 @@ Status ResilientComm::WaitOp(WindowOp* op) {
   }
   if (st.ok()) {
     op->done = true;
+    comm_service_acc_ += op->req.complete_time() - op->req.start_time();
     if (rec_ != nullptr) {
       rec_->RecordOp(ep_.pid(), static_cast<uint64_t>(op->id),
                      op->req.info().algo, op->req.info().bytes,
@@ -258,15 +271,18 @@ int64_t ResilientComm::FirstIncompleteWindowOp() const {
 }
 
 Status ResilientComm::ReplayWindowFrom(int64_t min_id) {
+  obs::Counter* replayed =
+      obs::Registry::Global().GetCounter("rcc_recovery_replayed_ops_total");
   for (auto& op : window_) {
     if (op.id < min_id) continue;
-    trace::Scope scope(
+    obs::Span span(
         rec_, ep_, std::string("recovery/") + horovod::phase::kRetryCollective);
     if (gpu_ == nullptr) return gpu_init_status_;
     gpu_->set_cost_scale(op.cost_scale);
     Status st = gpu_->Allreduce<float>(op.sendbuf, op.recvbuf, op.count);
     gpu_->set_cost_scale(1.0);
     if (!st.ok()) return st;
+    replayed->Increment();
     op.done = true;
     op.req = coll::Request();  // the pre-failure request is retired
   }
@@ -279,7 +295,10 @@ Status ResilientComm::RecoverWindow(Status failure, bool* need_barrier) {
     Status drained = DrainRequests();
     if (drained.code() == Code::kAborted) return drained;
     RCC_RETURN_IF_ERROR(Repair(failure));
-    auto verdict = ulfm::Agree(*comm_, /*flag=*/1, FirstIncompleteWindowOp());
+    auto verdict = [&] {
+      obs::Span agree(rec_, ep_, "recovery/agree");
+      return ulfm::Agree(*comm_, /*flag=*/1, FirstIncompleteWindowOp());
+    }();
     if (!verdict.ok()) return verdict.status();
     const int64_t min_id = verdict.value().min_value;
     const int64_t last_submitted = window_.empty() ? 0 : window_.back().id;
@@ -418,6 +437,13 @@ Status ResilientComm::Barrier() {
   return RunResilient([] { return Status::Ok(); },
                       [&] { return comm_->Barrier(); },
                       /*has_data=*/false);
+}
+
+double ResilientComm::TakeCommServiceSeconds() {
+  double s = comm_service_acc_;
+  comm_service_acc_ = 0.0;
+  if (gpu_ != nullptr) s += gpu_->TakeServiceSeconds();
+  return s;
 }
 
 Status ResilientComm::Expand(const std::string& session, int joiner_count) {

@@ -117,6 +117,14 @@ class ResilientComm {
   // GPU rebuild). Exposed for tests; the op wrappers call it internally.
   Status Repair(const Status& failure);
 
+  // Drains the accumulated GPU-collective service seconds since the last
+  // call: engine execution time of windowed ops (observed at WaitOp)
+  // plus the GPU communicator's own accumulator (blocking allreduces,
+  // replays, barriers). Per-step reads of this drive the comm-hidden
+  // fraction without picking up host-side traffic (state sync,
+  // negotiation) that shares the global metrics registry.
+  double TakeCommServiceSeconds();
+
  private:
   // One windowed op: request handle plus the preserved out-of-place
   // buffers the recovery replays from. deque keeps references stable
@@ -177,6 +185,7 @@ class ResilientComm {
   uint64_t op_counter_ = 0;
   int max_inflight_ = 8;
   std::deque<WindowOp> window_;
+  double comm_service_acc_ = 0.0;  // see TakeCommServiceSeconds
 };
 
 }  // namespace rcc::core

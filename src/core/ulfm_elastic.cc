@@ -8,6 +8,8 @@
 #include "common/serial.h"
 #include "core/resilient.h"
 #include "kvstore/kvstore.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rcc::core {
 
@@ -85,7 +87,7 @@ class UlfmWorker {
     auto sig = ss_->store->Wait(&ep_, signal);
     if (!sig.ok()) return;
     {
-      trace::Scope scope(
+      obs::Span scope(
           ss_->rec, ep_,
           std::string("recovery/") + horovod::phase::kWorkerInit);
       ep_.Busy(cold ? costs.worker_coldstart : costs.worker_warmstart);
@@ -106,7 +108,7 @@ class UlfmWorker {
   // State broadcast from rank 0 (survivor order is preserved by shrink
   // and expand, so rank 0 always holds valid state).
   Status SyncState(bool joiner) {
-    trace::Scope scope(ss_->rec, ep_,
+    obs::Span scope(ss_->rec, ep_,
                        std::string("recovery/") + horovod::phase::kStateSync);
     std::vector<uint8_t> blob = EncodeCursor(epoch_, step_);
     const double scale =
@@ -163,9 +165,12 @@ class UlfmWorker {
 
   // Returns false when this worker leaves (death or node drop).
   bool TrainStep(int* known_repairs) {
+    const sim::Seconds step_start = ep_.now();
+    rc_->TakeCommServiceSeconds();  // drop pre-step traffic (state sync &c)
     const bool ok = ss_->plan.inflight_window < 1
                         ? TrainStepBlocking()
                         : TrainStepPipelined();
+    if (ok) RecordStepMetrics(ep_.now() - step_start);
     if (ok && rc_->repairs() != *known_repairs) {
       *known_repairs = rc_->repairs();
       ss_->repairs.fetch_add(1);
@@ -178,13 +183,36 @@ class UlfmWorker {
     return ok;
   }
 
+  // Per-step driver metrics (paper Figs. 5-7 are built from these): step
+  // wall time, its compute/comm split, and the exposed (non-overlapped)
+  // communication derived from them. Comm service comes from the
+  // resilient comm's own accumulator so host-side traffic from other
+  // phases never pollutes the comm-hidden fraction.
+  void RecordStepMetrics(double wall) {
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"stack", "ulfm"}};
+    const double compute = ss_->step_compute_seconds;
+    const double service = rc_->TakeCommServiceSeconds();
+    const double exposed = wall > compute ? wall - compute : 0.0;
+    reg.GetCounter("rcc_steps_total", labels)->Increment();
+    reg.GetCounter("rcc_step_seconds_total", labels)->Add(wall);
+    reg.GetCounter("rcc_step_compute_seconds_total", labels)->Add(compute);
+    reg.GetCounter("rcc_step_comm_service_seconds_total", labels)
+        ->Add(service);
+    reg.GetCounter("rcc_step_comm_exposed_seconds_total", labels)
+        ->Add(exposed);
+    reg.GetHistogram("rcc_step_seconds", labels)->Observe(wall);
+    reg.GetGauge("rcc_world_size", labels)
+        ->Set(static_cast<double>(rc_->size()));
+  }
+
   bool TrainStepBlocking() {
     ep_.Busy(ss_->step_compute_seconds);
     for (size_t b = 0; b < buckets_.size(); ++b) {
       MaybeDie(static_cast<int>(b));
       if (!ep_.alive()) return false;
       if (!ss_->plan.response_cache) {
-        trace::Scope scope(ss_->rec, ep_, "negotiation");
+        obs::Span scope(ss_->rec, ep_, "negotiation");
         if (!Negotiate(b)) return false;
       }
       Bucket& bucket = buckets_[b];
@@ -227,7 +255,7 @@ class UlfmWorker {
         return false;
       }
       if (!ss_->plan.response_cache) {
-        trace::Scope scope(ss_->rec, ep_, "negotiation");
+        obs::Span scope(ss_->rec, ep_, "negotiation");
         if (!Negotiate(b)) {
           rc_->WaitAll();
           return false;

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/serial.h"
+#include "obs/metrics.h"
 
 namespace rcc::gloo {
 
@@ -18,6 +19,7 @@ std::unique_ptr<Context> Context::Connect(sim::Endpoint& ep, kv::Store& store,
                                           const std::string& round_key,
                                           int world_size, double cost_scale) {
   const auto& costs = ep.fabric().config().costs;
+  const sim::Seconds rendezvous_start = ep.now();
 
   // 1. Allocate a rank slot (one KV round trip).
   auto slot = store.AddAndGet(&ep, round_key + "/slots", 1);
@@ -63,21 +65,35 @@ std::unique_ptr<Context> Context::Connect(sim::Endpoint& ep, kv::Store& store,
 
   auto group = mpi::GetOrCreateGroup(
       "gloo/f" + std::to_string(ep.fabric().id()) + "/" + round_key, pids);
+  obs::Registry::Global()
+      .GetHistogram("rcc_rendezvous_seconds", {{"stack", "gloo"}})
+      ->Observe(ep.now() - rendezvous_start);
   return std::unique_ptr<Context>(
       new Context(&ep, group, cost_scale));
 }
 
-void Context::BeginOp() {
+void Context::BeginOp(const char* algo, double bytes) {
   if (broken_) {
     throw IoException(Status(Code::kIoError, "context is broken"));
   }
   ++op_seq_;
   current_phase_ = 1 + (op_seq_ % 65534);
+  op_algo_ = algo;
+  op_bytes_ = bytes;
+  op_start_ = ep_->now();
 }
 
 void Context::Raise(const Status& s) {
   current_phase_ = 0;
-  if (s.ok()) return;
+  if (s.ok()) {
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"algo", op_algo_}, {"stack", "gloo"}};
+    reg.GetHistogram("rcc_collective_latency_seconds", labels)
+        ->Observe(ep_->now() - op_start_);
+    reg.GetCounter("rcc_collective_bytes_total", labels)->Add(op_bytes_);
+    reg.GetCounter("rcc_collective_ops_total", labels)->Increment();
+    return;
+  }
   broken_ = true;
   throw IoException(s);
 }

@@ -58,31 +58,34 @@ class Context : public coll::Transport {
   // --- collectives (throwing API, like real Gloo) ---
   template <typename T>
   void Allreduce(const T* sendbuf, T* recvbuf, size_t count) {
-    BeginOp();
+    const double bytes = static_cast<double>(count * sizeof(T)) * cost_scale_;
     // Shared selection table (ring-only by default, like real Gloo's
     // ring allreduce; overridable via RCC_ALLREDUCE_* knobs).
     const coll::AllreduceAlgo algo = coll::ChooseAllreduce(
-        tuning_, coll::AllreduceAlgo::kAuto,
-        static_cast<double>(count * sizeof(T)) * cost_scale_, size());
+        tuning_, coll::AllreduceAlgo::kAuto, bytes, size());
+    BeginOp(coll::AllreduceAlgoName(algo), bytes);
     Raise(coll::RunAllreduce<T>(algo, *this, sendbuf, recvbuf, count));
   }
   template <typename T>
   void Allgather(const T* sendbuf, T* recvbuf, size_t count) {
-    BeginOp();
+    BeginOp("ring_allgather",
+            static_cast<double>(count * sizeof(T)) * cost_scale_ * size());
     Raise(coll::RingAllgather<T>(*this, sendbuf, recvbuf, count));
   }
   template <typename T>
   void Broadcast(T* buf, size_t count, int root) {
-    BeginOp();
+    BeginOp("binomial_bcast",
+            static_cast<double>(count * sizeof(T)) * cost_scale_);
     Raise(coll::BinomialBcast<T>(*this, buf, count, root));
   }
   void Barrier() {
-    BeginOp();
+    BeginOp("dissemination_barrier", 0.0);
     Raise(coll::DisseminationBarrier(*this));
   }
   void AllgatherBlobs(const std::vector<uint8_t>& mine,
                       std::vector<std::vector<uint8_t>>* all) {
-    BeginOp();
+    BeginOp("allgather_blobs",
+            static_cast<double>(mine.size()) * cost_scale_ * size());
     Raise(coll::AllgatherBlobs(*this, mine, all));
   }
 
@@ -95,7 +98,7 @@ class Context : public coll::Transport {
   Context(sim::Endpoint* ep, std::shared_ptr<mpi::CommGroup> group,
           double cost_scale);
 
-  void BeginOp();
+  void BeginOp(const char* algo = "", double bytes = 0.0);
   void Raise(const Status& s);  // marks broken + throws on failure
 
   sim::Endpoint* ep_;
@@ -106,6 +109,10 @@ class Context : public coll::Transport {
   bool broken_ = false;
   uint64_t op_seq_ = 0;
   uint64_t current_phase_ = 0;
+  // Identity of the op in flight, observed into metrics by Raise.
+  const char* op_algo_ = "";
+  double op_bytes_ = 0.0;
+  sim::Seconds op_start_ = 0.0;
 };
 
 }  // namespace rcc::gloo

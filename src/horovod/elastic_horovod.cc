@@ -10,6 +10,8 @@
 #include "common/serial.h"
 #include "gloo/gloo.h"
 #include "nccl/nccl.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace rcc::horovod {
 
@@ -123,7 +125,7 @@ class EhWorker {
       auto signal =
           ss_->store->Wait(&ep_, "round_start/" + std::to_string(round_));
       if (!signal.ok()) return;
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kWorkerInit));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kWorkerInit));
       ep_.Busy(cold_ ? costs.worker_coldstart : costs.worker_warmstart);
     }
 
@@ -149,16 +151,16 @@ class EhWorker {
     {
       // Host-level (local) rendezvous: slot registration with the local
       // agent before the store-wide round.
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kRendezvousLocal));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kRendezvousLocal));
       ep_.Busy(2 * costs.kv_roundtrip);
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kRendezvousGlobal));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kRendezvousGlobal));
       ctx_ = gloo::Context::Connect(ep_, *ss_->store, "round/" + tag,
                                     meta.world);
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kNcclReinit));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kNcclReinit));
       // NCCL reorders ranks by detected topology; the rendezvous arrival
       // order is irrelevant to the ring it builds.
       std::vector<int> ring_order = ctx_->pids();
@@ -180,7 +182,7 @@ class EhWorker {
       const bool recompute = recompute_pending_;
       recompute_pending_ = false;
       if (recompute) {
-        trace::Scope scope(ss_->rec, ep_, std::string("recovery/") + phase::kRecompute);
+        obs::Span scope(ss_->rec, ep_, std::string("recovery/") + phase::kRecompute);
         TrainStep();
       } else {
         TrainStep();
@@ -204,11 +206,36 @@ class EhWorker {
   }
 
   void TrainStep() {
+    const sim::Seconds step_start = ep_.now();
+    gpu_->TakeServiceSeconds();  // drop pre-step traffic (init barrier &c)
     if (ss_->plan.inflight_window < 1) {
       TrainStepBlocking();
     } else {
       TrainStepPipelined();
     }
+    RecordStepMetrics(ep_.now() - step_start);
+  }
+
+  // Per-step driver metrics: wall time, its compute/comm split, and the
+  // exposed (non-overlapped) communication. Comm service comes from the
+  // GPU communicator's per-comm accumulator, so host-side gloo traffic
+  // (state sync, negotiation) never pollutes the comm-hidden fraction.
+  void RecordStepMetrics(double wall) {
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"stack", "elastic_horovod"}};
+    const double compute = ss_->step_compute_seconds;
+    const double service = gpu_->TakeServiceSeconds();
+    const double exposed = wall > compute ? wall - compute : 0.0;
+    reg.GetCounter("rcc_steps_total", labels)->Increment();
+    reg.GetCounter("rcc_step_seconds_total", labels)->Add(wall);
+    reg.GetCounter("rcc_step_compute_seconds_total", labels)->Add(compute);
+    reg.GetCounter("rcc_step_comm_service_seconds_total", labels)
+        ->Add(service);
+    reg.GetCounter("rcc_step_comm_exposed_seconds_total", labels)
+        ->Add(exposed);
+    reg.GetHistogram("rcc_step_seconds", labels)->Observe(wall);
+    reg.GetGauge("rcc_world_size", labels)
+        ->Set(static_cast<double>(ctx_->size()));
   }
 
   void TrainStepBlocking() {
@@ -303,7 +330,7 @@ class EhWorker {
     if (ss_->plan.response_cache) return;
     // Uncached response negotiation: a small host-side allgather
     // coordinating which tensors are ready (Horovod's control plane).
-    trace::Scope scope(ss_->rec, ep_, "negotiation");
+    obs::Span scope(ss_->rec, ep_, "negotiation");
     uint64_t ready = b;
     std::vector<uint64_t> all(ctx_->size());
     ctx_->Allgather<uint64_t>(&ready, all.data(), 1);
@@ -336,7 +363,7 @@ class EhWorker {
   // State broadcast from the lowest-ranked worker that has state, then
   // restore (joiners and survivors both re-sync after a reset).
   void SyncState(const std::string& tag) {
-    trace::Scope scope(ss_->rec, ep_, Ph(phase::kStateSync));
+    obs::Span scope(ss_->rec, ep_, Ph(phase::kStateSync));
     if (have_state_) {
       ByteWriter w;
       w.WriteI32(ctx_->rank());
@@ -374,16 +401,16 @@ class EhWorker {
     in_recovery_ = true;
     const auto& costs = ep_.fabric().config().costs;
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kShutdown));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kShutdown));
       ep_.Busy(costs.eh_shutdown);
       gpu_->Abort();
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kElasticReinit));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kElasticReinit));
       ep_.Busy(costs.eh_elastic_reinit);
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kGlooReinit));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kGlooReinit));
       ep_.Busy(costs.eh_gloo_reinit);
     }
     AdvanceRound();
@@ -394,17 +421,17 @@ class EhWorker {
     const auto& costs = ep_.fabric().config().costs;
     ss_->resets.fetch_add(1);
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kCatchException));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kCatchException));
       ep_.Busy(costs.eh_exception_catch);
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kShutdown));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kShutdown));
       ep_.Busy(costs.eh_shutdown);
       if (gpu_ != nullptr) gpu_->Abort();
     }
     const bool whole_node = plan_drops_node(ex);
     if (whole_node) {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kBlacklist));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kBlacklist));
       ep_.Busy(costs.eh_blacklist_probe);
       // If my own host is blacklisted, leave training (Elastic Horovod
       // drops the whole node).
@@ -416,11 +443,11 @@ class EhWorker {
       }
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kElasticReinit));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kElasticReinit));
       ep_.Busy(costs.eh_elastic_reinit);
     }
     {
-      trace::Scope scope(ss_->rec, ep_, Ph(phase::kGlooReinit));
+      obs::Span scope(ss_->rec, ep_, Ph(phase::kGlooReinit));
       ep_.Busy(costs.eh_gloo_reinit);
     }
     recompute_pending_ = true;

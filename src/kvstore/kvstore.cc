@@ -3,16 +3,38 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace rcc::kv {
+namespace {
+
+// Per-operation traffic counter (the rendezvous path is O(P) reads per
+// joiner, worth watching at scale).
+void CountOp(const char* op) {
+  obs::Registry::Global()
+      .GetCounter("rcc_kv_ops_total", {{"op", op}})
+      ->Increment();
+}
+
+// The store key count, updated wherever the map mutates.
+void SetKeysGauge(size_t n) {
+  obs::Registry::Global()
+      .GetGauge("rcc_kv_keys")
+      ->Set(static_cast<double>(n));
+}
+
+}  // namespace
 
 Status Store::Set(sim::Endpoint* ep, const std::string& key,
                   std::vector<uint8_t> value) {
+  CountOp("set");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = data_[key];
   entry.value = std::move(value);
   entry.visible_at = ep != nullptr ? ep->now() : 0.0;
   ++entry.version;
+  SetKeysGauge(data_.size());
   cv_.notify_all();
   return Status::Ok();
 }
@@ -24,6 +46,7 @@ Status Store::SetString(sim::Endpoint* ep, const std::string& key,
 
 Result<std::vector<uint8_t>> Store::Get(sim::Endpoint* ep,
                                         const std::string& key) {
+  CountOp("get");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
@@ -43,6 +66,7 @@ Result<std::string> Store::GetString(sim::Endpoint* ep,
 
 Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
                                          const std::string& key) {
+  CountOp("wait");
   Charge(ep);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -61,14 +85,17 @@ Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
 }
 
 Status Store::Delete(sim::Endpoint* ep, const std::string& key) {
+  CountOp("delete");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   data_.erase(key);
+  SetKeysGauge(data_.size());
   return Status::Ok();
 }
 
 Result<int64_t> Store::AddAndGet(sim::Endpoint* ep, const std::string& key,
                                  int64_t delta) {
+  CountOp("add_and_get");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = data_[key];
@@ -81,6 +108,7 @@ Result<int64_t> Store::AddAndGet(sim::Endpoint* ep, const std::string& key,
   std::memcpy(entry.value.data(), &current, sizeof(current));
   entry.visible_at = ep != nullptr ? ep->now() : 0.0;
   ++entry.version;
+  SetKeysGauge(data_.size());
   cv_.notify_all();
   return current;
 }
@@ -88,6 +116,7 @@ Result<int64_t> Store::AddAndGet(sim::Endpoint* ep, const std::string& key,
 Result<bool> Store::CompareAndSwap(sim::Endpoint* ep, const std::string& key,
                                    uint64_t expected_version,
                                    std::vector<uint8_t> value) {
+  CountOp("compare_and_swap");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
@@ -103,6 +132,7 @@ Result<bool> Store::CompareAndSwap(sim::Endpoint* ep, const std::string& key,
 
 std::vector<std::string> Store::ListPrefix(sim::Endpoint* ep,
                                            const std::string& prefix) {
+  CountOp("list_prefix");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
@@ -114,6 +144,7 @@ std::vector<std::string> Store::ListPrefix(sim::Endpoint* ep,
 }
 
 Result<uint64_t> Store::VersionOf(sim::Endpoint* ep, const std::string& key) {
+  CountOp("version_of");
   Charge(ep);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = data_.find(key);
@@ -126,6 +157,7 @@ Result<uint64_t> Store::VersionOf(sim::Endpoint* ep, const std::string& key) {
 void Store::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   data_.clear();
+  SetKeysGauge(0);
   cv_.notify_all();
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace rcc::mpi {
 
@@ -50,6 +51,15 @@ Status Comm::Wait(coll::Request* req) {
   }
   Status s = req->Join();
   ep_->AdvanceTo(req->complete_time());
+  if (s.ok()) {
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"algo", req->info().algo}, {"stack", "mpi"}};
+    reg.GetHistogram("rcc_collective_latency_seconds", labels)
+        ->Observe(req->complete_time() - req->submit_time());
+    reg.GetCounter("rcc_collective_bytes_total", labels)
+        ->Add(req->info().bytes);
+    reg.GetCounter("rcc_collective_ops_total", labels)->Increment();
+  }
   if (s.code() == Code::kProcFailed) NoteFailedPids(s.failed_pids());
   return s;
 }

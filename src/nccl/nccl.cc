@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace rcc::nccl {
 
@@ -71,6 +72,16 @@ Status Comm::Wait(coll::Request* req) {
   }
   Status s = req->Join();
   ep_->AdvanceTo(req->complete_time());
+  if (s.ok()) {
+    service_acc_ += req->complete_time() - req->start_time();
+    auto& reg = obs::Registry::Global();
+    const obs::Labels labels{{"algo", req->info().algo}, {"stack", "nccl"}};
+    reg.GetHistogram("rcc_collective_latency_seconds", labels)
+        ->Observe(req->complete_time() - req->submit_time());
+    reg.GetCounter("rcc_collective_bytes_total", labels)
+        ->Add(req->info().bytes);
+    reg.GetCounter("rcc_collective_ops_total", labels)->Increment();
+  }
   if (!s.ok()) broken_ = true;
   return s;
 }
@@ -94,6 +105,7 @@ Status Comm::BeginOp() {
   if (broken_) return Status(Code::kIoError, "nccl communicator aborted");
   ++op_seq_;
   current_phase_ = 1 + (op_seq_ % 65534);
+  inline_op_start_ = ep_->now();
   RCC_LOG(kTrace) << "nccl pid " << ep_->pid() << " ctx "
                   << group_->ctx_id << " begin op " << op_seq_;
   return Status::Ok();
@@ -101,6 +113,9 @@ Status Comm::BeginOp() {
 
 Status Comm::FinishOp(Status s) {
   current_phase_ = 0;
+  // Inline ops (allgather, barrier, hierarchical allreduce) run on the
+  // rank clock itself; their wall time is pure service time.
+  if (s.ok()) service_acc_ += ep_->now() - inline_op_start_;
   if (!s.ok()) broken_ = true;
   RCC_LOG(kTrace) << "nccl pid " << ep_->pid() << " ctx "
                   << group_->ctx_id << " end op " << op_seq_ << " "

@@ -153,6 +153,18 @@ class Comm : public coll::Transport {
   const std::vector<int>& pids() const { return group_->pids; }
   void set_cost_scale(double s) { cost_scale_ = s; }
 
+  // Drains and returns the accumulated per-op service seconds (engine
+  // execution time of request-based ops observed at Wait, plus wall time
+  // of inline ops) since the last call. Drivers read this per training
+  // step to compute the comm-hidden fraction from *this communicator's*
+  // traffic only, unpolluted by other communicators sharing the global
+  // registry.
+  double TakeServiceSeconds() {
+    const double s = service_acc_;
+    service_acc_ = 0.0;
+    return s;
+  }
+
   // Cost model for one InitRank over `nranks`, exposed for benches.
   static sim::Seconds InitCost(const sim::SimConfig& cfg, int nranks);
 
@@ -222,6 +234,9 @@ class Comm : public coll::Transport {
   uint64_t op_seq_ = 0;
   uint64_t current_phase_ = 0;
   coll::Request engine_tail_;  // last submitted op (stream-order chain)
+  // Service-seconds accumulator (rank-thread only; see TakeServiceSeconds).
+  double service_acc_ = 0.0;
+  sim::Seconds inline_op_start_ = 0.0;  // BeginOp timestamp for inline ops
 };
 
 }  // namespace rcc::nccl

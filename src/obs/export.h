@@ -1,0 +1,32 @@
+// Environment-driven observability dumps shared by benches, examples
+// and tests:
+//
+//   RCC_TRACE_JSON=<path>   write the run's trace::Recorder as Chrome
+//                           trace-event JSON (open in Perfetto)
+//   RCC_METRICS_OUT=<path>  write the global metrics registry as
+//                           Prometheus text at <path> and CSV at
+//                           <path>.csv (or, when <path> ends in .csv,
+//                           CSV there and Prometheus alongside)
+//
+// Callers invoke DumpIfRequested once per run; a later call overwrites
+// an earlier one, so the files hold the final run's data.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace rcc::obs {
+
+// True when the respective env knob is set (to a non-empty path).
+bool TraceJsonRequested();
+bool MetricsOutRequested();
+
+// Writes whichever outputs the environment asks for. `rec` may be null
+// (metrics only). Returns false if any requested write failed.
+bool DumpIfRequested(const trace::Recorder* rec);
+
+// Unconditional writers, for callers managing their own paths.
+bool WriteMetricsFiles(const std::string& path);
+
+}  // namespace rcc::obs

@@ -1,0 +1,66 @@
+// Minimal recursive-descent JSON parser, just enough to validate the
+// trace files this library writes (and for tests to round-trip them).
+// Not a general-purpose library: no \uXXXX surrogate pairs beyond the
+// BMP, numbers parsed via strtod, 256-deep nesting cap.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcc::obs::json {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : type_(Type::kBool), bool_(b) {}
+  explicit Value(double d) : type_(Type::kNumber), num_(d) {}
+  explicit Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  const Array& AsArray() const { return *arr_; }
+  const Object& AsObject() const { return *obj_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+  }
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+// Parses `text` into *out. On failure returns false and describes the
+// problem (with byte offset) in *error. Trailing whitespace allowed;
+// trailing garbage is an error.
+bool Parse(const std::string& text, Value* out, std::string* error);
+
+}  // namespace rcc::obs::json

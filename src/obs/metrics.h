@@ -1,0 +1,188 @@
+// Process-wide metrics registry: counters, gauges, and log-bucketed
+// histograms, all with label support.
+//
+// Design goals, in order:
+//   1. Lock-cheap hot paths. Recording into an instrument is a handful
+//      of relaxed atomics (a CAS-add for the double counters, a
+//      fetch_add for histogram buckets) - no mutex, no allocation.
+//      Looking an instrument up takes a shared lock on the registry map;
+//      instrumented call sites either cache the returned pointer
+//      (instruments are never deallocated while the registry lives) or
+//      tolerate the read-mostly lookup, which only takes the exclusive
+//      lock on first registration.
+//   2. One registry per process (Registry::Global()), matching how the
+//      simulated cluster runs every rank as a thread of one process:
+//      cross-rank aggregation is free, and benches snapshot/diff the
+//      registry around a run to get per-run deltas.
+//   3. Text exposition in Prometheus format plus CSV, so any bench or
+//      example can drop a scrapeable snapshot via RCC_METRICS_OUT (see
+//      obs/export.h).
+//
+// Histograms are log-bucketed (powers of two over a seconds-oriented
+// range): recovery spans stretch from microseconds (revoke) to tens of
+// seconds (cold-start rendezvous), which a fixed linear layout cannot
+// cover; the exponential layout gives ~3 significant bits everywhere at
+// 64 buckets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rcc::obs {
+
+// Sorted (key, value) pairs identifying one instrument of a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+// Lock-free add for std::atomic<double> (fetch_add on doubles is C++20
+// but not universally lowered; the CAS loop is portable and the
+// contention case - many ranks on one counter - stays short).
+inline void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+inline void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(cur, v,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+inline void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(cur, v,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+// Monotonically increasing value (events, bytes, accumulated seconds).
+class Counter {
+ public:
+  void Add(double v) { detail::AtomicAdd(&value_, v); }
+  void Increment() { Add(1.0); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Last-write-wins instantaneous value (world size, in-flight depth).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { detail::AtomicAdd(&value_, v); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-bucketed histogram. Bucket i collects observations in
+// (kFirstBound * 2^(i-1), kFirstBound * 2^i]; bucket 0 additionally
+// takes everything <= kFirstBound, the last bucket everything above the
+// range (+Inf bucket in the Prometheus exposition).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr double kFirstBound = 1e-9;  // 1 ns in seconds-units
+
+  void Observe(double v);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    // Cumulative counts per upper bound, Prometheus-style; the final
+    // entry's bound is +infinity.
+    std::vector<std::pair<double, uint64_t>> cumulative;
+
+    double Mean() const { return count == 0 ? 0.0 : sum / count; }
+    // Upper bucket bound containing quantile q in [0, 1].
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  static double BucketBound(int i);  // upper bound of bucket i
+  static int BucketIndex(double v);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Process-wide instrument registry. Get* registers on first use and
+// returns a pointer that stays valid for the registry's lifetime, so
+// hot paths can cache it. Metric names should already be
+// Prometheus-shaped (snake_case, unit-suffixed); the exporters only
+// escape label values.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  // Optional HELP text attached to a metric family.
+  void SetHelp(const std::string& name, const std::string& help);
+
+  // Point lookups for tests and benches (0 / empty when absent).
+  double CounterValue(const std::string& name, const Labels& labels = {}) const;
+  double GaugeValue(const std::string& name, const Labels& labels = {}) const;
+  Histogram::Snapshot HistogramSnapshot(const std::string& name,
+                                        const Labels& labels = {}) const;
+
+  // Prometheus text exposition (families sorted by name, instruments by
+  // label string; histogram as _bucket/_sum/_count series).
+  std::string PrometheusText() const;
+  // Flat CSV: metric,labels,type,value,count,sum,mean,min,max
+  std::string CsvText() const;
+
+  // Zeroes every instrument, keeping registrations (a fresh bench run).
+  void ResetAll();
+
+ private:
+  struct Instrument {
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Instrument::Kind kind;
+    std::string help;
+    // label-key -> instrument; key is the serialized sorted label set.
+    std::map<std::string, std::unique_ptr<Instrument>> instruments;
+  };
+
+  Instrument* GetOrCreate(const std::string& name, const Labels& labels,
+                          Instrument::Kind kind);
+  const Instrument* Find(const std::string& name, const Labels& labels) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+// Serializes labels canonically ("{a=\"x\",b=\"y\"}", empty string for
+// no labels); shared by the registry key and the Prometheus exporter.
+std::string LabelString(const Labels& labels);
+
+}  // namespace rcc::obs

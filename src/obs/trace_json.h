@@ -1,0 +1,34 @@
+// Chrome trace-event JSON export for trace::Recorder, loadable in
+// Perfetto / chrome://tracing, plus a schema validator used by tests
+// and the ctest check.
+//
+// Mapping: every trace::Event becomes a complete event (ph:"X") with
+// ts/dur in microseconds of virtual time, pid = rank, tid 0 ("phases"
+// track). Every trace::OpEvent becomes a ph:"X" on tid 1 ("collectives"
+// track) named by its algorithm with {op_id, bytes, algo} args.
+// Process/thread name metadata events (ph:"M") label the tracks.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace rcc::obs {
+
+// Serializes the recorder's contents as a Chrome trace-event JSON
+// object ({"traceEvents":[...],"displayTimeUnit":"ms"}).
+std::string ToChromeTraceJson(const trace::Recorder& rec);
+
+// Writes ToChromeTraceJson(rec) to `path`. Returns false (and logs) on
+// I/O failure.
+bool WriteChromeTraceJson(const trace::Recorder& rec, const std::string& path);
+
+// Validates that `json` parses and is a Chrome trace-event document:
+// a traceEvents array whose ph:"X" entries all carry numeric ts, dur,
+// pid, tid and a string name. On failure returns false and sets
+// `error` to a description; on success `events_checked` (if non-null)
+// receives the number of complete events validated.
+bool ValidateChromeTraceJson(const std::string& json, std::string* error,
+                             size_t* events_checked = nullptr);
+
+}  // namespace rcc::obs

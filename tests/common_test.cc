@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/serial.h"
 #include "common/status.h"
@@ -7,6 +8,23 @@
 
 namespace rcc {
 namespace {
+
+TEST(Log, ParseLogLevelSpecs) {
+  using rcc::LogLevel;
+  using rcc::ParseLogLevel;
+  EXPECT_EQ(ParseLogLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kInfo);
+  // Unknown / empty / null fall back.
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kError), LogLevel::kError);
+}
 
 TEST(Status, DefaultIsOk) {
   Status s;

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_lite.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_json.h"
+#include "sim/cluster.h"
+#include "trace/trace.h"
+
+namespace rcc::obs {
+namespace {
+
+// A private registry per test is not possible (Global() is a process
+// singleton), so tests use uniquely named metrics.
+
+TEST(Metrics, CounterGaugeBasics) {
+  auto& reg = Registry::Global();
+  Counter* c = reg.GetCounter("obs_test_counter", {{"k", "v"}});
+  c->Add(2.5);
+  c->Increment();
+  EXPECT_DOUBLE_EQ(reg.CounterValue("obs_test_counter", {{"k", "v"}}), 3.5);
+  // Same name+labels resolves to the same instrument.
+  EXPECT_EQ(reg.GetCounter("obs_test_counter", {{"k", "v"}}), c);
+  // Label order does not matter.
+  Counter* c2 =
+      reg.GetCounter("obs_test_counter2", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(reg.GetCounter("obs_test_counter2", {{"b", "2"}, {"a", "1"}}),
+            c2);
+
+  Gauge* g = reg.GetGauge("obs_test_gauge");
+  g->Set(42.0);
+  g->Add(-2.0);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("obs_test_gauge"), 40.0);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  Histogram h;
+  h.Observe(1e-9);   // first bucket
+  h.Observe(0.5);
+  h.Observe(2.0);
+  h.Observe(1e12);   // beyond range: last (+Inf) bucket
+  const auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.sum, 1e12 + 2.5 + 1e-9, 1.0);
+  EXPECT_DOUBLE_EQ(s.min, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max, 1e12);
+  EXPECT_NEAR(s.Mean(), s.sum / 4, 1e-6);
+  // Cumulative counts are monotone and end at the total.
+  uint64_t prev = 0;
+  for (const auto& [bound, cum] : s.cumulative) {
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+  EXPECT_EQ(s.cumulative.back().second, 4u);
+  EXPECT_TRUE(std::isinf(s.cumulative.back().first));
+  // Bucket math: the index bound must contain the value.
+  for (double v : {1e-9, 3e-7, 0.5, 2.0, 900.0}) {
+    const int idx = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketBound(idx));
+    if (idx > 0) EXPECT_GT(v, Histogram::BucketBound(idx - 1));
+  }
+  // Quantile returns an upper bucket bound at or above the true value.
+  EXPECT_GE(s.Quantile(0.5), 0.5);
+}
+
+// The registry must tolerate many threads hammering the same and
+// different instruments concurrently (the TSan preset runs this).
+TEST(Metrics, ConcurrentRecording) {
+  auto& reg = Registry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter* shared = reg.GetCounter("obs_test_conc_shared");
+      Histogram* hist = reg.GetHistogram("obs_test_conc_hist");
+      for (int i = 0; i < kIters; ++i) {
+        shared->Increment();
+        // First-use registration races on purpose.
+        reg.GetCounter("obs_test_conc_labeled",
+                       {{"t", std::to_string((t + i) % 4)}})
+            ->Add(1.0);
+        hist->Observe(1e-6 * (i + 1));
+        reg.GetGauge("obs_test_conc_gauge")->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(reg.CounterValue("obs_test_conc_shared"),
+                   kThreads * kIters);
+  double labeled = 0;
+  for (int k = 0; k < 4; ++k) {
+    labeled += reg.CounterValue("obs_test_conc_labeled",
+                                {{"t", std::to_string(k)}});
+  }
+  EXPECT_DOUBLE_EQ(labeled, kThreads * kIters);
+  const auto s = reg.HistogramSnapshot("obs_test_conc_hist");
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(s.min, 1e-6);
+  EXPECT_DOUBLE_EQ(s.max, 1e-6 * kIters);
+}
+
+TEST(Metrics, PrometheusTextShape) {
+  auto& reg = Registry::Global();
+  reg.GetCounter("obs_test_prom_total", {{"algo", "ring"}})->Add(3);
+  reg.SetHelp("obs_test_prom_total", "test counter");
+  reg.GetHistogram("obs_test_prom_seconds")->Observe(0.25);
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# TYPE obs_test_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP obs_test_prom_total test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_total{algo=\"ring\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_seconds_count 1"), std::string::npos);
+  // CSV exposition carries the same families.
+  const std::string csv = reg.CsvText();
+  EXPECT_NE(csv.find("obs_test_prom_total"), std::string::npos);
+  EXPECT_NE(csv.find("histogram"), std::string::npos);
+}
+
+TEST(JsonLite, ParsesAndRejects) {
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::Parse(
+      R"({"a":[1,2.5,-3e2],"b":{"c":"x\n\"y\""},"d":true,"e":null})", &v,
+      &err))
+      << err;
+  EXPECT_DOUBLE_EQ(v.Find("a")->AsArray()[2].AsNumber(), -300.0);
+  EXPECT_EQ(v.Find("b")->Find("c")->AsString(), "x\n\"y\"");
+  EXPECT_TRUE(v.Find("d")->AsBool());
+  EXPECT_TRUE(v.Find("e")->is_null());
+  EXPECT_FALSE(json::Parse("{", &v, &err));
+  EXPECT_FALSE(json::Parse("[1,2,]", &v, &err));
+  EXPECT_FALSE(json::Parse("{\"a\":1} trailing", &v, &err));
+}
+
+// Schema round-trip: the trace JSON we emit parses, validates, and the
+// required fields (ph, ts, dur, pid, tid, name) survive with the values
+// the recorder held.
+TEST(TraceJson, SchemaRoundTrip) {
+  trace::Recorder rec;
+  rec.Record(3, "recovery/ulfm_repair", 1.5, 2.0);
+  rec.Record(4, "init/nccl_reinit", 0.0, 0.25);
+  rec.RecordOp(3, 42, "ring", 64e6, 2.0, 2.5);
+
+  const std::string json_text = ToChromeTraceJson(rec);
+  std::string err;
+  size_t checked = 0;
+  ASSERT_TRUE(ValidateChromeTraceJson(json_text, &err, &checked)) << err;
+  EXPECT_EQ(checked, 3u);
+
+  json::Value doc;
+  ASSERT_TRUE(json::Parse(json_text, &doc, &err)) << err;
+  const auto& events = doc.Find("traceEvents")->AsArray();
+  bool found_phase = false, found_op = false;
+  for (const auto& e : events) {
+    if (e.Find("ph")->AsString() != "X") continue;
+    const std::string name = e.Find("name")->AsString();
+    if (name == "recovery/ulfm_repair") {
+      found_phase = true;
+      EXPECT_DOUBLE_EQ(e.Find("ts")->AsNumber(), 1.5e6);   // µs
+      EXPECT_DOUBLE_EQ(e.Find("dur")->AsNumber(), 0.5e6);
+      EXPECT_DOUBLE_EQ(e.Find("pid")->AsNumber(), 3.0);
+      EXPECT_DOUBLE_EQ(e.Find("tid")->AsNumber(), 0.0);
+      EXPECT_EQ(e.Find("cat")->AsString(), "recovery");
+    } else if (name == "ring") {
+      found_op = true;
+      EXPECT_DOUBLE_EQ(e.Find("ts")->AsNumber(), 2.0e6);
+      EXPECT_DOUBLE_EQ(e.Find("dur")->AsNumber(), 0.5e6);
+      EXPECT_DOUBLE_EQ(e.Find("tid")->AsNumber(), 1.0);
+      EXPECT_DOUBLE_EQ(e.Find("args")->Find("op_id")->AsNumber(), 42.0);
+    }
+  }
+  EXPECT_TRUE(found_phase);
+  EXPECT_TRUE(found_op);
+}
+
+TEST(TraceJson, ValidatorRejectsBrokenDocuments) {
+  std::string err;
+  EXPECT_FALSE(ValidateChromeTraceJson("not json", &err));
+  EXPECT_FALSE(ValidateChromeTraceJson("{}", &err));
+  EXPECT_FALSE(ValidateChromeTraceJson(R"({"traceEvents":[]})", &err));
+  // A complete event missing dur must fail.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":0,"tid":0}]})",
+      &err));
+  // Negative dur must fail.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-5,"pid":0,"tid":0}]})",
+      &err));
+  // A minimal valid doc passes.
+  EXPECT_TRUE(ValidateChromeTraceJson(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":5,"pid":0,"tid":0}]})",
+      &err))
+      << err;
+}
+
+// Spans must feed both the recorder (trace export) and the phase
+// histogram on the endpoint's virtual clock.
+TEST(Span, RecordsTraceAndHistogram) {
+  trace::Recorder rec;
+  sim::Cluster cluster;
+  cluster.Spawn(1, [&](sim::Endpoint& ep) {
+    Span span(&rec, ep, "obs_test/span_phase", "obs_test_span_seconds");
+    ep.Busy(0.125);
+  });
+  cluster.Join();
+  const auto events = rec.EventsForPhase("obs_test/span_phase");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].duration(), 0.125, 1e-9);
+  const auto s = Registry::Global().HistogramSnapshot(
+      "obs_test_span_seconds", {{"phase", "obs_test/span_phase"}});
+  ASSERT_EQ(s.count, 1u);
+  EXPECT_NEAR(s.sum, 0.125, 1e-9);
+}
+
+TEST(Metrics, ResetAllZeroesButKeepsRegistrations) {
+  auto& reg = Registry::Global();
+  Counter* c = reg.GetCounter("obs_test_reset_total");
+  c->Add(5);
+  reg.GetHistogram("obs_test_reset_seconds")->Observe(1.0);
+  reg.ResetAll();
+  EXPECT_DOUBLE_EQ(reg.CounterValue("obs_test_reset_total"), 0.0);
+  EXPECT_EQ(reg.HistogramSnapshot("obs_test_reset_seconds").count, 0u);
+  // Pointer stability across reset.
+  EXPECT_EQ(reg.GetCounter("obs_test_reset_total"), c);
+}
+
+}  // namespace
+}  // namespace rcc::obs

@@ -28,6 +28,54 @@ TEST(Recorder, ClearEmpties) {
   EXPECT_TRUE(rec.events().empty());
 }
 
+// Regression: Clear must reset the per-phase aggregates and op events
+// together with the event list, atomically - a pre-Clear maximum (or a
+// stale event index) must never leak into post-Clear queries.
+TEST(Recorder, ClearResetsAggregatesAndOpEvents) {
+  Recorder rec;
+  rec.Record(0, "phase", 0.0, 100.0);  // large pre-Clear event
+  rec.Record(1, "phase", 0.0, 50.0);
+  rec.RecordOp(0, 7, "ring", 1e6, 0.0, 1.0);
+  rec.Clear();
+  EXPECT_TRUE(rec.op_events().empty());
+  EXPECT_TRUE(rec.MaxByPhase().empty());
+  EXPECT_TRUE(rec.EventsForPhase("phase").empty());
+  EXPECT_DOUBLE_EQ(rec.PhaseEnd("phase"), 0.0);
+
+  // Fresh small events after Clear: aggregates must reflect only them.
+  rec.Record(2, "phase", 1.0, 1.5);
+  rec.Record(3, "phase", 1.0, 1.25);
+  auto max_by = rec.MaxByPhase();
+  auto min_by = rec.MinByPhase();
+  auto mean_by = rec.MeanByPhase();
+  EXPECT_DOUBLE_EQ(max_by["phase"], 0.5);
+  EXPECT_DOUBLE_EQ(min_by["phase"], 0.25);
+  EXPECT_DOUBLE_EQ(mean_by["phase"], 0.375);
+  EXPECT_DOUBLE_EQ(rec.PhaseEnd("phase"), 1.5);
+  // Event indices rebuilt from scratch (no dangling pre-Clear indices).
+  auto events = rec.EventsForPhase("phase");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pid, 2);
+  EXPECT_EQ(events[1].pid, 3);
+  EXPECT_EQ(rec.events().size(), 2u);
+
+  // Clear while another thread records: every post-Clear query stays
+  // internally consistent (indices in range, counts matching).
+  rec.Clear();
+  sim::Cluster cluster;
+  cluster.Spawn(4, [&](sim::Endpoint& ep) {
+    for (int i = 0; i < 200; ++i) {
+      rec.Record(ep.pid(), "hot", i, i + 1);
+      rec.RecordOp(ep.pid(), static_cast<uint64_t>(i), "ring", 1.0, i, i + 1);
+      if (i % 50 == 0) rec.Clear();
+    }
+  });
+  cluster.Join();
+  const auto phase_events = rec.EventsForPhase("hot");
+  EXPECT_LE(phase_events.size(), rec.events().size() + 0u);
+  for (const auto& e : phase_events) EXPECT_EQ(e.phase, "hot");
+}
+
 TEST(Recorder, ToTableHasRowPerPhase) {
   Recorder rec;
   rec.Record(0, "a", 0, 1);

@@ -1,0 +1,33 @@
+// Validates a Chrome trace-event JSON file (as written via
+// RCC_TRACE_JSON) against the schema Perfetto needs: a traceEvents
+// array whose complete events carry name/ph/ts/dur/pid/tid with finite
+// values and non-negative durations. Exits 0 when the file validates.
+// The overlap_trace_check ctest runs this on the bench's emitted trace.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_json.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  size_t checked = 0;
+  if (!rcc::obs::ValidateChromeTraceJson(buf.str(), &err, &checked)) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], err.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu complete events OK\n", argv[1], checked);
+  return 0;
+}
