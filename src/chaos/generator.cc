@@ -1,0 +1,188 @@
+#include "chaos/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "chaos/runner.h"
+#include "common/rng.h"
+
+namespace rcc::chaos {
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+// Protocol spans a victim can be caught inside. Founding bootstrap
+// (init/) always runs; the recovery/ spans fire only on campaigns whose
+// background kills (or joins, for ulfm_expand) reach them — an unfired
+// trigger is a no-op, not an error.
+const char* const kPhaseMenu[] = {
+    "recovery/ulfm_repair",      // mid-repair (cascading second failure)
+    "recovery/revoke",           // mid-revoke
+    "recovery/agree",            // mid-agree
+    "recovery/shrink",           // mid-shrink
+    "recovery/retry_collective", // mid-replay
+    "recovery/ulfm_expand",      // mid-join (survivor or joiner side)
+    "recovery/nccl_reinit",      // mid-GPU-rebuild
+    "init/nccl_reinit",          // mid-founding-bootstrap
+};
+constexpr int kPhaseMenuSize =
+    static_cast<int>(sizeof(kPhaseMenu) / sizeof(kPhaseMenu[0]));
+
+// Founders a schedule's events can kill, counting collateral: a
+// node-scope kill takes the whole node, and under the kNode drop policy
+// a process kill makes its node peers leave too.
+std::set<int> DoomedFounders(const Schedule& s) {
+  const Shape& sh = s.shape;
+  std::set<int> doomed;
+  auto doom_pid = [&](int pid) {
+    if (pid < 0 || pid >= sh.world) return;  // joiners don't count here
+    doomed.insert(pid);
+    if (sh.policy == horovod::DropPolicy::kNode) {
+      const int node = pid / sh.gpus_per_node;
+      for (int p = 0; p < sh.world; ++p) {
+        if (p / sh.gpus_per_node == node) doomed.insert(p);
+      }
+    }
+  };
+  for (const TimedKill& k : s.timed) {
+    if (k.scope == sim::FailScope::kNode) {
+      for (int p = 0; p < sh.world; ++p) {
+        if (p / sh.gpus_per_node == k.target) doomed.insert(p);
+      }
+    } else {
+      doom_pid(k.target);
+    }
+  }
+  for (const PhaseKill& k : s.phased) doom_pid(k.victim);
+  return doomed;
+}
+
+}  // namespace
+
+GenConfig GenConfig::FromEnv() {
+  GenConfig cfg;
+  cfg.min_world = EnvInt("RCC_CHAOS_MIN_WORLD", cfg.min_world);
+  cfg.max_world = EnvInt("RCC_CHAOS_MAX_WORLD", cfg.max_world);
+  cfg.max_timed = EnvInt("RCC_CHAOS_MAX_TIMED", cfg.max_timed);
+  cfg.max_phased = EnvInt("RCC_CHAOS_MAX_PHASED", cfg.max_phased);
+  cfg.rate_scale = EnvDouble("RCC_CHAOS_RATE", cfg.rate_scale);
+  cfg.allow_node_scope =
+      EnvInt("RCC_CHAOS_NODE_SCOPE", cfg.allow_node_scope ? 1 : 0) != 0;
+  return cfg;
+}
+
+Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
+  Rng rng(seed, /*stream=*/0xC4A05);
+  Schedule s;
+  s.seed = seed;
+  Shape& sh = s.shape;
+
+  const int world_span = std::max(1, cfg.max_world - cfg.min_world + 1);
+  sh.world = cfg.min_world + static_cast<int>(rng.NextBelow(world_span));
+  sh.epochs = 2 + static_cast<int>(rng.NextBelow(2));           // 2..3
+  sh.steps_per_epoch = 3 + static_cast<int>(rng.NextBelow(2));  // 3..4
+  const int bucket_menu[] = {1, 2, 4};
+  sh.grad_buckets = bucket_menu[rng.NextBelow(3)];
+  sh.inflight_window = static_cast<int>(rng.NextBelow(5));      // 0..4
+  sh.gpus_per_node = 2 + static_cast<int>(rng.NextBelow(2));    // 2..3
+  sh.policy = cfg.allow_node_scope && rng.NextBelow(4) == 0
+                  ? horovod::DropPolicy::kNode
+                  : horovod::DropPolicy::kProcess;
+  if (rng.NextDouble() < 0.5) {
+    const int join_epoch = 1 + static_cast<int>(rng.NextBelow(sh.epochs - 1));
+    sh.joins[join_epoch] = 1 + static_cast<int>(rng.NextBelow(2));
+  }
+
+  // Clean-run virtual completion time bounds the kill window; the
+  // estimate is itself a deterministic simulation of this shape.
+  const double horizon = EstimateHorizon(s);
+  const int nodes = (sh.world + sh.gpus_per_node - 1) / sh.gpus_per_node;
+
+  // Poisson background kills over [5%, 95%] of the horizon.
+  const double expected_kills = 1.3 * cfg.rate_scale;
+  const double window = 0.9 * horizon;
+  if (window > 0 && expected_kills > 0) {
+    const double rate = expected_kills / window;
+    double t = 0.05 * horizon;
+    for (;;) {
+      t += rng.NextExponential(rate);
+      if (t >= 0.95 * horizon ||
+          static_cast<int>(s.timed.size()) >= cfg.max_timed) {
+        break;
+      }
+      TimedKill k;
+      const int victim = static_cast<int>(rng.NextBelow(sh.world));
+      if (cfg.allow_node_scope && rng.NextBelow(4) == 0) {
+        k.scope = sim::FailScope::kNode;
+        k.target = victim / sh.gpus_per_node;
+      } else {
+        k.scope = sim::FailScope::kProcess;
+        k.target = victim;
+      }
+      k.at = t;
+      s.timed.push_back(k);
+    }
+  }
+
+  // Adversarial phase-locked injections.
+  int total_joiners = 0;
+  for (const auto& [epoch, count] : sh.joins) total_joiners += count;
+  const int n_phased =
+      cfg.max_phased > 0 ? static_cast<int>(rng.NextBelow(cfg.max_phased + 1))
+                         : 0;
+  for (int i = 0; i < n_phased; ++i) {
+    PhaseKill k;
+    // Mostly founders; occasionally a joiner (joiner pids continue after
+    // the founders in spawn order).
+    if (total_joiners > 0 && rng.NextBelow(3) == 0) {
+      k.victim = sh.world + static_cast<int>(rng.NextBelow(total_joiners));
+    } else {
+      k.victim = static_cast<int>(rng.NextBelow(sh.world));
+    }
+    k.phase = kPhaseMenu[rng.NextBelow(kPhaseMenuSize)];
+    k.occurrence = 1 + static_cast<int>(rng.NextBelow(2));
+    k.delay = rng.NextBelow(2) == 0 ? 0.0 : rng.NextDouble() * 2e-3;
+    s.phased.push_back(k);
+  }
+
+  // A recovery-phase trigger with nothing to recover from never fires;
+  // give lone injections a background kill to cascade off.
+  if (s.timed.empty() && !s.phased.empty() && sh.joins.empty() &&
+      horizon > 0) {
+    TimedKill k;
+    k.scope = sim::FailScope::kProcess;
+    k.target = static_cast<int>(rng.NextBelow(sh.world));
+    k.at = 0.05 * horizon + rng.NextDouble() * 0.9 * horizon;
+    s.timed.push_back(k);
+  }
+
+  // Liveness: keep >= 2 founders no event can reach. Drop events from
+  // the back (phase injections first — background kills carry more of
+  // the campaign's value) until the guarantee holds.
+  for (;;) {
+    const int undoomed = sh.world - static_cast<int>(DoomedFounders(s).size());
+    if (undoomed >= 2) break;
+    if (!s.phased.empty()) {
+      s.phased.pop_back();
+    } else if (!s.timed.empty()) {
+      s.timed.pop_back();
+    } else {
+      break;  // no events left; shape alone cannot doom anyone
+    }
+  }
+  (void)nodes;
+  return s;
+}
+
+}  // namespace rcc::chaos

@@ -1,0 +1,33 @@
+// Seeded schedule generator: draws a randomized campaign — run shape,
+// Poisson background kills placed inside the estimated clean-run
+// horizon, and adversarial phase-locked injections — from a single
+// seed. Same seed + same config => byte-identical Schedule.
+//
+// Liveness by construction: the generator keeps at least two founders
+// that no event can kill (counting node-scope collateral and the kNode
+// drop policy's node peers as doomed), so every generated campaign has
+// survivors to finish training, complete every expand, and report.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/schedule.h"
+
+namespace rcc::chaos {
+
+struct GenConfig {
+  int min_world = 3;
+  int max_world = 6;
+  int max_timed = 3;        // cap on background kills per campaign
+  int max_phased = 2;       // cap on phase-locked injections
+  double rate_scale = 1.0;  // scales the expected background-kill count
+  bool allow_node_scope = true;
+
+  // Reads the RCC_CHAOS_* knobs (MIN_WORLD, MAX_WORLD, MAX_TIMED,
+  // MAX_PHASED, RATE, NODE_SCOPE) over the defaults above.
+  static GenConfig FromEnv();
+};
+
+Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg = GenConfig{});
+
+}  // namespace rcc::chaos

@@ -1,0 +1,167 @@
+#include "chaos/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rcc::chaos {
+
+namespace {
+
+std::string Fmt(const char* oracle, const std::ostringstream& os) {
+  return std::string(oracle) + ": " + os.str();
+}
+
+}  // namespace
+
+bool HasViolation(const std::vector<Violation>& violations,
+                  const std::string& oracle) {
+  for (const Violation& v : violations) {
+    if (oracle.empty() || v.oracle == oracle) return true;
+  }
+  return false;
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (const Violation& v : violations) {
+    os << v.oracle << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+std::vector<Violation> CheckOracles(const Schedule& schedule,
+                                    const CampaignOutcome& o) {
+  std::vector<Violation> out;
+  const Shape& sh = schedule.shape;
+  auto violate = [&out](const char* oracle, const std::string& detail) {
+    out.push_back(Violation{oracle, detail});
+  };
+
+  int expected_workers = sh.world;
+  for (const auto& [epoch, count] : sh.joins) expected_workers += count;
+  if (static_cast<int>(o.results.size()) != expected_workers) {
+    std::ostringstream os;
+    os << "got " << o.results.size() << " worker results, expected "
+       << expected_workers;
+    violate("P0", os.str());
+  }
+
+  const WorkerResult* ref = nullptr;  // P2 reference replica (a founder)
+  int finishers = 0;
+  int max_worker_repairs = 0;
+  for (const WorkerResult& r : o.results) {
+    if (r.report.aborted) continue;
+    ++finishers;
+    max_worker_repairs = std::max(max_worker_repairs, r.report.repairs);
+    if (ref == nullptr && r.join_epoch < 0) ref = &r;
+  }
+  if (ref == nullptr) {
+    violate("P0", "no founder finished (all aborted)");
+    return out;  // nothing to compare against
+  }
+
+  for (const WorkerResult& r : o.results) {
+    if (r.report.aborted) continue;
+    const bool joiner = r.join_epoch >= 0;
+
+    // P1: exactly-once optimizer steps.
+    const int planned = joiner
+                            ? (sh.epochs - r.join_epoch) * sh.steps_per_epoch
+                            : sh.epochs * sh.steps_per_epoch;
+    if (r.report.steps_run != planned) {
+      std::ostringstream os;
+      os << "pid " << r.pid << (joiner ? " (joiner)" : "") << " ran "
+         << r.report.steps_run << " steps, planned " << planned;
+      violate("P1", os.str());
+    }
+
+    // P3: one shared view of the final membership.
+    if (r.report.final_world != ref->report.final_world) {
+      std::ostringstream os;
+      os << "pid " << r.pid << " final_world " << r.report.final_world
+         << " != pid " << ref->pid << "'s " << ref->report.final_world;
+      violate("P3", os.str());
+    }
+
+    // P4: founders that finish still improved. 5% slack: a schedule can
+    // shrink the membership hard enough that the last gradient is
+    // noisier than the first.
+    if (!joiner && !(r.report.last_loss < r.report.first_loss * 1.05f)) {
+      std::ostringstream os;
+      os << "pid " << r.pid << " loss " << r.report.first_loss << " -> "
+         << r.report.last_loss;
+      violate("P4", os.str());
+    }
+
+    // P2/P5: bit-identical replicas.
+    if (&r != ref) {
+      const char* oracle = joiner ? "P5" : "P2";
+      if (r.report.final_params.size() != ref->report.final_params.size()) {
+        std::ostringstream os;
+        os << "pid " << r.pid << " has " << r.report.final_params.size()
+           << " params, pid " << ref->pid << " has "
+           << ref->report.final_params.size();
+        violate(oracle, os.str());
+      } else {
+        for (size_t i = 0; i < r.report.final_params.size(); ++i) {
+          if (r.report.final_params[i] != ref->report.final_params[i]) {
+            std::ostringstream os;
+            os << "pid " << r.pid << " param " << i << " = "
+               << r.report.final_params[i] << " != pid " << ref->pid
+               << "'s " << ref->report.final_params[i];
+            violate(oracle, os.str());
+            break;  // one divergent replica, one violation
+          }
+        }
+      }
+    }
+  }
+
+  // P3 bounds: membership can exceed the finisher count only by workers
+  // that died after their last collective, and never the admitted total.
+  if (ref->report.final_world < finishers ||
+      ref->report.final_world > expected_workers) {
+    std::ostringstream os;
+    os << "final_world " << ref->report.final_world << " outside ["
+       << finishers << ", " << expected_workers << "]";
+    violate("P3", os.str());
+  }
+
+  // P6: every replayed op is at or above the MIN its repair agreed on.
+  for (const trace::ReplayEvent& e : o.replay_events) {
+    if (e.op_id < e.min_id) {
+      std::ostringstream os;
+      os << "pid " << e.pid << " replayed op " << e.op_id
+         << " below agreed MIN " << e.min_id;
+      violate("P6", os.str());
+    }
+  }
+
+  // P7: counters, spans and reports must cohere.
+  {
+    std::ostringstream os;
+    os << "repairs counter " << o.repairs_metric << ", repair spans "
+       << o.repair_span_count << ", max worker repairs "
+       << max_worker_repairs << ", replayed counter " << o.replayed_metric
+       << ", replay events " << o.replay_events.size();
+    const std::string ctx = os.str();
+    // Every Repair() increments the counter once and records >= 1 span
+    // (extra spans come from gpu-rebuild retry rounds).
+    if (o.repair_span_count < static_cast<int>(o.repairs_metric)) {
+      violate("P7", "spans fewer than repair increments (" + ctx + ")");
+    }
+    if (static_cast<int>(o.repairs_metric) < max_worker_repairs) {
+      violate("P7", "counter below a worker's repair count (" + ctx + ")");
+    }
+    if ((o.repairs_metric > 0) != (o.repair_span_count > 0)) {
+      violate("P7", "repairs counter and spans disagree on >0 (" + ctx + ")");
+    }
+    if (static_cast<size_t>(o.replayed_metric) != o.replay_events.size()) {
+      violate("P7", "replayed counter != replay events (" + ctx + ")");
+    }
+  }
+
+  return out;
+}
+
+}  // namespace rcc::chaos

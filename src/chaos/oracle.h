@@ -1,0 +1,47 @@
+// Campaign oracles: the P1–P5 invariants factored out of
+// resilience_property_test.cc, generalized to arbitrary schedules, plus
+// the replay-audit (P6) and metrics/trace-consistency (P7) checks.
+//
+//   P0. Liveness/sanity: every spawned worker produced a result and at
+//       least one founder finished (the generator guarantees >= 2
+//       never-killed founders, so a clean run must exist).
+//   P1. Exactly-once steps: every finisher ran exactly its planned
+//       optimizer steps — founders epochs*steps, joiners admitted at
+//       epoch e (epochs-e)*steps. Forward recovery re-runs collectives,
+//       never steps.
+//   P2. Bit-identical replicas: all finishers hold identical parameters.
+//   P3. Membership consistency: all finishers agree on final_world,
+//       which is bounded by [#finishers, world + admitted joiners].
+//   P4. Loss decrease: founders that finish still improved (with a
+//       small slack for heavily-shrunk memberships).
+//   P5. Joiner indistinguishability: P2 holds across joiners too; a
+//       violation whose divergent replica is a joiner is tagged P5.
+//   P6. Replay >= MIN: no rank re-executed an op below the agreed MIN.
+//   P7. Metrics/trace consistency: the repairs counter, recovery spans
+//       and per-worker repair counts tell one coherent story, and the
+//       replayed-ops counter matches the recorded replay events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/runner.h"
+#include "chaos/schedule.h"
+
+namespace rcc::chaos {
+
+struct Violation {
+  std::string oracle;  // "P0" .. "P7"
+  std::string detail;
+};
+
+std::vector<Violation> CheckOracles(const Schedule& schedule,
+                                    const CampaignOutcome& outcome);
+
+// True when `violations` contains `oracle` (empty oracle = any).
+bool HasViolation(const std::vector<Violation>& violations,
+                  const std::string& oracle);
+
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+}  // namespace rcc::chaos

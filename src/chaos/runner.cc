@@ -1,0 +1,164 @@
+#include "chaos/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "sim/failure.h"
+
+namespace rcc::chaos {
+
+namespace {
+
+// A phase-locked injection in flight: victim entry counting is per
+// trigger (pk.victim fixed), so `count` tracks how many times the victim
+// has entered the phase — deterministic in the victim's program order.
+struct Trigger {
+  PhaseKill pk;
+  std::atomic<int> count{0};
+  explicit Trigger(const PhaseKill& p) : pk(p) {}
+};
+
+}  // namespace
+
+CampaignOutcome RunSchedule(const Schedule& schedule) {
+  const Shape& sh = schedule.shape;
+  sim::SimConfig cfg;
+  cfg.gpus_per_node = sh.gpus_per_node;
+  sim::Cluster cluster(cfg);
+  dnn::ClusterDataset data(8, 3, 512, 7);
+
+  core::TrainerOptions opts;
+  opts.epochs = sh.epochs;
+  opts.steps_per_epoch = sh.steps_per_epoch;
+  opts.grad_buckets = sh.grad_buckets;
+  opts.inflight_window = sh.inflight_window;
+  opts.drop_policy = sh.policy;
+  opts.joins = sh.joins;
+
+  std::vector<std::atomic<bool>> flags(0);  // no scripted failures
+
+  trace::Recorder rec;
+  std::deque<Trigger> triggers;
+  for (const PhaseKill& pk : schedule.phased) triggers.emplace_back(pk);
+  rec.SetPhaseStartHook(
+      [&triggers](sim::Endpoint& ep, const std::string& phase) {
+        for (Trigger& t : triggers) {
+          if (t.pk.victim != ep.pid() || t.pk.phase != phase) continue;
+          const int c = t.count.fetch_add(1, std::memory_order_acq_rel) + 1;
+          if (c == t.pk.occurrence) ep.ArmKillAt(ep.now() + t.pk.delay);
+        }
+      });
+
+  // Timed kills go through the pending-failure list *before* any spawn:
+  // founders are armed at registration (before their threads start) and
+  // late-spawned joiners are armed the moment they register — no
+  // real-time race between arming and victim progress.
+  for (const TimedKill& k : schedule.timed) {
+    cluster.AddPendingFailure(sim::FailureEvent{k.scope, k.target, k.at});
+  }
+
+  auto& reg = obs::Registry::Global();
+  const double repairs0 = reg.CounterValue("rcc_recovery_repairs_total");
+  const double replayed0 = reg.CounterValue("rcc_recovery_replayed_ops_total");
+
+  std::vector<int> pids(sh.world);
+  std::iota(pids.begin(), pids.end(), 0);
+  std::mutex mu;
+  std::vector<WorkerResult> results;
+
+  cluster.Spawn(sh.world, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    core::ResilientComm rc(ep, pids, opts.drop_policy, &rec);
+    core::ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    WorkerResult r;
+    r.pid = ep.pid();
+    r.report = trainer.Run();
+    // A worker that aborts while its endpoint is still alive has exited
+    // the job (e.g. an unrecoverable state-sync error): peers must
+    // observe a process failure, not block forever on a silent leaver.
+    if (r.report.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
+    r.end_time = ep.now();
+    std::lock_guard<std::mutex> lock(mu);
+    results.push_back(std::move(r));
+  });
+
+  for (const auto& [epoch, count] : sh.joins) {
+    cluster.SpawnOnFreshNodes(
+        count,
+        [&, epoch, count](sim::Endpoint& ep) {
+          WorkerResult r;
+          r.pid = ep.pid();
+          r.join_epoch = epoch;
+          dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
+          dnn::Sgd opt(model.Params(), opts.sgd);
+          auto rc = core::ResilientComm::JoinExisting(
+              ep, "trainer-epoch" + std::to_string(epoch), count,
+              opts.drop_policy, &rec);
+          r.joined_ok = rc != nullptr;
+          if (rc == nullptr) {
+            r.report.aborted = true;
+          } else {
+            checkpoint::TrainingCursor cursor;
+            Status st = core::ElasticTrainer::SyncState(rc.get(), &model,
+                                                        &opt, &cursor, true);
+            if (!st.ok()) {
+              r.report.aborted = true;
+            } else {
+              core::ElasticTrainer trainer(rc.get(), &model, &opt, &data,
+                                           opts, &flags);
+              r.report = trainer.Run(cursor);
+            }
+          }
+          // Same exit-is-a-failure rule as the founders: an aborted
+          // joiner still registered in the fabric must die visibly.
+          if (r.report.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
+          r.end_time = ep.now();
+          std::lock_guard<std::mutex> lock(mu);
+          results.push_back(std::move(r));
+        },
+        /*start_time=*/0.0);
+  }
+
+  cluster.Join();
+  rec.SetPhaseStartHook(nullptr);
+
+  CampaignOutcome out;
+  out.results = std::move(results);
+  // Thread completion order is real-time; pid order is the deterministic
+  // stream the oracles and determinism tests consume.
+  std::sort(out.results.begin(), out.results.end(),
+            [](const WorkerResult& a, const WorkerResult& b) {
+              return a.pid < b.pid;
+            });
+  for (const WorkerResult& r : out.results) {
+    out.horizon = std::max(out.horizon, r.end_time);
+  }
+  out.repairs_metric =
+      reg.CounterValue("rcc_recovery_repairs_total") - repairs0;
+  out.replayed_metric =
+      reg.CounterValue("rcc_recovery_replayed_ops_total") - replayed0;
+  out.repair_span_count = static_cast<int>(
+      rec.EventsForPhase(std::string("recovery/") +
+                         horovod::phase::kUlfmRepair)
+          .size());
+  out.replay_events = rec.replay_events();
+  std::sort(out.replay_events.begin(), out.replay_events.end(),
+            [](const trace::ReplayEvent& a, const trace::ReplayEvent& b) {
+              return a.pid != b.pid ? a.pid < b.pid : a.op_id < b.op_id;
+            });
+  return out;
+}
+
+double EstimateHorizon(const Schedule& schedule) {
+  Schedule clean = schedule;
+  clean.timed.clear();
+  clean.phased.clear();
+  return RunSchedule(clean).horizon;
+}
+
+}  // namespace rcc::chaos

@@ -1,0 +1,44 @@
+// Campaign runner: executes one chaos Schedule against the real-numerics
+// elastic trainer on the virtual-time simulator and collects everything
+// the oracles need. Deterministic: same schedule -> same outcome, byte
+// for byte (results are keyed and sorted by pid, never by thread
+// completion order).
+#pragma once
+
+#include <vector>
+
+#include "chaos/schedule.h"
+#include "core/elastic_trainer.h"
+#include "trace/trace.h"
+
+namespace rcc::chaos {
+
+// One worker's run: founders have join_epoch == -1; joiners record
+// whether JoinExisting + state sync succeeded.
+struct WorkerResult {
+  int pid = -1;
+  int join_epoch = -1;
+  bool joined_ok = true;
+  core::TrainerReport report;
+  double end_time = 0.0;  // virtual clock when the worker finished/died
+};
+
+struct CampaignOutcome {
+  std::vector<WorkerResult> results;  // sorted by pid
+  double horizon = 0.0;               // max end_time over all workers
+  // Global-registry deltas across the run (the process-wide counters are
+  // snapshotted around the campaign, so campaigns isolate cleanly).
+  double repairs_metric = 0.0;   // rcc_recovery_repairs_total
+  double replayed_metric = 0.0;  // rcc_recovery_replayed_ops_total
+  // Trace-derived evidence.
+  int repair_span_count = 0;                      // recovery/ulfm_repair
+  std::vector<trace::ReplayEvent> replay_events;  // replays vs agreed MIN
+};
+
+CampaignOutcome RunSchedule(const Schedule& schedule);
+
+// Virtual completion time of the schedule with every event stripped;
+// the generator places background kills inside this window.
+double EstimateHorizon(const Schedule& schedule);
+
+}  // namespace rcc::chaos

@@ -1,0 +1,199 @@
+#include "chaos/schedule.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json_lite.h"
+
+namespace rcc::chaos {
+
+namespace {
+
+std::string Num(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+// Strict numeric field access: *ok collapses to false on any miss.
+double GetNum(const obs::json::Value& v, const char* key, bool* ok) {
+  const obs::json::Value* f = v.Find(key);
+  if (f == nullptr || !f->is_number()) {
+    *ok = false;
+    return 0.0;
+  }
+  return f->AsNumber();
+}
+
+std::string GetStr(const obs::json::Value& v, const char* key, bool* ok) {
+  const obs::json::Value* f = v.Find(key);
+  if (f == nullptr || !f->is_string()) {
+    *ok = false;
+    return {};
+  }
+  return f->AsString();
+}
+
+}  // namespace
+
+bool operator==(const Shape& a, const Shape& b) {
+  return a.world == b.world && a.epochs == b.epochs &&
+         a.steps_per_epoch == b.steps_per_epoch &&
+         a.grad_buckets == b.grad_buckets &&
+         a.inflight_window == b.inflight_window &&
+         a.gpus_per_node == b.gpus_per_node && a.policy == b.policy &&
+         a.joins == b.joins;
+}
+
+bool operator==(const TimedKill& a, const TimedKill& b) {
+  return a.scope == b.scope && a.target == b.target && a.at == b.at;
+}
+
+bool operator==(const PhaseKill& a, const PhaseKill& b) {
+  return a.victim == b.victim && a.phase == b.phase &&
+         a.occurrence == b.occurrence && a.delay == b.delay;
+}
+
+bool operator==(const Schedule& a, const Schedule& b) {
+  return a.seed == b.seed && a.shape == b.shape && a.timed == b.timed &&
+         a.phased == b.phased;
+}
+
+std::string Schedule::ToJson() const {
+  std::ostringstream os;
+  char seedbuf[32];
+  std::snprintf(seedbuf, sizeof(seedbuf), "%" PRIu64, seed);
+  os << "{\n  \"seed\": " << seedbuf << ",\n  \"shape\": {";
+  os << "\"world\": " << shape.world
+     << ", \"epochs\": " << shape.epochs
+     << ", \"steps_per_epoch\": " << shape.steps_per_epoch
+     << ", \"grad_buckets\": " << shape.grad_buckets
+     << ", \"inflight_window\": " << shape.inflight_window
+     << ", \"gpus_per_node\": " << shape.gpus_per_node
+     << ", \"policy\": "
+     << (shape.policy == horovod::DropPolicy::kNode ? "\"node\""
+                                                    : "\"process\"")
+     << ", \"joins\": [";
+  bool first = true;
+  for (const auto& [epoch, count] : shape.joins) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"epoch\": " << epoch << ", \"count\": " << count << "}";
+  }
+  os << "]},\n  \"timed\": [";
+  first = true;
+  for (const TimedKill& k : timed) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"scope\": "
+       << (k.scope == sim::FailScope::kNode ? "\"node\"" : "\"process\"")
+       << ", \"target\": " << k.target << ", \"at\": " << Num(k.at) << "}";
+  }
+  os << "],\n  \"phased\": [";
+  first = true;
+  for (const PhaseKill& k : phased) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"victim\": " << k.victim << ", \"phase\": " << Quote(k.phase)
+       << ", \"occurrence\": " << k.occurrence
+       << ", \"delay\": " << Num(k.delay) << "}";
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+bool Schedule::FromJson(const std::string& text, Schedule* out,
+                        std::string* error) {
+  obs::json::Value root;
+  if (!obs::json::Parse(text, &root, error)) return false;
+  bool ok = true;
+  Schedule s;
+  s.seed = static_cast<uint64_t>(GetNum(root, "seed", &ok));
+
+  const obs::json::Value* shape = root.Find("shape");
+  if (shape == nullptr || !shape->is_object()) {
+    if (error != nullptr) *error = "missing shape object";
+    return false;
+  }
+  s.shape.world = static_cast<int>(GetNum(*shape, "world", &ok));
+  s.shape.epochs = static_cast<int>(GetNum(*shape, "epochs", &ok));
+  s.shape.steps_per_epoch =
+      static_cast<int>(GetNum(*shape, "steps_per_epoch", &ok));
+  s.shape.grad_buckets = static_cast<int>(GetNum(*shape, "grad_buckets", &ok));
+  s.shape.inflight_window =
+      static_cast<int>(GetNum(*shape, "inflight_window", &ok));
+  s.shape.gpus_per_node =
+      static_cast<int>(GetNum(*shape, "gpus_per_node", &ok));
+  const std::string policy = GetStr(*shape, "policy", &ok);
+  if (policy == "node") {
+    s.shape.policy = horovod::DropPolicy::kNode;
+  } else if (policy == "process") {
+    s.shape.policy = horovod::DropPolicy::kProcess;
+  } else {
+    ok = false;
+  }
+  const obs::json::Value* joins = shape->Find("joins");
+  if (joins == nullptr || !joins->is_array()) {
+    ok = false;
+  } else {
+    for (const obs::json::Value& j : joins->AsArray()) {
+      const int epoch = static_cast<int>(GetNum(j, "epoch", &ok));
+      const int count = static_cast<int>(GetNum(j, "count", &ok));
+      s.shape.joins[epoch] = count;
+    }
+  }
+
+  const obs::json::Value* timed = root.Find("timed");
+  if (timed == nullptr || !timed->is_array()) {
+    ok = false;
+  } else {
+    for (const obs::json::Value& t : timed->AsArray()) {
+      TimedKill k;
+      const std::string scope = GetStr(t, "scope", &ok);
+      if (scope == "node") {
+        k.scope = sim::FailScope::kNode;
+      } else if (scope == "process") {
+        k.scope = sim::FailScope::kProcess;
+      } else {
+        ok = false;
+      }
+      k.target = static_cast<int>(GetNum(t, "target", &ok));
+      k.at = GetNum(t, "at", &ok);
+      s.timed.push_back(k);
+    }
+  }
+
+  const obs::json::Value* phased = root.Find("phased");
+  if (phased == nullptr || !phased->is_array()) {
+    ok = false;
+  } else {
+    for (const obs::json::Value& p : phased->AsArray()) {
+      PhaseKill k;
+      k.victim = static_cast<int>(GetNum(p, "victim", &ok));
+      k.phase = GetStr(p, "phase", &ok);
+      k.occurrence = static_cast<int>(GetNum(p, "occurrence", &ok));
+      k.delay = GetNum(p, "delay", &ok);
+      s.phased.push_back(k);
+    }
+  }
+
+  if (!ok) {
+    if (error != nullptr) *error = "schedule JSON has missing/mistyped fields";
+    return false;
+  }
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace rcc::chaos

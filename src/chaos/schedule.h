@@ -1,0 +1,82 @@
+// Chaos schedule: one seeded failure campaign against the elastic
+// trainer, fully determined by this value. Every kill is executed as a
+// virtual-time *self*-kill on the victim's own thread (sim/endpoint.h),
+// so a schedule replays byte-identically regardless of host thread
+// scheduling:
+//
+//  - TimedKill arms the victim (or every process of a node) before the
+//    run starts, via the cluster's pending-failure list, so processes
+//    spawned later (joiners) are armed too.
+//  - PhaseKill arms the victim when it *enters* a protocol phase for
+//    the k-th time (trace::Recorder phase-start hook), which is how the
+//    fuzzer lands failures inside the recovery machinery itself:
+//    mid-revoke, mid-agree, mid-shrink, mid-replay, mid-join. Phase
+//    kills are process-scope only — killing node peers from another
+//    thread's hook would reintroduce real-time races. Under the kNode
+//    drop policy the victim's node peers still leave with it.
+//
+// Schedules serialize to JSON (doubles at %.17g, so FromJson(ToJson(s))
+// round-trips exactly) for reproducer artifacts and --replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "horovod/plan.h"
+#include "sim/failure.h"
+
+namespace rcc::chaos {
+
+// Run shape: the trainer configuration the campaign executes against.
+struct Shape {
+  int world = 4;
+  int epochs = 2;
+  int steps_per_epoch = 4;
+  int grad_buckets = 4;
+  int inflight_window = 2;  // 0 = blocking per-bucket allreduce
+  int gpus_per_node = 2;
+  horovod::DropPolicy policy = horovod::DropPolicy::kProcess;
+  std::map<int, int> joins;  // epoch -> joiners admitted at its start
+};
+
+// Background failure: the target self-kills when its clock reaches `at`.
+struct TimedKill {
+  sim::FailScope scope = sim::FailScope::kProcess;
+  int target = 0;    // pid (kProcess) or node id (kNode)
+  double at = 0.0;   // virtual seconds
+};
+
+// Adversarial point injection: when `victim` enters `phase` for the
+// `occurrence`-th time (1-based), it arms a self-kill `delay` virtual
+// seconds later. A phase the victim never enters never fires.
+struct PhaseKill {
+  int victim = 0;
+  std::string phase;
+  int occurrence = 1;
+  double delay = 0.0;
+};
+
+struct Schedule {
+  uint64_t seed = 0;  // provenance only; the events below are the truth
+  Shape shape;
+  std::vector<TimedKill> timed;
+  std::vector<PhaseKill> phased;
+
+  int EventCount() const {
+    return static_cast<int>(timed.size() + phased.size());
+  }
+
+  std::string ToJson() const;
+  // Strict parse; on failure returns false with a description in *error.
+  static bool FromJson(const std::string& text, Schedule* out,
+                       std::string* error);
+};
+
+bool operator==(const Shape& a, const Shape& b);
+bool operator==(const TimedKill& a, const TimedKill& b);
+bool operator==(const PhaseKill& a, const PhaseKill& b);
+bool operator==(const Schedule& a, const Schedule& b);
+
+}  // namespace rcc::chaos

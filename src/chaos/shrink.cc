@@ -1,0 +1,111 @@
+#include "chaos/shrink.h"
+
+#include <utility>
+
+#include "chaos/runner.h"
+
+namespace rcc::chaos {
+
+namespace {
+
+struct Search {
+  std::string oracle;
+  int runs = 0;
+  int max_runs = 0;
+
+  bool Budget() const { return runs < max_runs; }
+
+  // One deterministic trial; true iff the pinned violation reproduces.
+  bool Violates(const Schedule& s, std::vector<Violation>* out) {
+    ++runs;
+    std::vector<Violation> v = CheckOracles(s, RunSchedule(s));
+    const bool hit = HasViolation(v, oracle);
+    if (hit && out != nullptr) *out = std::move(v);
+    return hit;
+  }
+};
+
+}  // namespace
+
+ShrinkResult ShrinkSchedule(const Schedule& initial, const std::string& oracle,
+                            int max_runs) {
+  Search search{oracle, 0, max_runs};
+  ShrinkResult best;
+  best.schedule = initial;
+  // Re-verify the starting point so `violations` always matches
+  // `schedule`; a non-reproducing input returns unchanged.
+  if (!search.Violates(initial, &best.violations)) {
+    best.runs = search.runs;
+    return best;
+  }
+
+  // Phase 1: ddmin-style greedy removal to a fixpoint. One event at a
+  // time keeps every trial meaningful for event lists this small.
+  bool removed = true;
+  while (removed && search.Budget()) {
+    removed = false;
+    for (size_t i = 0; i < best.schedule.timed.size() && search.Budget();) {
+      Schedule trial = best.schedule;
+      trial.timed.erase(trial.timed.begin() + static_cast<long>(i));
+      if (search.Violates(trial, &best.violations)) {
+        best.schedule = std::move(trial);
+        removed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; i < best.schedule.phased.size() && search.Budget();) {
+      Schedule trial = best.schedule;
+      trial.phased.erase(trial.phased.begin() + static_cast<long>(i));
+      if (search.Violates(trial, &best.violations)) {
+        best.schedule = std::move(trial);
+        removed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Phase 2: bisect each surviving injection time toward the earliest
+  // still-violating point (canonicalizes the reproducer; violations are
+  // not monotone in time, so this is a bounded heuristic descent).
+  for (size_t i = 0; i < best.schedule.timed.size(); ++i) {
+    double lo = 0.0;
+    double hi = best.schedule.timed[i].at;
+    for (int round = 0; round < 6 && search.Budget(); ++round) {
+      const double mid = 0.5 * (lo + hi);
+      if (mid == hi) break;
+      Schedule trial = best.schedule;
+      trial.timed[i].at = mid;
+      if (search.Violates(trial, &best.violations)) {
+        best.schedule = std::move(trial);
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+
+  // Phase 3: collapse phase injections to their simplest form.
+  for (size_t i = 0; i < best.schedule.phased.size(); ++i) {
+    if (best.schedule.phased[i].occurrence > 1 && search.Budget()) {
+      Schedule trial = best.schedule;
+      trial.phased[i].occurrence = 1;
+      if (search.Violates(trial, &best.violations)) {
+        best.schedule = std::move(trial);
+      }
+    }
+    if (best.schedule.phased[i].delay != 0.0 && search.Budget()) {
+      Schedule trial = best.schedule;
+      trial.phased[i].delay = 0.0;
+      if (search.Violates(trial, &best.violations)) {
+        best.schedule = std::move(trial);
+      }
+    }
+  }
+
+  best.runs = search.runs;
+  return best;
+}
+
+}  // namespace rcc::chaos

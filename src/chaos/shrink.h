@@ -1,0 +1,28 @@
+// Automatic schedule shrinking: given a violating campaign, produce a
+// minimal reproducer. Delta-debugs the event lists (greedy one-at-a-time
+// removal to a fixpoint), then simplifies the survivors — bisecting
+// timed-kill injection times toward the earliest still-violating point,
+// and collapsing phase injections to occurrence 1 / delay 0 where the
+// violation persists. Every trial is one deterministic campaign run;
+// the whole search is budgeted by `max_runs`.
+#pragma once
+
+#include <string>
+
+#include "chaos/oracle.h"
+#include "chaos/schedule.h"
+
+namespace rcc::chaos {
+
+struct ShrinkResult {
+  Schedule schedule;                  // the minimized reproducer
+  std::vector<Violation> violations;  // its (re-verified) violations
+  int runs = 0;                       // campaign executions spent
+};
+
+// `oracle` pins the violation being chased (e.g. "P2") so the shrinker
+// does not wander onto a different bug; empty chases any violation.
+ShrinkResult ShrinkSchedule(const Schedule& initial, const std::string& oracle,
+                            int max_runs = 80);
+
+}  // namespace rcc::chaos

@@ -159,6 +159,8 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start) {
     // Epoch-boundary reconfiguration.
     auto join_it = opts_.joins.find(epoch);
     if (join_it != opts_.joins.end() && step == 0 && epoch != start.epoch) {
+      RCC_LOG(kDebug)
+          << "pid " << rc_->endpoint().pid() << " expand e" << epoch;
       Status st = rc_->Expand("trainer-epoch" + std::to_string(epoch),
                               join_it->second);
       if (!st.ok()) {
@@ -174,6 +176,9 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start) {
     }
     while (step < opts_.steps_per_epoch) {
       float loss = 0;
+      RCC_LOG(kDebug)
+          << "pid " << rc_->endpoint().pid() << " step e" << epoch << " s"
+          << step;
       Status st = TrainStep(epoch, step, &loss);
       if (!st.ok()) {
         report.aborted = true;

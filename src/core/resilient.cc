@@ -18,6 +18,13 @@ std::string NcclId(const mpi::Comm& comm) {
 constexpr int64_t kNoIncompleteOp = std::numeric_limits<int64_t>::max();
 }  // namespace
 
+std::function<bool(int, int64_t)> ResilientComm::test_replay_skip_;
+
+void ResilientComm::TestOnlySetReplaySkip(
+    std::function<bool(int pid, int64_t op_id)> fn) {
+  test_replay_skip_ = std::move(fn);
+}
+
 ResilientComm::ResilientComm(sim::Endpoint& ep, const std::vector<int>& pids,
                              horovod::DropPolicy policy,
                              trace::Recorder* rec)
@@ -38,15 +45,29 @@ ResilientComm::ResilientComm(sim::Endpoint& ep, mpi::Comm comm,
 std::unique_ptr<ResilientComm> ResilientComm::JoinExisting(
     sim::Endpoint& ep, const std::string& session, int expected_joiners,
     horovod::DropPolicy policy, trace::Recorder* rec) {
+  int64_t agreed_counter = 0;
   Result<mpi::Comm> joined = [&] {
     trace::Scope scope(rec, ep,
                        std::string("recovery/") + horovod::phase::kUlfmExpand);
-    return ulfm::ExpandComm(ep, nullptr, session, expected_joiners);
+    return ulfm::ExpandComm(ep, nullptr, session, expected_joiners,
+                            /*op_counter=*/0, &agreed_counter);
   }();
   if (!joined.ok()) return nullptr;
   auto rc = std::unique_ptr<ResilientComm>(
       new ResilientComm(ep, joined.take(), policy, rec));
-  if (!rc->InitGpu("recovery/").ok()) return nullptr;
+  // Adopt the survivors' op counter so this rank's resilient ops share
+  // ids with theirs: the post-repair MIN agreement compares op ids
+  // across ranks, and a fresh counter would make a joiner's first op
+  // look long-complete to it (it would skip the aligned re-execution
+  // and leave the survivors re-running the collective without it).
+  rc->op_counter_ = static_cast<uint64_t>(agreed_counter);
+  // Defer a failed init (a member dying while the merged communicator
+  // bootstraps, e.g. another joiner killed mid-join) exactly like the
+  // founding constructor: the first resilient operation observes it and
+  // repairs with every survivor in lockstep. Only a self-death aborts
+  // the join.
+  rc->gpu_init_status_ = rc->InitGpu("recovery/");
+  if (rc->gpu_init_status_.code() == Code::kAborted) return nullptr;
   return rc;
 }
 
@@ -159,6 +180,10 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
   const auto op_id = static_cast<int64_t>(++op_counter_);
   bool data_done = !has_data;
   bool repaired = false;
+  // Set when the pending data run is a post-repair re-execution; the
+  // successful run is then audited like a windowed replay (P6/P7
+  // oracles count blocking and windowed replays uniformly).
+  int64_t replay_min = kNoIncompleteOp;
   for (;;) {
     Status st;
     if (!data_done) {
@@ -170,7 +195,18 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
       } else {
         st = data_fn();
       }
-      if (st.ok()) data_done = true;
+      if (st.ok()) {
+        data_done = true;
+        if (replay_min != kNoIncompleteOp) {
+          obs::Registry::Global()
+              .GetCounter("rcc_recovery_replayed_ops_total")
+              ->Increment();
+          if (rec_ != nullptr) {
+            rec_->RecordReplay(ep_.pid(), op_id, replay_min);
+          }
+          replay_min = kNoIncompleteOp;
+        }
+      }
     }
     if (data_done) {
       st = sync_fn();
@@ -195,6 +231,8 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
       }();
       if (!verdict.ok()) return verdict.status();
       const int64_t min_id = verdict.value().min_value;
+      RCC_LOG(kDebug) << "pid " << ep_.pid() << " resolve op " << op_id
+                      << " contrib " << contribution << " min " << min_id;
       if (min_id == kNoIncompleteOp || min_id > op_id) {
         // Every survivor holds the data of this op (and of everything
         // before it) and the repair itself synchronized us: complete.
@@ -209,8 +247,11 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
       // already held a result replace it with the survivor-only one,
       // keeping SPMD state consistent.
       Status replay = ReplayWindowFrom(min_id);
+      RCC_LOG(kDebug) << "pid " << ep_.pid() << " replayed from " << min_id
+                      << ": " << replay.ToString();
       if (replay.ok()) {
         data_done = false;
+        if (has_data) replay_min = min_id;
         resolved = true;
       } else if (replay.code() == Code::kAborted) {
         return replay;
@@ -273,16 +314,31 @@ int64_t ResilientComm::FirstIncompleteWindowOp() const {
 Status ResilientComm::ReplayWindowFrom(int64_t min_id) {
   obs::Counter* replayed =
       obs::Registry::Global().GetCounter("rcc_recovery_replayed_ops_total");
+  std::vector<float> scratch;  // planted-fault sink, see below
   for (auto& op : window_) {
     if (op.id < min_id) continue;
     obs::Span span(
         rec_, ep_, std::string("recovery/") + horovod::phase::kRetryCollective);
     if (gpu_ == nullptr) return gpu_init_status_;
+    // Planted fault (test-only): participate in the re-execution — the
+    // collective needs every member — but drop the result, leaving this
+    // rank's recvbuf stale, as a "replayed but never applied" bug would.
+    float* dst = op.recvbuf;
+    if (test_replay_skip_ && test_replay_skip_(ep_.pid(), op.id)) {
+      scratch.assign(op.count, 0.0f);
+      dst = scratch.data();
+    }
     gpu_->set_cost_scale(op.cost_scale);
-    Status st = gpu_->Allreduce<float>(op.sendbuf, op.recvbuf, op.count);
+    Status st = gpu_->Allreduce<float>(op.sendbuf, dst, op.count);
     gpu_->set_cost_scale(1.0);
     if (!st.ok()) return st;
+    if (dst != op.recvbuf) {
+      op.done = true;  // planted fault: no audit record, recvbuf stale
+      op.req = coll::Request();
+      continue;
+    }
     replayed->Increment();
+    if (rec_ != nullptr) rec_->RecordReplay(ep_.pid(), op.id, min_id);
     op.done = true;
     op.req = coll::Request();  // the pre-failure request is retired
   }
@@ -447,15 +503,24 @@ double ResilientComm::TakeCommServiceSeconds() {
 }
 
 Status ResilientComm::Expand(const std::string& session, int joiner_count) {
+  int64_t agreed_counter = 0;
   Result<mpi::Comm> next = [&] {
     trace::Scope scope(rec_, ep_,
                        std::string("recovery/") + horovod::phase::kUlfmExpand);
-    return ulfm::ExpandComm(ep_, comm_.get(), session, joiner_count);
+    return ulfm::ExpandComm(ep_, comm_.get(), session, joiner_count,
+                            static_cast<int64_t>(op_counter_),
+                            &agreed_counter);
   }();
   if (!next.ok()) return next.status();
   comm_ = std::make_unique<mpi::Comm>(next.take());
   if (gpu_ != nullptr) gpu_->Abort();
-  return InitGpu("recovery/");
+  // Defer a failed rebuild (a joiner dying while the expanded GPU
+  // communicator bootstraps) like the founding constructor: the next
+  // resilient op repairs, shrinking the dead joiner out. Aborting here
+  // would take every survivor down with one dead joiner.
+  gpu_init_status_ = InitGpu("recovery/");
+  if (gpu_init_status_.code() == Code::kAborted) return gpu_init_status_;
+  return Status::Ok();
 }
 
 }  // namespace rcc::core

@@ -125,6 +125,15 @@ class ResilientComm {
   // negotiation) that shares the global metrics registry.
   double TakeCommServiceSeconds();
 
+  // Test-only planted fault: window ops matching the predicate are
+  // skipped during replay (marked done without re-execution), leaving
+  // the skipping rank with a stale result. The chaos harness uses this
+  // to prove its oracle + shrinker pipeline catches a real replay bug
+  // end to end. Set before spawning ranks, clear (nullptr) after the
+  // run; reads are unsynchronized.
+  static void TestOnlySetReplaySkip(
+      std::function<bool(int pid, int64_t op_id)> fn);
+
  private:
   // One windowed op: request handle plus the preserved out-of-place
   // buffers the recovery replays from. deque keeps references stable
@@ -174,6 +183,8 @@ class ResilientComm {
   // barrier must NOT be re-run (ranks past it will not participate).
   Status RecoverWindow(Status failure, bool* need_barrier);
   Status GpuBarrier();
+
+  static std::function<bool(int pid, int64_t op_id)> test_replay_skip_;
 
   sim::Endpoint& ep_;
   std::unique_ptr<mpi::Comm> comm_;

@@ -22,7 +22,9 @@ class Span {
   Span(trace::Recorder* rec, sim::Endpoint& ep, std::string phase,
        const char* metric = "rcc_phase_seconds")
       : rec_(rec), ep_(ep), phase_(std::move(phase)), start_(ep.now()),
-        hist_(Registry::Global().GetHistogram(metric, {{"phase", phase_}})) {}
+        hist_(Registry::Global().GetHistogram(metric, {{"phase", phase_}})) {
+    if (rec_ != nullptr) rec_->PhaseStarted(ep_, phase_);
+  }
 
   ~Span() {
     const sim::Seconds end = ep_.now();

@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include "common/log.h"
+#include "sim/failure.h"
 
 namespace rcc::sim {
 
@@ -8,6 +9,19 @@ int Cluster::AllocateSlotNode() {
   const int node = next_slot_ / config().gpus_per_node;
   ++next_slot_;
   return node;
+}
+
+void Cluster::AddPendingFailure(const FailureEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_kills_.push_back(
+      {ev.scope == FailScope::kNode, ev.target, ev.at});
+}
+
+void Cluster::ArmFromPending(int pid, int node, Endpoint& ep) {
+  for (const PendingKill& pk : pending_kills_) {
+    const bool hit = pk.node_scope ? pk.target == node : pk.target == pid;
+    if (hit) ep.ArmKillAt(pk.at);
+  }
 }
 
 std::vector<int> Cluster::Spawn(int n, const RankFn& fn, Seconds start_time) {
@@ -23,6 +37,7 @@ std::vector<int> Cluster::Spawn(int n, const RankFn& fn, Seconds start_time) {
         << "pid/endpoint indexing out of sync";
     endpoints_.push_back(
         std::make_unique<Endpoint>(fabric_.get(), pid, start_time));
+    ArmFromPending(pid, node, *endpoints_.back());
     pids.push_back(pid);
   }
   for (int pid : pids) {
@@ -52,6 +67,7 @@ int Cluster::SpawnOn(int node, const RankFn& fn, Seconds start_time) {
   endpoints_.push_back(
       std::make_unique<Endpoint>(fabric_.get(), pid, start_time));
   Endpoint* ep = endpoints_.back().get();
+  ArmFromPending(pid, node, *ep);
   threads_.emplace_back([fn, ep] { fn(*ep); });
   return pid;
 }

@@ -13,6 +13,8 @@
 
 namespace rcc::sim {
 
+struct FailureEvent;  // sim/failure.h
+
 using RankFn = std::function<void(Endpoint&)>;
 
 class Cluster {
@@ -45,6 +47,13 @@ class Cluster {
   // cluster's lifetime.
   Endpoint& endpoint(int pid);
 
+  // Registers a failure event that must also arm processes spawned
+  // *after* the plan was applied: a replacement landing on an
+  // already-doomed node (or a pid that does not exist yet) is armed the
+  // moment it registers, before its thread starts. FailurePlan::ApplyTo
+  // records every event here.
+  void AddPendingFailure(const FailureEvent& ev);
+
   // Waits for every rank thread spawned so far (including ones admitted
   // while joining) to finish.
   void Join();
@@ -53,11 +62,20 @@ class Cluster {
 
  private:
   int AllocateSlotNode();  // packed allocation
+  void ArmFromPending(int pid, int node, Endpoint& ep);  // requires mu_ held
 
   std::unique_ptr<Fabric> fabric_;
   mutable std::mutex mu_;
   std::vector<std::thread> threads_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;  // index == pid
+  // (scope, target, at) triples shadowing FailureEvent; kept as plain
+  // fields to avoid a header cycle with sim/failure.h.
+  struct PendingKill {
+    bool node_scope = false;
+    int target = 0;
+    Seconds at = 0.0;
+  };
+  std::vector<PendingKill> pending_kills_;
   int next_slot_ = 0;  // packed slot counter (node = slot / gpus_per_node)
 };
 

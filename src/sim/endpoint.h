@@ -43,6 +43,15 @@ class Endpoint {
   // fabric operation. Deterministic in virtual time, independent of real
   // thread scheduling.
   void SetKillAtTime(Seconds t) { kill_at_.store(t, std::memory_order_release); }
+  // Like SetKillAtTime but keeps the *earliest* armed trigger: several
+  // failure-plan events (node sweep + targeted kill + chaos injection)
+  // may arm the same rank.
+  void ArmKillAt(Seconds t) {
+    Seconds cur = kill_at_.load(std::memory_order_acquire);
+    while (t < cur &&
+           !kill_at_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
   // Immediately marks this rank dead at its next operation.
   void KillNow() { SetKillAtTime(0.0); }
   // The scheduled self-kill time (readable from any thread; background

@@ -7,15 +7,18 @@ void FailurePlan::ApplyTo(Cluster& cluster) const {
   for (const FailureEvent& ev : events_) {
     if (ev.scope == FailScope::kProcess) {
       if (ev.target >= 0 && ev.target < nprocs) {
-        cluster.endpoint(ev.target).SetKillAtTime(ev.at);
+        cluster.endpoint(ev.target).ArmKillAt(ev.at);
       }
     } else {
       for (int pid = 0; pid < nprocs; ++pid) {
         if (cluster.fabric().NodeOf(pid) == ev.target) {
-          cluster.endpoint(pid).SetKillAtTime(ev.at);
+          cluster.endpoint(pid).ArmKillAt(ev.at);
         }
       }
     }
+    // Late registrants (replacements landing on a doomed node, pids that
+    // do not exist yet) are armed at registration time by the cluster.
+    cluster.AddPendingFailure(ev);
   }
 }
 

@@ -30,6 +30,33 @@ void Recorder::RecordOp(int pid, uint64_t op_id, const std::string& algo,
   op_events_.push_back(OpEvent{pid, op_id, algo, bytes, submit, complete});
 }
 
+void Recorder::RecordReplay(int pid, int64_t op_id, int64_t min_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  replay_events_.push_back(ReplayEvent{pid, op_id, min_id});
+}
+
+std::vector<ReplayEvent> Recorder::replay_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replay_events_;
+}
+
+void Recorder::SetPhaseStartHook(PhaseStartHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  phase_start_hook_ = std::move(hook);
+  has_hook_.store(static_cast<bool>(phase_start_hook_),
+                  std::memory_order_release);
+}
+
+void Recorder::PhaseStarted(sim::Endpoint& ep, const std::string& phase) {
+  if (!has_hook_.load(std::memory_order_acquire)) return;
+  PhaseStartHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = phase_start_hook_;
+  }
+  if (hook) hook(ep, phase);
+}
+
 std::vector<Event> Recorder::events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
@@ -82,6 +109,7 @@ void Recorder::Clear() {
   events_.clear();
   by_phase_.clear();
   op_events_.clear();
+  replay_events_.clear();
 }
 
 Table Recorder::ToTable() const {

@@ -10,7 +10,9 @@
 // runtime quadratically.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -41,6 +43,14 @@ struct OpEvent {
   double latency() const { return complete - submit; }
 };
 
+// One op re-executed by the resilient layer during replay-from-MIN.
+// Chaos oracles check every replayed id against the agreed MIN.
+struct ReplayEvent {
+  int pid = -1;
+  int64_t op_id = 0;
+  int64_t min_id = 0;  // the MIN agreed for the repair that replayed this op
+};
+
 class Recorder {
  public:
   void Record(int pid, const std::string& phase, sim::Seconds start,
@@ -49,6 +59,21 @@ class Recorder {
   // Per-op tracing for the nonblocking pipeline.
   void RecordOp(int pid, uint64_t op_id, const std::string& algo,
                 double bytes, sim::Seconds submit, sim::Seconds complete);
+
+  // Replay audit trail for the chaos oracles.
+  void RecordReplay(int pid, int64_t op_id, int64_t min_id);
+  std::vector<ReplayEvent> replay_events() const;
+
+  // --- phase-start hook -------------------------------------------------
+  // Invoked on the *entering* rank's own thread the moment a trace::Scope
+  // or obs::Span opens, before any phase work runs. The chaos harness uses
+  // this to arm deterministic self-kills phase-locked to protocol spans
+  // (mid-revoke, mid-agree, mid-join, ...). At most one hook; set nullptr
+  // to clear. The hook must be cheap and must not re-enter the recorder.
+  using PhaseStartHook =
+      std::function<void(sim::Endpoint& ep, const std::string& phase)>;
+  void SetPhaseStartHook(PhaseStartHook hook);
+  void PhaseStarted(sim::Endpoint& ep, const std::string& phase);
 
   std::vector<Event> events() const;
   std::vector<Event> EventsForPhase(const std::string& phase) const;
@@ -84,6 +109,13 @@ class Recorder {
   std::vector<Event> events_;
   std::map<std::string, PhaseAgg> by_phase_;
   std::vector<OpEvent> op_events_;
+  std::vector<ReplayEvent> replay_events_;
+
+  // Hook storage behind its own mutex so PhaseStarted never contends with
+  // Record; has_hook_ lets the common (no hook) case skip the lock.
+  mutable std::mutex hook_mu_;
+  std::atomic<bool> has_hook_{false};
+  PhaseStartHook phase_start_hook_;
 };
 
 // RAII phase scope: records [now at construction, now at destruction] on
@@ -91,7 +123,9 @@ class Recorder {
 class Scope {
  public:
   Scope(Recorder* rec, sim::Endpoint& ep, std::string phase)
-      : rec_(rec), ep_(ep), phase_(std::move(phase)), start_(ep.now()) {}
+      : rec_(rec), ep_(ep), phase_(std::move(phase)), start_(ep.now()) {
+    if (rec_ != nullptr) rec_->PhaseStarted(ep_, phase_);
+  }
   ~Scope() {
     if (rec_ != nullptr) rec_->Record(ep_.pid(), phase_, start_, ep_.now());
   }

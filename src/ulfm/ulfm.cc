@@ -74,6 +74,7 @@ struct ExpandState {
   sim::Seconds finish_time = 0.0;
   int leavers = 0;
   int expected_leavers = 0;
+  int64_t op_counter = 0;  // survivors' resilient-op counter (max)
 };
 
 std::mutex g_expand_mu;
@@ -129,6 +130,12 @@ Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
   sim::Fabric& fabric = ep.fabric();
   if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
   ep.Busy(fabric.config().costs.ulfm_errhandler_dispatch);
+  // Busy may have fired an armed self-kill: a rank that dies in the
+  // dispatch window must not contribute — survivors would otherwise
+  // count its flag/value or not depending on thread timing.
+  if (!ep.alive()) {
+    return Status(Code::kAborted, "caller died entering agree");
+  }
 
   const std::string key =
       std::to_string(comm.context_id()) + "/agree/" +
@@ -228,12 +235,22 @@ Result<mpi::Comm> Shrink(mpi::Comm& comm) {
 
 Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
                              const std::string& session,
-                             int expected_joiners) {
+                             int expected_joiners, int64_t op_counter,
+                             int64_t* agreed_counter) {
   sim::Fabric& fabric = ep.fabric();
   if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
   const std::string key =
       "expand/f" + std::to_string(fabric.id()) + "/" + session;
   auto state = ExpandStateFor(key);
+
+  // A survivor whose armed kill has matured dies *before* registering
+  // arrival; the completeness check below skips dead non-arrived
+  // survivors, so the expand completes without it, deterministically.
+  // (Joiners must register first — survivors wait for exactly
+  // `expected_joiners` arrivals — and are reaped in the wait loop.)
+  if (old_comm != nullptr && ep.MaybeSelfKill()) {
+    return Status(Code::kAborted, "survivor killed entering expand");
+  }
 
   std::unique_lock<std::mutex> lock(state->mu);
   if (old_comm != nullptr) {
@@ -242,6 +259,7 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
       state->survivors_known = true;
     }
     state->survivor_arrived.insert(ep.pid());
+    state->op_counter = std::max(state->op_counter, op_counter);
   } else {
     state->joiner_arrived.insert(ep.pid());
   }
@@ -250,6 +268,12 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
 
   while (!state->done) {
     if (!ep.alive()) return Status(Code::kAborted, "caller died in expand");
+    // An arrived joiner with a matured kill dies here: it already
+    // counted toward expected_joiners (no survivor deadlock) and stays
+    // in the membership; the first resilient op repairs it away.
+    if (old_comm == nullptr && ep.MaybeSelfKill()) {
+      return Status(Code::kAborted, "joiner killed in expand");
+    }
     bool complete = state->survivors_known || expected_joiners == 0;
     if (state->survivors_known) {
       for (int pid : state->old_group_pids) {
@@ -298,6 +322,7 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
   }
 
   auto group = state->new_group;
+  if (agreed_counter != nullptr) *agreed_counter = state->op_counter;
   ep.AdvanceTo(state->finish_time);
   ++state->leavers;
   const bool last = state->leavers >= state->expected_leavers;

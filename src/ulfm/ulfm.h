@@ -71,9 +71,16 @@ Result<mpi::Comm> Shrink(mpi::Comm& comm);
 // Note: like MPI_Comm_accept, the expand blocks until every expected
 // joiner arrives; a joiner that dies before arriving stalls the
 // operation (the elastic layer only admits provisioned workers).
+// `op_counter` / `agreed_counter` synchronize the resilient layer's
+// per-rank operation ids across the rendezvous: survivors publish their
+// counter (identical on every survivor — SPMD op streams) and every
+// participant reads the agreed value back, so a joiner's subsequent ops
+// share ids with the survivors' and the post-repair MIN agreement
+// compares like with like.
 Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
                              const std::string& session,
-                             int expected_joiners);
+                             int expected_joiners, int64_t op_counter = 0,
+                             int64_t* agreed_counter = nullptr);
 
 // Cost model for one agreement over `nranks` participants; exposed so
 // benches can report it and tests can check clock advancement.

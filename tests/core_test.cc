@@ -167,6 +167,83 @@ TEST(ResilientComm, ExpandThenAllreduceIncludesJoiners) {
   EXPECT_EQ(done.load(), 5);
 }
 
+// A joiner that dies after registering arrival (mid-join) must not
+// deadlock the expand: it still counts toward expected_joiners, lands
+// in the merged membership, and the first resilient op repairs it away.
+TEST(ResilientComm, JoinerDyingMidJoinIsRepairedAway) {
+  sim::Cluster cluster;
+  std::atomic<int> done{0};
+  std::atomic<int> join_failed{0};
+  std::vector<int> pids{0, 1, 2};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    ResilientComm rc(ep, pids, DropPolicy::kProcess, nullptr);
+    ASSERT_TRUE(rc.Expand("growdie", 2).ok());
+    EXPECT_EQ(rc.size(), 5);  // dead joiner still in the merged membership
+    float mine = 1.0f, sum = 0.0f;
+    ASSERT_TRUE(rc.Allreduce(&mine, &sum, 1).ok());
+    EXPECT_EQ(sum, 4.0f);  // repaired: 4 live contributors
+    EXPECT_EQ(rc.size(), 4);
+    done++;
+  });
+  cluster.SpawnOnFreshNodes(1, [&](sim::Endpoint& ep) {
+    auto rc = ResilientComm::JoinExisting(ep, "growdie", 2,
+                                          DropPolicy::kProcess, nullptr);
+    ASSERT_NE(rc, nullptr);
+    float mine = 1.0f, sum = 0.0f;
+    ASSERT_TRUE(rc->Allreduce(&mine, &sum, 1).ok());
+    EXPECT_EQ(sum, 4.0f);
+    done++;
+  }, 0.0);
+  cluster.SpawnOnFreshNodes(1, [&](sim::Endpoint& ep) {
+    // Matures instantly: the joiner registers arrival, then dies in the
+    // expand wait loop. Its JoinExisting must fail cleanly.
+    ep.ArmKillAt(0.0);
+    auto rc = ResilientComm::JoinExisting(ep, "growdie", 2,
+                                          DropPolicy::kProcess, nullptr);
+    EXPECT_EQ(rc, nullptr);
+    join_failed++;
+  }, 0.0);
+  cluster.Join();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(join_failed.load(), 1);
+}
+
+// A survivor that dies entering the expand (while the joiner is still
+// connecting) is skipped by the completeness check: the rendezvous
+// finishes with the remaining survivors plus the joiner.
+TEST(ResilientComm, SurvivorDyingDuringJoinIsExcluded) {
+  sim::Cluster cluster;
+  std::atomic<int> done{0};
+  std::vector<int> pids{0, 1, 2};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    ResilientComm rc(ep, pids, DropPolicy::kProcess, nullptr);
+    if (ep.pid() == 2) {
+      ep.ArmKillAt(ep.now());  // dies at the expand entry check
+      Status st = rc.Expand("growloss", 1);
+      EXPECT_EQ(st.code(), Code::kAborted);
+      return;
+    }
+    ASSERT_TRUE(rc.Expand("growloss", 1).ok());
+    EXPECT_EQ(rc.size(), 3);  // 2 survivors + 1 joiner
+    float mine = 1.0f, sum = 0.0f;
+    ASSERT_TRUE(rc.Allreduce(&mine, &sum, 1).ok());
+    EXPECT_EQ(sum, 3.0f);
+    done++;
+  });
+  cluster.SpawnOnFreshNodes(1, [&](sim::Endpoint& ep) {
+    auto rc = ResilientComm::JoinExisting(ep, "growloss", 1,
+                                          DropPolicy::kProcess, nullptr);
+    ASSERT_NE(rc, nullptr);
+    EXPECT_EQ(rc->size(), 3);
+    float mine = 1.0f, sum = 0.0f;
+    ASSERT_TRUE(rc->Allreduce(&mine, &sum, 1).ok());
+    EXPECT_EQ(sum, 3.0f);
+    done++;
+  }, 0.0);
+  cluster.Join();
+  EXPECT_EQ(done.load(), 3);
+}
+
 // ---------------------------------------------------------------------
 // Synthetic ULFM elastic runner (the figure benches' engine)
 // ---------------------------------------------------------------------

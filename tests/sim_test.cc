@@ -363,6 +363,50 @@ TEST(FailurePlan, AppliesProcessAndNodeEvents) {
   EXPECT_TRUE(cluster.fabric().IsAlive(0));
 }
 
+// Regression: a node-scope event applied before the node has any
+// residents must still arm workers that register on it later (the
+// cluster keeps a pending list and arms at registration time).
+TEST(FailurePlan, NodeEventArmsLateRegistrants) {
+  Cluster cluster;
+  std::atomic<bool> armed{false};
+  auto worker = [&](Endpoint& ep) {
+    while (!armed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    for (int i = 0; i < 100 && ep.alive(); ++i) ep.Busy(1e-3);
+  };
+  cluster.Spawn(6, worker);  // fills node 0
+  FailurePlan plan;
+  plan.KillNode(1, 0.05);  // node 1 has no residents yet
+  plan.ApplyTo(cluster);
+  auto late = cluster.SpawnOnFreshNodes(2, worker, 0.0);  // lands on node 1
+  armed = true;
+  cluster.Join();
+  ASSERT_EQ(late.size(), 2u);
+  for (int pid : late) {
+    EXPECT_EQ(cluster.fabric().NodeOf(pid), 1);
+    EXPECT_FALSE(cluster.fabric().IsAlive(pid));
+  }
+  EXPECT_TRUE(cluster.fabric().IsAlive(0));
+}
+
+TEST(Endpoint, ArmKillAtKeepsEarliestTrigger) {
+  Fabric fabric(TestConfig());
+  fabric.RegisterProcess(0);
+  Endpoint a(&fabric, 0);
+  a.ArmKillAt(0.5);
+  a.ArmKillAt(0.9);  // later arm must not postpone the trigger
+  a.Busy(0.6);
+  EXPECT_FALSE(a.alive());
+
+  fabric.RegisterProcess(0);
+  Endpoint b(&fabric, 1);
+  b.ArmKillAt(0.9);
+  b.ArmKillAt(0.2);  // earlier arm wins
+  b.Busy(0.3);
+  EXPECT_FALSE(b.alive());
+}
+
 TEST(FailurePlan, PoissonIsDeterministicAndBounded) {
   auto a = FailurePlan::Poisson(10.0, 100.0, 8, 42);
   auto b = FailurePlan::Poisson(10.0, 100.0, 8, 42);
