@@ -68,7 +68,7 @@ int main() {
                 cursor.epoch);
     core::ElasticTrainer trainer(rc.get(), &model, &opt, &data, opts,
                                  &flags);
-    auto report = trainer.Run(cursor);
+    auto report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
     std::lock_guard<std::mutex> lock(mu);
     reports.push_back(std::move(report));
   }, /*start_time=*/0.0);

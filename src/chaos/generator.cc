@@ -79,6 +79,7 @@ GenConfig GenConfig::FromEnv() {
   cfg.rate_scale = EnvDouble("RCC_CHAOS_RATE", cfg.rate_scale);
   cfg.allow_node_scope =
       EnvInt("RCC_CHAOS_NODE_SCOPE", cfg.allow_node_scope ? 1 : 0) != 0;
+  cfg.allow_async = EnvInt("RCC_CHAOS_ASYNC", cfg.allow_async ? 1 : 0) != 0;
   return cfg;
 }
 
@@ -165,6 +166,30 @@ Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
     k.target = static_cast<int>(rng.NextBelow(sh.world));
     k.at = 0.05 * horizon + rng.NextDouble() * 0.9 * horizon;
     s.timed.push_back(k);
+  }
+
+  // Async-admission campaigns (opt-in). Drawn strictly after every
+  // pre-existing draw so that with allow_async off the rng stream — and
+  // therefore every old seed's schedule — is byte-identical.
+  if (cfg.allow_async && total_joiners > 0 && rng.NextBelow(2) == 0) {
+    sh.async_admission = true;
+    // Optionally land a kill inside the admission itself: the joiner
+    // mid-staging, or a survivor at the splice point.
+    const int inject = static_cast<int>(rng.NextBelow(3));
+    if (inject > 0) {
+      PhaseKill k;
+      if (inject == 1) {
+        k.victim =
+            sh.world + static_cast<int>(rng.NextBelow(total_joiners));
+        k.phase = "recovery/state_stage";
+      } else {
+        k.victim = static_cast<int>(rng.NextBelow(sh.world));
+        k.phase = "recovery/expand_splice";
+      }
+      k.occurrence = 1;
+      k.delay = rng.NextDouble() * 1e-3;
+      s.phased.push_back(k);
+    }
   }
 
   // Liveness: keep >= 2 founders no event can reach. Drop events from

@@ -22,9 +22,14 @@ struct GenConfig {
   int max_phased = 2;       // cap on phase-locked injections
   double rate_scale = 1.0;  // scales the expected background-kill count
   bool allow_node_scope = true;
+  // Opt-in: campaigns with scheduled joins may route them through the
+  // nonblocking admission protocol and land kills inside its in-flight
+  // phases (joiner dies while staging, survivor dies mid-splice). Off by
+  // default so pre-async seeds keep generating byte-identical schedules.
+  bool allow_async = false;
 
   // Reads the RCC_CHAOS_* knobs (MIN_WORLD, MAX_WORLD, MAX_TIMED,
-  // MAX_PHASED, RATE, NODE_SCOPE) over the defaults above.
+  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC) over the defaults above.
   static GenConfig FromEnv();
 };
 

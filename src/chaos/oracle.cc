@@ -64,10 +64,13 @@ std::vector<Violation> CheckOracles(const Schedule& schedule,
     if (r.report.aborted) continue;
     const bool joiner = r.join_epoch >= 0;
 
-    // P1: exactly-once optimizer steps.
-    const int planned = joiner
-                            ? (sh.epochs - r.join_epoch) * sh.steps_per_epoch
-                            : sh.epochs * sh.steps_per_epoch;
+    // P1: exactly-once optimizer steps, planned from the cursor the
+    // worker actually started at. Blocking joiners start at
+    // {join_epoch, 0}; async joiners at the (possibly mid-epoch) step
+    // boundary their splice landed on.
+    const int planned =
+        sh.epochs * sh.steps_per_epoch -
+        (r.start_epoch * sh.steps_per_epoch + r.start_step);
     if (r.report.steps_run != planned) {
       std::ostringstream os;
       os << "pid " << r.pid << (joiner ? " (joiner)" : "") << " ran "

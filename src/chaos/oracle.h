@@ -6,9 +6,10 @@
 //       least one founder finished (the generator guarantees >= 2
 //       never-killed founders, so a clean run must exist).
 //   P1. Exactly-once steps: every finisher ran exactly its planned
-//       optimizer steps — founders epochs*steps, joiners admitted at
-//       epoch e (epochs-e)*steps. Forward recovery re-runs collectives,
-//       never steps.
+//       optimizer steps — founders epochs*steps, joiners the steps
+//       remaining after the start cursor their admission landed them on
+//       (blocking: {join_epoch, 0}; async: the splice step boundary).
+//       Forward recovery re-runs collectives, never steps.
 //   P2. Bit-identical replicas: all finishers hold identical parameters.
 //   P3. Membership consistency: all finishers agree on final_world,
 //       which is bounded by [#finishers, world + admitted joiners].

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <numeric>
 
+#include "kvstore/kvstore.h"
 #include "obs/metrics.h"
 #include "sim/failure.h"
 
@@ -38,6 +40,11 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
   opts.inflight_window = sh.inflight_window;
   opts.drop_policy = sh.policy;
   opts.joins = sh.joins;
+  kv::Store store;
+  if (sh.async_admission) {
+    opts.async_admission = true;
+    opts.admission_store = &store;
+  }
 
   std::vector<std::atomic<bool>> flags(0);  // no scripted failures
 
@@ -96,23 +103,44 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
           r.join_epoch = epoch;
           dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
           dnn::Sgd opt(model.Params(), opts.sgd);
-          auto rc = core::ResilientComm::JoinExisting(
-              ep, "trainer-epoch" + std::to_string(epoch), count,
-              opts.drop_policy, &rec);
+          checkpoint::TrainingCursor cursor;
+          std::unique_ptr<core::ResilientComm> rc;
+          Status synced;
+          if (sh.async_admission) {
+            // Nonblocking path: stage the published snapshot through the
+            // kvstore while the survivors train, then park for the
+            // splice and run the catch-up delta sync.
+            rc = core::ResilientComm::JoinAsync(
+                ep, &store, "trainer-epoch" + std::to_string(epoch),
+                opts.drop_policy, &rec,
+                [&](const std::vector<uint8_t>& blob) -> Status {
+                  checkpoint::Snapshot snap;
+                  snap.blob = blob;
+                  return checkpoint::Restore(snap, &model, &opt, &cursor);
+                });
+            if (rc != nullptr) {
+              synced = core::ElasticTrainer::DeltaSync(
+                  rc.get(), &model, &opt, &cursor, /*receiver=*/true,
+                  /*steps_behind=*/0);
+            }
+          } else {
+            rc = core::ResilientComm::JoinExisting(
+                ep, "trainer-epoch" + std::to_string(epoch), count,
+                opts.drop_policy, &rec);
+            if (rc != nullptr) {
+              synced = core::ElasticTrainer::SyncState(rc.get(), &model,
+                                                       &opt, &cursor, true);
+            }
+          }
           r.joined_ok = rc != nullptr;
-          if (rc == nullptr) {
+          if (rc == nullptr || !synced.ok()) {
             r.report.aborted = true;
           } else {
-            checkpoint::TrainingCursor cursor;
-            Status st = core::ElasticTrainer::SyncState(rc.get(), &model,
-                                                        &opt, &cursor, true);
-            if (!st.ok()) {
-              r.report.aborted = true;
-            } else {
-              core::ElasticTrainer trainer(rc.get(), &model, &opt, &data,
-                                           opts, &flags);
-              r.report = trainer.Run(cursor);
-            }
+            r.start_epoch = cursor.epoch;
+            r.start_step = cursor.step;
+            core::ElasticTrainer trainer(rc.get(), &model, &opt, &data,
+                                         opts, &flags);
+            r.report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
           }
           // Same exit-is-a-failure rule as the founders: an aborted
           // joiner still registered in the fabric must die visibly.

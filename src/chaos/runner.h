@@ -19,6 +19,13 @@ struct WorkerResult {
   int pid = -1;
   int join_epoch = -1;
   bool joined_ok = true;
+  // Cursor the worker actually started training from. Founders start at
+  // {0, 0}; blocking joiners at {join_epoch, 0}; async joiners at
+  // whatever step boundary the splice landed on (possibly mid-epoch, or
+  // the end of the run for a finalize splice). The P1 oracle plans
+  // steps from here, not from join_epoch.
+  int start_epoch = 0;
+  int start_step = 0;
   core::TrainerReport report;
   double end_time = 0.0;  // virtual clock when the worker finished/died
 };

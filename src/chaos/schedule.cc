@@ -53,7 +53,7 @@ bool operator==(const Shape& a, const Shape& b) {
          a.grad_buckets == b.grad_buckets &&
          a.inflight_window == b.inflight_window &&
          a.gpus_per_node == b.gpus_per_node && a.policy == b.policy &&
-         a.joins == b.joins;
+         a.joins == b.joins && a.async_admission == b.async_admission;
 }
 
 bool operator==(const TimedKill& a, const TimedKill& b) {
@@ -84,7 +84,8 @@ std::string Schedule::ToJson() const {
      << ", \"policy\": "
      << (shape.policy == horovod::DropPolicy::kNode ? "\"node\""
                                                     : "\"process\"")
-     << ", \"joins\": [";
+     << ", \"async_admission\": "
+     << (shape.async_admission ? "true" : "false") << ", \"joins\": [";
   bool first = true;
   for (const auto& [epoch, count] : shape.joins) {
     if (!first) os << ", ";
@@ -142,6 +143,15 @@ bool Schedule::FromJson(const std::string& text, Schedule* out,
     s.shape.policy = horovod::DropPolicy::kProcess;
   } else {
     ok = false;
+  }
+  // Optional: absent in reproducers recorded before async admission.
+  const obs::json::Value* async_adm = shape->Find("async_admission");
+  if (async_adm != nullptr) {
+    if (async_adm->is_bool()) {
+      s.shape.async_admission = async_adm->AsBool();
+    } else {
+      ok = false;
+    }
   }
   const obs::json::Value* joins = shape->Find("joins");
   if (joins == nullptr || !joins->is_array()) {

@@ -39,6 +39,10 @@ struct Shape {
   int gpus_per_node = 2;
   horovod::DropPolicy policy = horovod::DropPolicy::kProcess;
   std::map<int, int> joins;  // epoch -> joiners admitted at its start
+  // Route the scheduled joins through the nonblocking admission protocol
+  // (kvstore staging + step-boundary splice) instead of the blocking
+  // expand. Absent in pre-async reproducer JSON; defaults to false.
+  bool async_admission = false;
 };
 
 // Background failure: the target self-kills when its clock reaches `at`.

@@ -1,5 +1,7 @@
 #include "core/elastic_trainer.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "dnn/layers.h"
 #include "dnn/optimizer.h"
@@ -150,28 +152,118 @@ Status ElasticTrainer::TrainStep(int epoch, int step, float* loss_out) {
   return Status::Ok();
 }
 
-TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start) {
+Status ElasticTrainer::DeltaSync(ResilientComm* rc, dnn::Model* model,
+                                 dnn::Sgd* opt,
+                                 checkpoint::TrainingCursor* cursor,
+                                 bool receiver, uint64_t steps_behind) {
+  // Agree on the catch-up distance first (joiners contribute 0): the
+  // broadcast pricing must be identical on every member.
+  std::vector<uint64_t> all;
+  RCC_RETURN_IF_ERROR(rc->AllgatherU64(steps_behind, &all));
+  uint64_t behind = 1;
+  for (uint64_t v : all) behind = std::max(behind, v);
+  const double scale =
+      std::min(1.0, ExpandDeltaFrac() * static_cast<double>(behind));
+  std::vector<uint8_t> blob;
+  if (rc->rank() == 0) {
+    blob = checkpoint::Capture(*model, *opt, *cursor).blob;
+  }
+  RCC_RETURN_IF_ERROR(rc->BcastBlob(&blob, /*root=*/0, scale));
+  if (receiver && rc->rank() != 0) {
+    checkpoint::Snapshot snap;
+    snap.blob = std::move(blob);
+    RCC_RETURN_IF_ERROR(checkpoint::Restore(snap, model, opt, cursor));
+  }
+  obs::Registry::Global().GetCounter("rcc_delta_sync_total")->Increment();
+  return Status::Ok();
+}
+
+bool ElasticTrainer::PollAdmission(bool finalize, int epoch, int step,
+                                   int64_t* admit_begin_gstep) {
+  const auto pr = rc_->ExpandPoll(finalize);
+  if (pr == ResilientComm::PollResult::kNone ||
+      pr == ResilientComm::PollResult::kPending) {
+    return true;
+  }
+  if (pr == ResilientComm::PollResult::kAborted) {
+    // Timed out (or self died): the membership is unchanged; training
+    // continues degraded unless this rank itself is gone.
+    *admit_begin_gstep = -1;
+    return rc_->endpoint().alive();
+  }
+  // Spliced: the joiners are in; run the catch-up delta sync at this
+  // step boundary.
+  const int64_t gstep =
+      static_cast<int64_t>(epoch) * opts_.steps_per_epoch + step;
+  const uint64_t behind =
+      *admit_begin_gstep >= 0 && gstep > *admit_begin_gstep
+          ? static_cast<uint64_t>(gstep - *admit_begin_gstep)
+          : 1;
+  *admit_begin_gstep = -1;
+  checkpoint::TrainingCursor cursor{epoch, step, 0};
+  Status ds =
+      DeltaSync(rc_, model_, opt_, &cursor, /*receiver=*/false, behind);
+  return ds.ok();
+}
+
+TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
+                                  int joined_at_epoch) {
   TrainerReport report;
   int epoch = start.epoch;
   int step = start.step;
   bool first = true;
+  int64_t admit_begin_gstep = -1;  // global step the pending expand opened
   while (epoch < opts_.epochs) {
-    // Epoch-boundary reconfiguration.
+    // Epoch-boundary reconfiguration. The only boundaries that skip a
+    // scheduled join are epoch 0 (the founding world already contains
+    // every initial member) and the epoch this worker itself was just
+    // admitted into. In particular a checkpoint resume landing on a
+    // join epoch DOES run the admission - the old `epoch != start.epoch`
+    // guard silently stranded joiners provisioned for the resume epoch.
     auto join_it = opts_.joins.find(epoch);
-    if (join_it != opts_.joins.end() && step == 0 && epoch != start.epoch) {
+    if (join_it != opts_.joins.end() && step == 0 && epoch != 0 &&
+        epoch != joined_at_epoch) {
       RCC_LOG(kDebug)
           << "pid " << rc_->endpoint().pid() << " expand e" << epoch;
-      Status st = rc_->Expand("trainer-epoch" + std::to_string(epoch),
-                              join_it->second);
-      if (!st.ok()) {
-        report.aborted = true;
-        return report;
-      }
-      checkpoint::TrainingCursor cursor{epoch, step, 0};
-      st = SyncState(rc_, model_, opt_, &cursor, /*receiver=*/false);
-      if (!st.ok()) {
-        report.aborted = true;
-        return report;
+      if (opts_.async_admission && opts_.admission_store != nullptr) {
+        // Nonblocking admission: publish the snapshot, open the window,
+        // keep training; PollAdmission splices at a step boundary once
+        // the joiners have staged.
+        std::vector<uint8_t> snapshot;
+        if (rc_->rank() == 0) {
+          checkpoint::TrainingCursor cursor{epoch, step, 0};
+          snapshot = checkpoint::Capture(*model_, *opt_, cursor).blob;
+        }
+        Status st = rc_->ExpandAsyncBegin(
+            opts_.admission_store, "trainer-epoch" + std::to_string(epoch),
+            join_it->second, snapshot,
+            static_cast<double>(snapshot.size()));
+        if (!st.ok()) {
+          report.aborted = true;
+          return report;
+        }
+        admit_begin_gstep =
+            static_cast<int64_t>(epoch) * opts_.steps_per_epoch + step;
+      } else {
+        Status st = rc_->Expand("trainer-epoch" + std::to_string(epoch),
+                                join_it->second);
+        if (st.code() == Code::kTimeout) {
+          // The provisioned joiners never arrived: the expand was
+          // abandoned at the deadline; keep training on the unchanged
+          // membership (degraded mode) instead of taking the job down.
+          RCC_LOG(kDebug) << "pid " << rc_->endpoint().pid() << " expand e"
+                          << epoch << " timed out; continuing degraded";
+        } else if (!st.ok()) {
+          report.aborted = true;
+          return report;
+        } else {
+          checkpoint::TrainingCursor cursor{epoch, step, 0};
+          st = SyncState(rc_, model_, opt_, &cursor, /*receiver=*/false);
+          if (!st.ok()) {
+            report.aborted = true;
+            return report;
+          }
+        }
       }
     }
     while (step < opts_.steps_per_epoch) {
@@ -191,9 +283,23 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start) {
       report.last_loss = loss;
       ++report.steps_run;
       ++step;
+      if (rc_->expand_pending() &&
+          !PollAdmission(/*finalize=*/false, epoch, step,
+                         &admit_begin_gstep)) {
+        report.aborted = true;
+        return report;
+      }
     }
     step = 0;
     ++epoch;
+  }
+  // A still-pending admission is forced to a decision so parked joiners
+  // always unblock: they splice in for the final state or are excluded.
+  if (rc_->expand_pending() &&
+      !PollAdmission(/*finalize=*/true, opts_.epochs, 0,
+                     &admit_begin_gstep)) {
+    report.aborted = true;
+    return report;
   }
   report.final_world = rc_->size();
   report.repairs = rc_->repairs();

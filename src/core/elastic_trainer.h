@@ -47,6 +47,12 @@ struct TrainerOptions {
   std::vector<horovod::ScriptedFailure> failures;
   // epoch -> number of joiners merging at that epoch boundary.
   std::map<int, int> joins;
+  // Asynchronous admission: scheduled joins open a nonblocking expand
+  // (snapshot published to `admission_store`, joiners staged via
+  // ResilientComm::JoinAsync) and splice at a later step boundary,
+  // instead of the blocking Expand + full SyncState stall.
+  bool async_admission = false;
+  kv::Store* admission_store = nullptr;
 };
 
 struct TrainerReport {
@@ -67,8 +73,12 @@ class ElasticTrainer {
                  const dnn::ClusterDataset* data, TrainerOptions opts,
                  std::vector<std::atomic<bool>>* failure_flags);
 
-  // Trains from `start`; returns the per-worker report.
-  TrainerReport Run(checkpoint::TrainingCursor start = {});
+  // Trains from `start`; returns the per-worker report. A worker that
+  // was admitted into epoch `joined_at_epoch` passes it so the join
+  // boundary it entered through is not re-expanded (-1: founder or
+  // plain resume).
+  TrainerReport Run(checkpoint::TrainingCursor start = {},
+                    int joined_at_epoch = -1);
 
   // Collective state sync: rank 0 broadcasts (model, optimizer, cursor);
   // `receiver` restores it. Every member of rc must call this.
@@ -76,9 +86,22 @@ class ElasticTrainer {
                           dnn::Sgd* opt, checkpoint::TrainingCursor* cursor,
                           bool receiver);
 
+  // Post-splice catch-up sync: the members agree on how many steps the
+  // joiners are behind (joiners contribute 0), then rank 0 broadcasts
+  // the current state priced at min(1, RCC_EXPAND_DELTA_FRAC * behind)
+  // of the full snapshot — the joiner already staged a recent version,
+  // only the delta travels. Every member of rc must call this.
+  static Status DeltaSync(ResilientComm* rc, dnn::Model* model,
+                          dnn::Sgd* opt, checkpoint::TrainingCursor* cursor,
+                          bool receiver, uint64_t steps_behind);
+
  private:
   bool MaybeDie(int epoch, int step, int bucket);
   Status TrainStep(int epoch, int step, float* loss_out);
+  // Polls the pending async expand at a step boundary; runs the delta
+  // sync when it splices. Returns false when this worker must abort.
+  bool PollAdmission(bool finalize, int epoch, int step,
+                     int64_t* admit_begin_gstep);
 
   ResilientComm* rc_;
   dnn::Model* model_;

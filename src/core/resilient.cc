@@ -1,9 +1,12 @@
 #include "core/resilient.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "coll/algorithms.h"
 #include "common/log.h"
+#include "common/serial.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -71,10 +74,12 @@ std::unique_ptr<ResilientComm> ResilientComm::JoinExisting(
   return rc;
 }
 
-Status ResilientComm::InitGpu(const char* phase_prefix) {
+Status ResilientComm::InitGpu(const char* phase_prefix,
+                              double init_cost_scale) {
   obs::Span span(rec_, ep_,
                  std::string(phase_prefix) + horovod::phase::kNcclReinit);
-  gpu_ = nccl::Comm::InitRank(ep_, comm_->pids(), NcclId(*comm_));
+  gpu_ = nccl::Comm::InitRank(ep_, comm_->pids(), NcclId(*comm_),
+                              /*cost_scale=*/1.0, init_cost_scale);
   if (gpu_ == nullptr) {
     return Status(Code::kProcFailed, "nccl init failed");
   }
@@ -521,6 +526,209 @@ Status ResilientComm::Expand(const std::string& session, int joiner_count) {
   gpu_init_status_ = InitGpu("recovery/");
   if (gpu_init_status_.code() == Code::kAborted) return gpu_init_status_;
   return Status::Ok();
+}
+
+// --- asynchronous admission ---
+
+double ExpandDeltaFrac() {
+  static const double frac = [] {
+    const char* env = std::getenv("RCC_EXPAND_DELTA_FRAC");
+    if (env == nullptr || *env == '\0') return 0.05;
+    return std::atof(env);
+  }();
+  return frac;
+}
+
+namespace {
+std::string ExpandKvPrefix(const std::string& session) {
+  return "expand/" + session + "/";
+}
+
+void CountAdmission(const char* outcome) {
+  obs::Registry::Global()
+      .GetCounter("rcc_admission_total", {{"outcome", outcome}})
+      ->Increment();
+}
+}  // namespace
+
+Status ResilientComm::ExpandAsyncBegin(kv::Store* store,
+                                       const std::string& session,
+                                       int joiner_count,
+                                       const std::vector<uint8_t>& snapshot,
+                                       double declared_bytes,
+                                       double timeout_s) {
+  // A still-pending previous expand is forced to a decision first (one
+  // admission window at a time keeps the registry and metrics simple).
+  if (expand_op_.active) ExpandPoll(/*finalize=*/true);
+  if (!ep_.alive()) return Status(Code::kAborted, "self dead");
+  const sim::Seconds t0 = ep_.now();
+  {
+    obs::Span span(rec_, ep_,
+                   std::string("recovery/") + horovod::phase::kExpandBegin);
+    if (comm_->rank() == 0) {
+      // Publish the versioned snapshot the joiners stage from. The
+      // upload is charged at the declared size; joiners pay the
+      // symmetric download during staging, off the survivors' clocks.
+      ByteWriter meta;
+      meta.WriteI32(size());
+      meta.WriteI32(joiner_count);
+      meta.WriteF64(declared_bytes);
+      RCC_RETURN_IF_ERROR(
+          store->Set(&ep_, ExpandKvPrefix(session) + "meta", meta.Take()));
+      ep_.Busy(declared_bytes / ep_.fabric().config().net.inter_bandwidth);
+      if (!ep_.alive()) return Status(Code::kAborted, "self dead");
+      RCC_RETURN_IF_ERROR(
+          store->Set(&ep_, ExpandKvPrefix(session) + "snapshot", snapshot));
+    }
+    const sim::Seconds timeout =
+        timeout_s < 0 ? ulfm::ExpandTimeout() : timeout_s;
+    RCC_RETURN_IF_ERROR(ulfm::ExpandBegin(ep_, *comm_, session, joiner_count,
+                                          timeout, &expand_op_));
+  }
+  expand_store_ = store;
+  expand_session_ = session;
+  expand_begin_time_ = t0;
+  expand_abort_requested_ = false;
+  admission_stall_acc_ += ep_.now() - t0;
+  return Status::Ok();
+}
+
+void ResilientComm::ExpandAbortAsync() {
+  if (!expand_op_.active) return;
+  expand_abort_requested_ = true;
+  ulfm::ExpandAbort(ep_, expand_session_);
+}
+
+ResilientComm::PollResult ResilientComm::ExpandPoll(bool finalize) {
+  if (!expand_op_.active) return PollResult::kNone;
+  if (!ep_.alive()) return PollResult::kAborted;
+  const sim::Seconds t0 = ep_.now();
+  // One cheap probe per poll: the staged/ listing is what a real
+  // implementation would watch, and it prices the polling traffic.
+  if (expand_store_ != nullptr) {
+    expand_store_->ListPrefix(&ep_, ExpandKvPrefix(expand_session_) + "staged/");
+  }
+  std::unique_ptr<mpi::Comm> merged;
+  ulfm::SpliceOutcome outcome;
+  auto decided =
+      ulfm::ExpandTest(ep_, *comm_, &expand_op_,
+                       static_cast<int64_t>(op_counter_), finalize, &merged,
+                       &outcome);
+  if (!decided.ok()) {
+    // Only a self-death surfaces as an error status.
+    admission_stall_acc_ += ep_.now() - t0;
+    return PollResult::kAborted;
+  }
+  if (decided.value() == ulfm::ExpandStatus::kPending) {
+    admission_stall_acc_ += ep_.now() - t0;
+    return PollResult::kPending;
+  }
+  // Terminal outcome: record the admission latency from window open to
+  // decision, clean the staging keys (rank 0 of the pre-splice
+  // membership, which is a survivor either way).
+  const bool cleaner = comm_->rank() == 0;
+  obs::Registry::Global()
+      .GetHistogram("rcc_admission_latency_seconds",
+                    {{"outcome", decided.value() == ulfm::ExpandStatus::kSpliced
+                                     ? "spliced"
+                                     : "aborted"}})
+      ->Observe(ep_.now() - expand_begin_time_);
+  if (decided.value() == ulfm::ExpandStatus::kAborted) {
+    CountAdmission("aborted");
+    RCC_LOG(kDebug) << "pid " << ep_.pid() << " expand '" << expand_session_
+                    << "' aborted; continuing degraded";
+    if (cleaner && expand_store_ != nullptr) {
+      expand_store_->Delete(&ep_, ExpandKvPrefix(expand_session_) + "meta");
+      expand_store_->Delete(&ep_, ExpandKvPrefix(expand_session_) + "snapshot");
+    }
+    admission_stall_acc_ += ep_.now() - t0;
+    return PollResult::kAborted;
+  }
+  // Splice: install the merged communicator and rebuild the GPU comm.
+  // When every joiner pre-established its transports during staging the
+  // bootstrap is free (scale 0); the synchronizing barrier still runs,
+  // so a member dying mid-splice surfaces here and is deferred to the
+  // next resilient op exactly like the blocking Expand.
+  CountAdmission("spliced");
+  {
+    obs::Span span(rec_, ep_,
+                   std::string("recovery/") + horovod::phase::kExpandSplice);
+    comm_ = std::move(merged);
+    if (gpu_ != nullptr) gpu_->Abort();
+    op_counter_ = std::max(op_counter_,
+                           static_cast<uint64_t>(outcome.agreed_counter));
+    gpu_init_status_ = InitGpu("recovery/", outcome.prestaged ? 0.0 : 1.0);
+  }
+  if (cleaner && expand_store_ != nullptr) {
+    expand_store_->Delete(&ep_, ExpandKvPrefix(expand_session_) + "meta");
+    expand_store_->Delete(&ep_, ExpandKvPrefix(expand_session_) + "snapshot");
+  }
+  admission_stall_acc_ += ep_.now() - t0;
+  if (gpu_init_status_.code() == Code::kAborted) return PollResult::kAborted;
+  return PollResult::kSpliced;
+}
+
+double ResilientComm::TakeAdmissionStallSeconds() {
+  const double s = admission_stall_acc_;
+  admission_stall_acc_ = 0.0;
+  return s;
+}
+
+std::unique_ptr<ResilientComm> ResilientComm::JoinAsync(
+    sim::Endpoint& ep, kv::Store* store, const std::string& session,
+    horovod::DropPolicy policy, trace::Recorder* rec,
+    const std::function<Status(const std::vector<uint8_t>&)>& restore_fn) {
+  if (!ulfm::AnnounceJoiner(ep, session).ok()) return nullptr;
+  int candidate_world = 0;
+  {
+    obs::Span span(rec, ep,
+                   std::string("recovery/") + horovod::phase::kStateStage);
+    auto meta = store->WaitEntry(&ep, ExpandKvPrefix(session) + "meta");
+    if (!meta.ok()) return nullptr;  // caller died waiting
+    ByteReader r(meta.value().value);
+    int32_t world = 0;
+    int32_t count = 0;
+    double declared = 0.0;
+    if (!r.ReadI32(&world).ok() || !r.ReadI32(&count).ok() ||
+        !r.ReadF64(&declared).ok()) {
+      if (ep.alive()) ulfm::WithdrawJoiner(ep, session);
+      return nullptr;
+    }
+    candidate_world = world + count;
+    auto snap = store->Wait(&ep, ExpandKvPrefix(session) + "snapshot");
+    if (!snap.ok()) return nullptr;
+    // Download at the declared size, then driver-specific restore
+    // (deserialize + materialize onto the device).
+    ep.Busy(declared / ep.fabric().config().net.inter_bandwidth);
+    if (!ep.alive()) return nullptr;
+    Status restored = restore_fn(snap.value());
+    if (!restored.ok()) {
+      // An alive joiner that cannot restore bows out so the survivors'
+      // poll round is not left waiting on it until the deadline.
+      if (ep.alive()) ulfm::WithdrawJoiner(ep, session);
+      return nullptr;
+    }
+    // Pre-establish the merged GPU transports (hot-standby bring-up):
+    // the full bootstrap cost lands here, off the survivors' clocks,
+    // making the splice-time init free.
+    ep.Busy(nccl::Comm::InitCost(ep.fabric().config(), candidate_world));
+    if (!ep.alive()) return nullptr;
+    store->Set(&ep, ExpandKvPrefix(session) + "staged/" +
+                        std::to_string(ep.pid()),
+               {1});
+    if (!ulfm::MarkJoinerStaged(ep, session).ok()) return nullptr;
+  }
+  ulfm::SpliceOutcome outcome;
+  auto joined = ulfm::AwaitSplice(ep, session, &outcome);
+  if (!joined.ok()) return nullptr;  // died, excluded, or survivors gone
+  auto rc = std::unique_ptr<ResilientComm>(
+      new ResilientComm(ep, joined.take(), policy, rec));
+  // Adopt the survivors' op counter (same reason as JoinExisting).
+  rc->op_counter_ = static_cast<uint64_t>(outcome.agreed_counter);
+  rc->gpu_init_status_ =
+      rc->InitGpu("recovery/", outcome.prestaged ? 0.0 : 1.0);
+  if (rc->gpu_init_status_.code() == Code::kAborted) return nullptr;
+  return rc;
 }
 
 }  // namespace rcc::core

@@ -43,12 +43,18 @@
 
 #include "coll/request.h"
 #include "horovod/plan.h"
+#include "kvstore/kvstore.h"
 #include "mpi/comm.h"
 #include "nccl/nccl.h"
 #include "trace/trace.h"
 #include "ulfm/ulfm.h"
 
 namespace rcc::core {
+
+// Delta-sync fraction per survivor step the joiner is behind at splice
+// (RCC_EXPAND_DELTA_FRAC, default 0.05): the catch-up broadcast is
+// priced at min(1, frac * steps_behind) of the full state.
+double ExpandDeltaFrac();
 
 class ResilientComm {
  public:
@@ -110,8 +116,78 @@ class ResilientComm {
 
   // Epoch-boundary reconfiguration: admits `joiner_count` new workers
   // (collective across current members; joiners call JoinExisting with
-  // the same session). Rebuilds the GPU communicator.
+  // the same session). Rebuilds the GPU communicator. Returns kTimeout
+  // when a provisioned joiner never arrives within the announce grace +
+  // expand timeout: the expand is abandoned and the caller keeps
+  // training on the unchanged communicator (degraded mode).
   Status Expand(const std::string& session, int joiner_count);
+
+  // --- asynchronous admission (overlapped rendezvous + state staging) ---
+  //
+  // The blocking Expand stalls every survivor for the joiner's full
+  // bring-up (cold start + state transfer + rendezvous). The async
+  // protocol splits admission into three phases so survivors keep
+  // training while the joiner stages:
+  //
+  //   ExpandAsyncBegin   publish a versioned snapshot to the kvstore,
+  //                      open the rendezvous window (nonblocking)
+  //   ExpandPoll         one cheap probe per training step; splices the
+  //                      merged communicator at a step boundary once
+  //                      every announced joiner has staged, or aborts
+  //                      after the timeout and continues degraded
+  //   JoinAsync          joiner side: announce, pull the snapshot and
+  //                      restore in the background, pre-establish GPU
+  //                      transports, then park until the survivors
+  //                      splice (or exclude us)
+  //
+  // See DESIGN.md §5 for the admission state machine.
+
+  enum class PollResult { kNone, kPending, kSpliced, kAborted };
+
+  // Opens an async expand. Rank 0 publishes `snapshot` (declared size
+  // `declared_bytes` for the cost model) under "expand/<session>/" in
+  // `store`, then every caller opens the rendezvous window. A still-
+  // pending previous expand is finalized first. `timeout_s` < 0 uses
+  // ulfm::ExpandTimeout(). Collective across current members; returns
+  // kAborted only if this rank dies.
+  Status ExpandAsyncBegin(kv::Store* store, const std::string& session,
+                          int joiner_count,
+                          const std::vector<uint8_t>& snapshot,
+                          double declared_bytes, double timeout_s = -1.0);
+
+  // One admission poll (call between training steps). kPending: keep
+  // training. kSpliced: the merged communicator is installed and the
+  // GPU communicator rebuilt (scale-0 bootstrap when every joiner
+  // pre-established during staging); the caller should run its delta
+  // state sync. kAborted: the expand timed out or was abandoned; the
+  // membership is unchanged and training continues degraded. kNone: no
+  // expand is pending. `finalize` forces a decision (splice with
+  // whoever staged, else abort) — trainers pass it after the last step
+  // so parked joiners always unblock.
+  PollResult ExpandPoll(bool finalize = false);
+
+  // True while an async expand is awaiting splice or abort.
+  bool expand_pending() const { return expand_op_.active; }
+
+  // Requests the pending expand abort at the next poll (survivors
+  // leaving the training loop abandon their joiners explicitly).
+  void ExpandAbortAsync();
+
+  // Drains the survivor-exposed admission stall (virtual seconds this
+  // rank spent inside ExpandPoll + splice) since the last call.
+  double TakeAdmissionStallSeconds();
+
+  // Joiner-side async admission. Announces into `session`, pulls the
+  // staged snapshot from `store` in the background (charging the
+  // declared transfer cost), hands the raw bytes to `restore_fn`
+  // (driver-specific restore + materialization), pre-establishes the
+  // GPU transports for the candidate merged membership, then parks in
+  // AwaitSplice. Returns the joined comm, or null if this joiner died,
+  // was excluded by the admission deadline, or every survivor died.
+  static std::unique_ptr<ResilientComm> JoinAsync(
+      sim::Endpoint& ep, kv::Store* store, const std::string& session,
+      horovod::DropPolicy policy, trace::Recorder* rec,
+      const std::function<Status(const std::vector<uint8_t>&)>& restore_fn);
 
   // Repairs the communicator after `failure` (revoke + agree + shrink +
   // GPU rebuild). Exposed for tests; the op wrappers call it internally.
@@ -157,7 +233,9 @@ class ResilientComm {
   Status RunResilient(const std::function<Status()>& data_fn,
                       const std::function<Status()>& sync_fn, bool has_data);
 
-  Status InitGpu(const char* phase_prefix);
+  // `init_cost_scale` is forwarded to nccl::Comm::InitRank (0 when the
+  // merged transports were pre-established during async staging).
+  Status InitGpu(const char* phase_prefix, double init_cost_scale = 1.0);
   bool ShouldLeaveNode() const;  // node-drop policy: my node lost a member
 
   // --- windowed-recovery machinery ---
@@ -197,6 +275,14 @@ class ResilientComm {
   int max_inflight_ = 8;
   std::deque<WindowOp> window_;
   double comm_service_acc_ = 0.0;  // see TakeCommServiceSeconds
+
+  // --- async-admission state (one pending expand at a time) ---
+  ulfm::ExpandOp expand_op_;
+  kv::Store* expand_store_ = nullptr;
+  std::string expand_session_;
+  sim::Seconds expand_begin_time_ = 0.0;  // admission-latency metric base
+  bool expand_abort_requested_ = false;
+  double admission_stall_acc_ = 0.0;  // see TakeAdmissionStallSeconds
 };
 
 }  // namespace rcc::core

@@ -1,5 +1,6 @@
 #include "core/ulfm_elastic.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -102,6 +103,50 @@ class UlfmWorker {
     Finish();
   }
 
+  // Asynchronous-admission joiner: announces immediately (the survivors'
+  // rendezvous window knows the candidate exists before its cold start
+  // finishes), stages the published snapshot in the background, then
+  // parks until the survivors splice it in at a step boundary.
+  void RunJoinerAsync(int join_epoch, bool cold) {
+    const auto& costs = ep_.fabric().config().costs;
+    const std::string session = "epoch" + std::to_string(join_epoch);
+    if (!ulfm::AnnounceJoiner(ep_, session).ok()) return;
+    const std::string signal =
+        cold ? "epoch_start/" + std::to_string(std::max(0, join_epoch - 1))
+             : "provision/failure";
+    auto sig = ss_->store->Wait(&ep_, signal);
+    if (!sig.ok()) return;
+    {
+      obs::Span scope(
+          ss_->rec, ep_,
+          std::string("recovery/") + horovod::phase::kWorkerInit);
+      ep_.Busy(cold ? costs.worker_coldstart : costs.worker_warmstart);
+    }
+    if (!ep_.alive()) return;
+    rc_ = ResilientComm::JoinAsync(
+        ep_, ss_->store.get(), session, ss_->plan.drop_policy, ss_->rec,
+        [this](const std::vector<uint8_t>& blob) -> Status {
+          ByteReader r(blob);
+          int32_t e = 0;
+          int32_t s = 0;
+          RCC_RETURN_IF_ERROR(r.ReadI32(&e));
+          RCC_RETURN_IF_ERROR(r.ReadI32(&s));
+          epoch_ = e;
+          step_ = s;
+          // Materialise the staged tensors.
+          ep_.Busy(ss_->model_virtual_bytes /
+                   ep_.fabric().config().net.host_mem_bandwidth);
+          return ep_.alive() ? Status::Ok()
+                             : Status(Code::kAborted, "joiner died staging");
+        });
+    if (rc_ == nullptr) return;  // died, excluded, or survivors gone
+    // Catch up to the survivors' current step (they run the matching
+    // sender-side DeltaSync right after the splice).
+    if (!DeltaSync(/*joiner=*/true, /*steps_behind=*/0).ok()) return;
+    Train(/*joined_at_epoch=*/epoch_);
+    Finish();
+  }
+
  private:
   void Finish() { AtomicMax(&ss_->completion, ep_.now()); }
 
@@ -128,6 +173,62 @@ class UlfmWorker {
     return Status::Ok();
   }
 
+  // Post-splice catch-up: members agree on how many steps the joiners
+  // are behind (joiners contribute 0), then broadcast the cursor priced
+  // at min(1, RCC_EXPAND_DELTA_FRAC * behind) of the model bytes - the
+  // joiner already staged a recent snapshot, only the delta travels.
+  Status DeltaSync(bool joiner, uint64_t steps_behind) {
+    obs::Span scope(ss_->rec, ep_,
+                    std::string("recovery/") + horovod::phase::kDeltaSync);
+    std::vector<uint64_t> all;
+    RCC_RETURN_IF_ERROR(rc_->AllgatherU64(steps_behind, &all));
+    uint64_t behind = 1;
+    for (uint64_t v : all) behind = std::max(behind, v);
+    const double virtual_bytes =
+        std::min(1.0, ExpandDeltaFrac() * static_cast<double>(behind)) *
+        ss_->model_virtual_bytes;
+    std::vector<uint8_t> blob = EncodeCursor(epoch_, step_);
+    const double scale = virtual_bytes / static_cast<double>(blob.size());
+    RCC_RETURN_IF_ERROR(rc_->BcastBlob(&blob, /*root=*/0, scale));
+    if (joiner) {
+      ByteReader r(blob);
+      int32_t e = 0;
+      int32_t s = 0;
+      RCC_RETURN_IF_ERROR(r.ReadI32(&e));
+      RCC_RETURN_IF_ERROR(r.ReadI32(&s));
+      epoch_ = e;
+      step_ = s;
+      ep_.Busy(virtual_bytes / ep_.fabric().config().net.host_mem_bandwidth);
+    }
+    obs::Registry::Global().GetCounter("rcc_delta_sync_total")->Increment();
+    return Status::Ok();
+  }
+
+  // Polls the pending async expand at a step boundary; runs the sender
+  // side of the delta sync when it splices. Returns false when this
+  // worker must stop (self died or the catch-up sync aborted).
+  bool PollAdmission(bool finalize) {
+    const auto pr = rc_->ExpandPoll(finalize);
+    if (pr == ResilientComm::PollResult::kNone ||
+        pr == ResilientComm::PollResult::kPending) {
+      return true;
+    }
+    if (pr == ResilientComm::PollResult::kAborted) {
+      // Timed out: membership unchanged, training continues degraded
+      // unless this rank itself died at the poll boundary.
+      admit_begin_gstep_ = -1;
+      return ep_.alive();
+    }
+    const int64_t gstep =
+        static_cast<int64_t>(epoch_) * ss_->plan.steps_per_epoch + step_;
+    const uint64_t behind =
+        admit_begin_gstep_ >= 0 && gstep > admit_begin_gstep_
+            ? static_cast<uint64_t>(gstep - admit_begin_gstep_)
+            : 1;
+    admit_begin_gstep_ = -1;
+    return DeltaSync(/*joiner=*/false, behind).ok();
+  }
+
   void Train(int joined_at_epoch) {
     int known_repairs = rc_->repairs();
     while (epoch_ < ss_->plan.epochs) {
@@ -143,14 +244,39 @@ class UlfmWorker {
       if (join_it != ss_->joiners_per_epoch.end() && step_ == 0 &&
           epoch_ != joined_at_epoch) {
         ss_->expands.fetch_add(1);
-        Status st =
-            rc_->Expand("epoch" + std::to_string(epoch_), join_it->second);
-        if (!st.ok()) return;
-        if (!SyncState(/*joiner=*/false).ok()) return;
+        if (ss_->plan.async_admission) {
+          // Nonblocking admission: open the window and keep training;
+          // PollAdmission splices at a step boundary once the joiners
+          // have staged the published snapshot.
+          Status st = rc_->ExpandAsyncBegin(
+              ss_->store.get(), "epoch" + std::to_string(epoch_),
+              join_it->second, EncodeCursor(epoch_, step_),
+              ss_->model_virtual_bytes);
+          if (!st.ok()) return;
+          admit_begin_gstep_ =
+              static_cast<int64_t>(epoch_) * ss_->plan.steps_per_epoch +
+              step_;
+        } else {
+          Status st =
+              rc_->Expand("epoch" + std::to_string(epoch_), join_it->second);
+          if (st.code() == Code::kTimeout) {
+            // Provisioned joiners never arrived: the expand was
+            // abandoned at the deadline; keep training degraded.
+            RCC_LOG(kDebug) << "pid " << ep_.pid() << " expand e" << epoch_
+                            << " timed out; continuing degraded";
+          } else if (!st.ok()) {
+            return;
+          } else if (!SyncState(/*joiner=*/false).ok()) {
+            return;
+          }
+        }
       }
       while (step_ < ss_->plan.steps_per_epoch) {
         if (!TrainStep(&known_repairs)) return;
         ++step_;
+        if (rc_->expand_pending() && !PollAdmission(/*finalize=*/false)) {
+          return;
+        }
       }
       // Rest of the epoch, analytically (no checkpoint commits on the
       // ULFM path).
@@ -161,6 +287,9 @@ class UlfmWorker {
       step_ = 0;
       ++epoch_;
     }
+    // Force a still-pending admission to a decision so parked joiners
+    // always unblock (they splice for the final state or are excluded).
+    if (rc_->expand_pending()) PollAdmission(/*finalize=*/true);
   }
 
   // Returns false when this worker leaves (death or node drop).
@@ -318,6 +447,7 @@ class UlfmWorker {
   std::unique_ptr<ResilientComm> rc_;
   int epoch_ = 0;
   int step_ = 0;
+  int64_t admit_begin_gstep_ = -1;  // global step the pending expand opened
 };
 
 }  // namespace
@@ -346,7 +476,11 @@ horovod::RunStats RunUlfmElastic(sim::Cluster& cluster,
   for (const auto& join : plan.joins) {
     for (int j = 0; j < join.count; ++j) {
       auto joiner = [ss, join](sim::Endpoint& ep) {
-        UlfmWorker(ep, ss).RunJoiner(join.epoch, join.cold);
+        if (ss->plan.async_admission) {
+          UlfmWorker(ep, ss).RunJoinerAsync(join.epoch, join.cold);
+        } else {
+          UlfmWorker(ep, ss).RunJoiner(join.epoch, join.cold);
+        }
       };
       cluster.SpawnOnFreshNodes(1, joiner, /*start_time=*/0.0);
     }

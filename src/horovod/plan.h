@@ -84,6 +84,12 @@ struct SyntheticPlan {
   // backward slice produces it, with at most `inflight_window` ops
   // outstanding, and the optimizer step waits for all of them.
   int inflight_window = 0;
+  // Asynchronous joiner admission: scripted joins open a nonblocking
+  // rendezvous at the epoch boundary and splice the merged communicator
+  // at a later step boundary once the joiners have staged the model
+  // state in the background, instead of stalling every survivor for the
+  // joiners' full bring-up (blocking ExpandComm).
+  bool async_admission = false;
   DropPolicy drop_policy = DropPolicy::kNode;
   std::vector<ScriptedFailure> failures;
   std::vector<ScriptedJoin> joins;
@@ -114,6 +120,11 @@ inline constexpr const char* kUlfmRepair = "ulfm_repair";       // revoke+agree+
 inline constexpr const char* kUlfmExpand = "ulfm_expand";       // connect/merge
 inline constexpr const char* kRetryCollective = "retry_collective";
 inline constexpr const char* kWorkerInit = "worker_init";       // cold/warm start
+// Asynchronous admission phases (overlapped with degraded training).
+inline constexpr const char* kExpandBegin = "expand_begin";     // open window
+inline constexpr const char* kStateStage = "state_stage";       // joiner pulls snapshot
+inline constexpr const char* kExpandSplice = "expand_splice";   // install merged comm
+inline constexpr const char* kDeltaSync = "delta_sync";         // catch-up broadcast
 }  // namespace phase
 
 // Sum of the comm-reconstruction phases for one stack (used by the

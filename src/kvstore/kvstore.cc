@@ -84,6 +84,23 @@ Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
   }
 }
 
+Result<Entry> Store::WaitEntry(sim::Endpoint* ep, const std::string& key) {
+  CountOp("wait_entry");
+  Charge(ep);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = data_.find(key);
+    if (it != data_.end()) {
+      if (ep != nullptr) ep->AdvanceTo(it->second.visible_at + roundtrip_);
+      return it->second;
+    }
+    if (ep != nullptr && !ep->alive()) {
+      return Status(Code::kAborted, "kv wait: caller died");
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
 Status Store::Delete(sim::Endpoint* ep, const std::string& key) {
   CountOp("delete");
   Charge(ep);

@@ -41,6 +41,11 @@ class Store {
   // with the writer's publication time.
   Result<std::vector<uint8_t>> Wait(sim::Endpoint* ep, const std::string& key);
 
+  // Like Wait but returns the full entry (value + version + publication
+  // time): snapshot staging reads the version so a joiner can tell which
+  // iteration of a re-published snapshot it restored.
+  Result<Entry> WaitEntry(sim::Endpoint* ep, const std::string& key);
+
   Status Delete(sim::Endpoint* ep, const std::string& key);
 
   // Atomic fetch-add on an integer-valued key (missing key counts as 0);

@@ -22,8 +22,10 @@ sim::Seconds Comm::InitCost(const sim::SimConfig& cfg, int nranks) {
 std::unique_ptr<Comm> Comm::InitRank(sim::Endpoint& ep,
                                      const std::vector<int>& pids,
                                      const std::string& unique_id,
-                                     double cost_scale) {
-  ep.Busy(InitCost(ep.fabric().config(), static_cast<int>(pids.size())));
+                                     double cost_scale,
+                                     double init_cost_scale) {
+  ep.Busy(InitCost(ep.fabric().config(), static_cast<int>(pids.size())) *
+          init_cost_scale);
   auto group = mpi::GetOrCreateGroup(
       "nccl/f" + std::to_string(ep.fabric().id()) + "/" + unique_id, pids);
   auto comm =

@@ -32,10 +32,15 @@ class Comm : public coll::Transport {
   // Collective over `pids` (identical list everywhere). `unique_id` must
   // be fresh per init round (ncclGetUniqueId analogue). Charges the
   // communicator bootstrap cost and synchronises the participants.
+  // `init_cost_scale` scales the bootstrap charge only (the asynchronous
+  // admission path pre-establishes the merged transports during joiner
+  // staging and splices at scale 0; the synchronizing barrier still
+  // runs, so mid-bootstrap deaths surface either way).
   static std::unique_ptr<Comm> InitRank(sim::Endpoint& ep,
                                         const std::vector<int>& pids,
                                         const std::string& unique_id,
-                                        double cost_scale = 1.0);
+                                        double cost_scale = 1.0,
+                                        double init_cost_scale = 1.0);
 
   // --- coll::Transport ---
   int rank() const override { return rank_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <limits>
 #include <cmath>
 #include <condition_variable>
@@ -9,11 +10,18 @@
 #include <mutex>
 #include <set>
 
+#include <cstdlib>
+
 #include "common/log.h"
 
 namespace rcc::ulfm {
 
 namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
 
 int CeilLog2(int n) {
   int bits = 0;
@@ -70,6 +78,7 @@ struct ExpandState {
   std::set<int> joiner_arrived;
   std::map<int, sim::Seconds> arrivals;
   bool done = false;
+  bool aborted = false;  // rendezvous abandoned (grace expired)
   std::shared_ptr<mpi::CommGroup> new_group;
   sim::Seconds finish_time = 0.0;
   int leavers = 0;
@@ -266,6 +275,8 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
   state->arrivals[ep.pid()] = ep.now();
   state->cv.notify_all();
 
+  const double grace_ms = ExpandGraceMs();
+  const auto real_start = std::chrono::steady_clock::now();
   while (!state->done) {
     if (!ep.alive()) return Status(Code::kAborted, "caller died in expand");
     // An arrived joiner with a matured kill dies here: it already
@@ -318,7 +329,37 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
       state->cv.notify_all();
       break;
     }
+    // Deadline: the rendezvous cannot complete (a provisioned joiner
+    // died before arriving, or was never launched). The first arrived
+    // participant whose real-time grace expires abandons the expand for
+    // everyone; the virtual cost is the admission deadline charged past
+    // the latest arrival — survivors "waited it out", then gave up.
+    if (grace_ms > 0 &&
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - real_start)
+                .count() >= grace_ms) {
+      sim::Seconds latest = 0.0;
+      for (const auto& [pid, t] : state->arrivals) {
+        latest = std::max(latest, t);
+      }
+      state->finish_time = latest + ExpandTimeout();
+      state->expected_leavers = static_cast<int>(state->arrivals.size());
+      state->aborted = true;
+      state->done = true;
+      state->cv.notify_all();
+      break;
+    }
     state->cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+
+  if (state->aborted) {
+    ep.AdvanceTo(state->finish_time);
+    ++state->leavers;
+    const bool last = state->leavers >= state->expected_leavers;
+    lock.unlock();
+    if (last) ReleaseExpandState(key);
+    return Status(Code::kTimeout,
+                  "expand timed out waiting for rendezvous arrivals");
   }
 
   auto group = state->new_group;
@@ -335,6 +376,393 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
     if (next.rank() == 0) fabric.PurgeContext(old_comm->context_id());
   }
   return next;
+}
+
+// ---------------------------------------------------------------------
+// Nonblocking expand (asynchronous joiner admission).
+// ---------------------------------------------------------------------
+
+namespace {
+
+// One collective poll round at a step boundary.
+struct AsyncRound {
+  std::map<int, sim::Seconds> times;  // survivor pid -> poll time
+  int64_t op_counter = 0;             // max of the pollers' contributions
+  bool done = false;
+  ExpandStatus status = ExpandStatus::kPending;
+};
+
+struct AsyncExpandState {
+  std::mutex mu;
+  std::condition_variable cv;
+  // Fixed by ExpandBegin.
+  bool begun = false;
+  std::vector<int> old_group_pids;
+  std::map<int, sim::Seconds> begin_times;  // survivor pid -> Begin time
+  int expected_joiners = 0;
+  sim::Seconds timeout = 0.0;
+  bool announce_closed = false;
+  // Joiner progress (virtual timestamps; decisions compare these to the
+  // deadline, never to real time).
+  std::map<int, sim::Seconds> announced;
+  std::map<int, sim::Seconds> staged;
+  std::set<int> withdrawn;
+  bool abort_requested = false;
+  // Poll rounds and the terminal decision. deque: a parked poller holds
+  // a reference to its round while a faster survivor may already be
+  // opening the next one.
+  std::deque<AsyncRound> rounds;
+  bool decided = false;
+  ExpandStatus final_status = ExpandStatus::kPending;
+  std::vector<int> admitted;
+  bool prestaged = false;
+  std::shared_ptr<mpi::CommGroup> new_group;
+  sim::Seconds splice_time = 0.0;
+  int64_t op_counter = 0;
+  int leavers = 0;
+  int expected_leavers = 0;
+};
+
+std::mutex g_async_mu;
+std::map<std::string, std::shared_ptr<AsyncExpandState>> g_async_registry;
+
+std::shared_ptr<AsyncExpandState> AsyncStateFor(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_async_mu);
+  auto it = g_async_registry.find(key);
+  if (it != g_async_registry.end()) return it->second;
+  auto state = std::make_shared<AsyncExpandState>();
+  g_async_registry.emplace(key, state);
+  return state;
+}
+
+void ReleaseAsyncState(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_async_mu);
+  g_async_registry.erase(key);
+}
+
+std::string AsyncKey(sim::Fabric& fabric, const std::string& session) {
+  return "expandx/f" + std::to_string(fabric.id()) + "/" + session;
+}
+
+// Round k's virtual facts are resolved once every live old-group member
+// has polled it and every announced joiner has staged, withdrawn or
+// died. Each of those is fixed in the respective thread's own program
+// order, so blocking on them (in real time) keeps decisions a pure
+// function of virtual timestamps.
+bool AsyncRoundComplete(const AsyncExpandState& state, size_t round,
+                        sim::Fabric& fabric) {
+  if (!state.announce_closed) return false;  // Begin still collecting
+  const AsyncRound& r = state.rounds[round];
+  for (int pid : state.old_group_pids) {
+    if (r.times.count(pid) == 0 && fabric.IsAlive(pid)) return false;
+  }
+  for (const auto& [jpid, t] : state.announced) {
+    (void)t;
+    if (state.staged.count(jpid) == 0 && state.withdrawn.count(jpid) == 0 &&
+        fabric.IsAlive(jpid)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Decides round `round` (caller holds state->mu; completeness checked).
+void AsyncDecide(AsyncExpandState* state, size_t round, bool finalize,
+                 const std::string& key, sim::Fabric& fabric) {
+  AsyncRound& r = state->rounds[round];
+  if (r.done) return;
+  sim::Seconds latest_begin = 0.0;
+  for (const auto& [pid, t] : state->begin_times) {
+    latest_begin = std::max(latest_begin, t);
+  }
+  const sim::Seconds deadline = latest_begin + state->timeout;
+  sim::Seconds boundary = 0.0;  // this round's latest poll time
+  for (const auto& [pid, t] : r.times) boundary = std::max(boundary, t);
+  // Admission set: joiners that finished staging at or before the
+  // deadline. A staged joiner that died afterwards stays admitted (like
+  // an arrived-then-killed ExpandComm joiner): the merged communicator's
+  // first resilient op repairs it away.
+  std::vector<int> admitted;
+  sim::Seconds latest_stage = 0.0;
+  for (const auto& [jpid, t] : state->staged) {
+    if (state->withdrawn.count(jpid) != 0) continue;
+    if (t <= deadline) {
+      admitted.push_back(jpid);
+      latest_stage = std::max(latest_stage, t);
+    }
+  }
+  std::sort(admitted.begin(), admitted.end());
+
+  ExpandStatus decision;
+  if (state->abort_requested || admitted.empty()) {
+    decision = ExpandStatus::kAborted;
+  } else if (finalize || boundary >= latest_stage) {
+    decision = ExpandStatus::kSpliced;
+  } else {
+    decision = ExpandStatus::kPending;  // staged past this boundary
+  }
+  r.status = decision;
+  r.done = true;
+  if (decision == ExpandStatus::kPending) {
+    state->cv.notify_all();
+    return;
+  }
+
+  state->decided = true;
+  state->final_status = decision;
+  state->op_counter = r.op_counter;
+  int alive_waiters = 0;
+  for (const auto& [jpid, t] : state->announced) {
+    (void)t;
+    if (fabric.IsAlive(jpid)) ++alive_waiters;
+  }
+  if (decision == ExpandStatus::kSpliced) {
+    state->admitted = admitted;
+    // Membership: this round's pollers in old rank order, then the
+    // admitted joiners by pid (pollers cannot die while parked in the
+    // round — chaos kills are virtual-time self-kills — so the list is
+    // exactly the live survivors).
+    std::vector<int> pids;
+    for (int pid : state->old_group_pids) {
+      if (r.times.count(pid) != 0) pids.push_back(pid);
+    }
+    pids.insert(pids.end(), admitted.begin(), admitted.end());
+    const int total = static_cast<int>(pids.size());
+    const sim::Seconds cost =
+        fabric.config().costs.conn_setup_verbs * CeilLog2(total) +
+        AgreementCost(fabric.config(), total);
+    state->splice_time = std::max(boundary, latest_stage) + cost;
+    state->new_group = mpi::GetOrCreateGroup(key + "/spliced", pids);
+    state->prestaged =
+        r.times.size() == state->old_group_pids.size() &&
+        admitted.size() == state->announced.size() &&
+        static_cast<int>(state->announced.size()) == state->expected_joiners;
+  }
+  state->expected_leavers =
+      static_cast<int>(r.times.size()) + alive_waiters;
+  state->cv.notify_all();
+}
+
+// Leaver bookkeeping shared by survivors and joiners; the last live
+// participant of a decided expand releases the registry entry.
+void AsyncLeave(std::unique_lock<std::mutex>& lock,
+                const std::shared_ptr<AsyncExpandState>& state,
+                const std::string& key) {
+  ++state->leavers;
+  const bool last =
+      state->decided && state->leavers >= state->expected_leavers;
+  lock.unlock();
+  if (last) ReleaseAsyncState(key);
+}
+
+}  // namespace
+
+sim::Seconds ExpandTimeout() {
+  return EnvDouble("RCC_EXPAND_TIMEOUT", 45.0);
+}
+
+double ExpandGraceMs() { return EnvDouble("RCC_EXPAND_GRACE_MS", 2000.0); }
+
+Status ExpandBegin(sim::Endpoint& ep, mpi::Comm& comm,
+                   const std::string& session, int expected_joiners,
+                   sim::Seconds timeout, ExpandOp* op) {
+  sim::Fabric& fabric = ep.fabric();
+  if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
+  ep.Busy(fabric.config().costs.ulfm_errhandler_dispatch);
+  if (ep.MaybeSelfKill()) {
+    return Status(Code::kAborted, "survivor died opening expand");
+  }
+  const std::string key = AsyncKey(fabric, session);
+  auto state = AsyncStateFor(key);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (!state->begun) {
+    state->old_group_pids = comm.pids();
+    state->expected_joiners = expected_joiners;
+    state->timeout = timeout;
+    state->begun = true;
+  }
+  state->begin_times[ep.pid()] = ep.now();
+  state->cv.notify_all();
+
+  // Wait (real time only) for the provisioned joiners to announce.
+  // Healthy joiners announce at spawn, long before any epoch boundary;
+  // the grace binds only when a joiner never launches, and closing the
+  // window then treats it as failed (the poll rounds abort or proceed
+  // with whoever did announce).
+  const double grace_ms = ExpandGraceMs();
+  const auto real_start = std::chrono::steady_clock::now();
+  while (!state->announce_closed &&
+         static_cast<int>(state->announced.size()) < expected_joiners) {
+    if (!ep.alive()) {
+      return Status(Code::kAborted, "survivor died opening expand");
+    }
+    if (grace_ms > 0 &&
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - real_start)
+                .count() >= grace_ms) {
+      break;
+    }
+    state->cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+  state->announce_closed = true;
+  state->cv.notify_all();
+
+  op->key = key;
+  op->session = session;
+  op->polls = 0;
+  op->active = true;
+  return Status::Ok();
+}
+
+Result<ExpandStatus> ExpandTest(sim::Endpoint& ep, mpi::Comm& comm,
+                                ExpandOp* op, int64_t op_counter,
+                                bool finalize,
+                                std::unique_ptr<mpi::Comm>* merged,
+                                SpliceOutcome* outcome) {
+  sim::Fabric& fabric = ep.fabric();
+  if (!op->active) return Status(Code::kInvalid, "no expand in progress");
+  if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
+  if (ep.MaybeSelfKill()) {
+    return Status(Code::kAborted, "survivor died at poll boundary");
+  }
+  auto state = AsyncStateFor(op->key);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  const size_t round = static_cast<size_t>(op->polls);
+  ++op->polls;
+  if (state->rounds.size() <= round) state->rounds.resize(round + 1);
+  AsyncRound& r = state->rounds[round];
+  r.times[ep.pid()] = ep.now();
+  r.op_counter = std::max(r.op_counter, op_counter);
+  state->cv.notify_all();
+
+  while (!r.done) {
+    if (!ep.alive()) {
+      return Status(Code::kAborted, "survivor died in expand poll");
+    }
+    if (AsyncRoundComplete(*state, round, fabric)) {
+      AsyncDecide(state.get(), round, finalize, op->key, fabric);
+      continue;
+    }
+    state->cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+
+  if (r.status == ExpandStatus::kPending) return ExpandStatus::kPending;
+
+  op->active = false;
+  if (r.status == ExpandStatus::kAborted) {
+    AsyncLeave(lock, state, op->key);
+    return ExpandStatus::kAborted;
+  }
+
+  if (outcome != nullptr) {
+    outcome->admitted = state->admitted;
+    outcome->prestaged = state->prestaged;
+    outcome->agreed_counter = state->op_counter;
+  }
+  auto group = state->new_group;
+  ep.AdvanceTo(state->splice_time);
+  AsyncLeave(lock, state, op->key);
+
+  mpi::Comm next(&ep, group);
+  next.set_cost_scale(comm.cost_scale());
+  if (next.rank() == 0) fabric.PurgeContext(comm.context_id());
+  *merged = std::make_unique<mpi::Comm>(std::move(next));
+  return ExpandStatus::kSpliced;
+}
+
+void ExpandAbort(sim::Endpoint& ep, const std::string& session) {
+  auto state = AsyncStateFor(AsyncKey(ep.fabric(), session));
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->decided) return;
+  state->abort_requested = true;
+  state->cv.notify_all();
+}
+
+Status AnnounceJoiner(sim::Endpoint& ep, const std::string& session) {
+  if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
+  if (ep.MaybeSelfKill()) {
+    return Status(Code::kAborted, "joiner died before announcing");
+  }
+  auto state = AsyncStateFor(AsyncKey(ep.fabric(), session));
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->announced.count(ep.pid()) != 0) return Status::Ok();
+  if (state->announce_closed) {
+    return Status(Code::kUnavailable, "expand announce window closed");
+  }
+  state->announced[ep.pid()] = ep.now();
+  state->cv.notify_all();
+  return Status::Ok();
+}
+
+Status MarkJoinerStaged(sim::Endpoint& ep, const std::string& session) {
+  if (!ep.alive()) return Status(Code::kAborted, "caller is dead");
+  if (ep.MaybeSelfKill()) {
+    return Status(Code::kAborted, "joiner died while staging");
+  }
+  auto state = AsyncStateFor(AsyncKey(ep.fabric(), session));
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->staged[ep.pid()] = ep.now();
+  state->cv.notify_all();
+  return Status::Ok();
+}
+
+void WithdrawJoiner(sim::Endpoint& ep, const std::string& session) {
+  auto state = AsyncStateFor(AsyncKey(ep.fabric(), session));
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->withdrawn.insert(ep.pid());
+  state->cv.notify_all();
+}
+
+Result<mpi::Comm> AwaitSplice(sim::Endpoint& ep, const std::string& session,
+                              SpliceOutcome* outcome) {
+  sim::Fabric& fabric = ep.fabric();
+  const std::string key = AsyncKey(fabric, session);
+  auto state = AsyncStateFor(key);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (!state->decided) {
+    if (!ep.alive()) {
+      return Status(Code::kAborted, "joiner died awaiting splice");
+    }
+    // An armed kill maturing while parked fires here (its virtual time
+    // is at or before this joiner's staged clock, so the outcome is a
+    // pure function of virtual time).
+    if (ep.MaybeSelfKill()) {
+      state->cv.notify_all();
+      return Status(Code::kAborted, "joiner killed awaiting splice");
+    }
+    if (state->begun) {
+      bool any_survivor = false;
+      for (int pid : state->old_group_pids) {
+        if (fabric.IsAlive(pid)) any_survivor = true;
+      }
+      if (!any_survivor) {
+        return Status(Code::kUnavailable, "no survivors left to splice");
+      }
+    }
+    state->cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+
+  const bool admitted =
+      state->final_status == ExpandStatus::kSpliced &&
+      std::find(state->admitted.begin(), state->admitted.end(), ep.pid()) !=
+          state->admitted.end();
+  if (!admitted) {
+    AsyncLeave(lock, state, key);
+    return Status(Code::kTimeout,
+                  "not admitted: expand aborted or staged past deadline");
+  }
+  if (outcome != nullptr) {
+    outcome->admitted = state->admitted;
+    outcome->prestaged = state->prestaged;
+    outcome->agreed_counter = state->op_counter;
+  }
+  auto group = state->new_group;
+  ep.AdvanceTo(state->splice_time);
+  AsyncLeave(lock, state, key);
+  return mpi::Comm(&ep, group);
 }
 
 }  // namespace rcc::ulfm

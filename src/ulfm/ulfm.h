@@ -68,9 +68,13 @@ Result<mpi::Comm> Shrink(mpi::Comm& comm);
 // operation and identical on every participant. Survivors keep ranks
 // 0..S-1; joiners receive ranks S.. ordered by pid.
 //
-// Note: like MPI_Comm_accept, the expand blocks until every expected
-// joiner arrives; a joiner that dies before arriving stalls the
-// operation (the elastic layer only admits provisioned workers).
+// Like MPI_Comm_accept the expand blocks until every expected joiner
+// arrives, but with a deadline: if the rendezvous has not completed
+// within the real-time grace (RCC_EXPAND_GRACE_MS, a misprovision
+// valve), the expand is abandoned on every arrived participant with
+// Code::kTimeout after charging the virtual deadline (RCC_EXPAND_TIMEOUT
+// past the latest arrival), so a provisioned joiner that dies before
+// arriving no longer stalls the survivors forever.
 // `op_counter` / `agreed_counter` synchronize the resilient layer's
 // per-rank operation ids across the rendezvous: survivors publish their
 // counter (identical on every survivor — SPMD op streams) and every
@@ -81,6 +85,123 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
                              const std::string& session,
                              int expected_joiners, int64_t op_counter = 0,
                              int64_t* agreed_counter = nullptr);
+
+// ---------------------------------------------------------------------
+// Nonblocking expand: asynchronous joiner admission.
+//
+// The blocking ExpandComm parks every survivor for the whole rendezvous.
+// The nonblocking protocol splits admission into three survivor-side
+// calls so training continues while joiners provision and stage state:
+//
+//   ExpandBegin  - opens the rendezvous at a step boundary. Joiners must
+//                  have announced themselves (AnnounceJoiner, issued at
+//                  provisioning time); Begin fixes the candidate set and
+//                  the virtual admission deadline and returns.
+//   ExpandTest   - one collective poll round per step boundary. Returns
+//                  kPending while joiners are still staging, kSpliced
+//                  with the merged communicator once every admitted
+//                  joiner staged at or before this boundary, or kAborted
+//                  when no joiner can make the deadline (all dead,
+//                  withdrawn, or staged past it) - survivors then simply
+//                  keep training degraded.
+//   ExpandAbort  - requests a consistent abort at the next poll round.
+//
+// Joiners run AnnounceJoiner -> (pull state, pre-establish transports)
+// -> MarkJoinerStaged -> AwaitSplice, which parks until the survivors'
+// deciding round and returns the merged communicator (or a kTimeout /
+// kAborted status when excluded).
+//
+// Determinism: every decision is a pure function of virtual timestamps
+// (announce / stage / poll times vs the deadline). Poll rounds block in
+// *real* time until those virtual facts are resolved — the same
+// discipline as Agree — so campaigns replay byte-identically; the only
+// real-time input is the announce grace, which binds only for joiners
+// that never spawn.
+// ---------------------------------------------------------------------
+
+enum class ExpandStatus { kPending, kSpliced, kAborted };
+
+// Per-survivor handle on one nonblocking expand.
+struct ExpandOp {
+  std::string key;
+  std::string session;
+  int polls = 0;      // completed poll rounds
+  bool active = false;
+};
+
+// Decision payload of the deciding round (survivors and admitted
+// joiners observe the same values).
+struct SpliceOutcome {
+  std::vector<int> admitted;  // joiner pids spliced in, pid-sorted
+  // True when the spliced membership equals the candidate set Begin
+  // announced (all survivors present, every announced joiner staged in
+  // time): the joiners pre-established the merged transports during
+  // staging, so the splice-side communicator bootstrap is already paid.
+  bool prestaged = false;
+  int64_t agreed_counter = 0;  // survivors' resilient-op counter
+};
+
+// Env knobs (read per call so tests can pin them):
+//   RCC_EXPAND_TIMEOUT   virtual seconds a joiner has to finish staging,
+//                        measured from the survivors' ExpandBegin
+//                        (default 45; above the cold-start cost).
+//   RCC_EXPAND_GRACE_MS  real-time grace for rendezvous arrival before
+//                        the expand is abandoned (default 2000; <= 0
+//                        disables). A misprovision valve: healthy
+//                        joiners announce at spawn, long before it.
+sim::Seconds ExpandTimeout();
+double ExpandGraceMs();
+
+// Survivor side. Opens the nonblocking expand over `comm`'s membership.
+// Waits (real time, grace-bounded, zero virtual cost beyond the
+// errhandler dispatch) until the provisioned joiners have announced,
+// then closes the announce window — joiners that never announced are
+// treated as failed. Never blocks on co-survivors.
+Status ExpandBegin(sim::Endpoint& ep, mpi::Comm& comm,
+                   const std::string& session, int expected_joiners,
+                   sim::Seconds timeout, ExpandOp* op);
+
+// Survivor side, collective at a step boundary. Blocks (real time only)
+// until this round's virtual facts are known, then returns the round's
+// decision. On kSpliced: `*merged` receives the merged communicator
+// (surviving old ranks in order, then admitted joiners by pid), the
+// caller's clock advances to the splice time, and `*outcome` is filled.
+// On kAborted (as a *value*) the expand is over and the caller keeps
+// training degraded. An error status means the caller itself died.
+// `finalize` turns the round into a terminal resolve: instead of waiting
+// for a future boundary past the joiners' staging times, the survivors
+// idle forward and splice (or abort) now — used at the end of training
+// so parked joiners always unblock.
+Result<ExpandStatus> ExpandTest(sim::Endpoint& ep, mpi::Comm& comm,
+                                ExpandOp* op, int64_t op_counter,
+                                bool finalize,
+                                std::unique_ptr<mpi::Comm>* merged,
+                                SpliceOutcome* outcome);
+
+// Requests a consistent abort: the next poll round (on every survivor)
+// decides kAborted. Safe from any single rank; no-op once decided.
+void ExpandAbort(sim::Endpoint& ep, const std::string& session);
+
+// Joiner side. Announce at provisioning time (before any cold-start
+// cost): the survivors' Begin counts announcements against the expected
+// joiner count. Idempotent. Fails with kUnavailable if the announce
+// window already closed (this joiner is treated as never-arrived).
+Status AnnounceJoiner(sim::Endpoint& ep, const std::string& session);
+
+// Joiner side: records that state staging finished at this joiner's
+// current virtual time. Admission compares that time to the deadline.
+Status MarkJoinerStaged(sim::Endpoint& ep, const std::string& session);
+
+// Joiner side: voluntarily leaves the admission (staging failed while
+// this process is still alive). Survivors treat it like a death.
+void WithdrawJoiner(sim::Endpoint& ep, const std::string& session);
+
+// Joiner side: parks until the survivors' deciding round. Returns the
+// merged communicator when admitted; kTimeout when the expand resolved
+// without this joiner (aborted, or staged past the deadline);
+// kUnavailable when every survivor died first; kAborted on self-death.
+Result<mpi::Comm> AwaitSplice(sim::Endpoint& ep, const std::string& session,
+                              SpliceOutcome* outcome);
 
 // Cost model for one agreement over `nranks` participants; exposed so
 // benches can report it and tests can check clock advancement.

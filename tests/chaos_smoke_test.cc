@@ -94,6 +94,116 @@ TEST(ChaosSmoke, SameSeedIsByteDeterministic) {
   EXPECT_GT(x.repairs_metric, 0.0);
 }
 
+TEST(ChaosSmoke, AsyncAdmissionCampaignsViolateNoOracle) {
+  // Pinned multi-seed batch with the async-admission draws enabled: the
+  // nonblocking join-in-flight machinery must hold every oracle,
+  // including the campaigns that kill the joiner mid-staging or a
+  // survivor at the splice.
+  GenConfig cfg;
+  cfg.allow_async = true;
+  int async_campaigns = 0;
+  int async_phase_kills = 0;
+  for (uint64_t seed = 101; seed < 116; ++seed) {
+    Schedule s = GenerateSchedule(seed, cfg);
+    if (s.shape.async_admission) ++async_campaigns;
+    for (const auto& p : s.phased) {
+      if (p.phase == "recovery/state_stage" ||
+          p.phase == "recovery/expand_splice") {
+        ++async_phase_kills;
+      }
+    }
+    CampaignOutcome outcome = RunSchedule(s);
+    auto violations = CheckOracles(s, outcome);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << s.seed << ":\n" << FormatViolations(violations);
+  }
+  // The pinned range must actually exercise the new machinery.
+  EXPECT_GE(async_campaigns, 2);
+  EXPECT_GE(async_phase_kills, 1);
+}
+
+TEST(ChaosSmoke, AsyncDrawsAreGatedAndSchedulesRoundTrip) {
+  // Old seeds keep generating byte-identical schedules with the async
+  // draws off (the default): pre-async reproducers stay valid.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Schedule s = GenerateSchedule(seed);
+    EXPECT_FALSE(s.shape.async_admission);
+  }
+  // The new shape field survives the JSON round-trip...
+  Schedule s = GenerateSchedule(3);
+  s.shape.joins[1] = 1;
+  s.shape.async_admission = true;
+  Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(Schedule::FromJson(s.ToJson(), &parsed, &error)) << error;
+  EXPECT_TRUE(parsed == s);
+  // ...and JSON recorded before the field existed parses with it off.
+  std::string legacy = GenerateSchedule(3).ToJson();
+  const std::string field = "\"async_admission\": false, ";
+  auto pos = legacy.find(field);
+  ASSERT_NE(pos, std::string::npos);
+  legacy.erase(pos, field.size());
+  ASSERT_TRUE(Schedule::FromJson(legacy, &parsed, &error)) << error;
+  EXPECT_FALSE(parsed.shape.async_admission);
+}
+
+TEST(ChaosSmoke, JoinerDyingWhileStagingKeepsOraclesGreen) {
+  // Hand-built deterministic kill-point: the joiner announces, starts
+  // staging, and dies before marking itself staged. The admission must
+  // abort at its deadline and the survivors finish degraded.
+  Schedule s;
+  s.shape.world = 4;
+  s.shape.epochs = 2;
+  s.shape.steps_per_epoch = 4;
+  s.shape.grad_buckets = 2;
+  s.shape.inflight_window = 2;
+  s.shape.joins[1] = 1;
+  s.shape.async_admission = true;
+  s.phased.push_back(
+      PhaseKill{/*victim=*/4, "recovery/state_stage", 1, 0.0});
+  CampaignOutcome outcome = RunSchedule(s);
+  auto violations = CheckOracles(s, outcome);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  ASSERT_EQ(outcome.results.size(), 5u);
+  const WorkerResult& joiner = outcome.results[4];
+  EXPECT_EQ(joiner.join_epoch, 1);
+  EXPECT_FALSE(joiner.joined_ok);
+  EXPECT_TRUE(joiner.report.aborted);
+  // Every founder finished on the unchanged membership.
+  for (int pid = 0; pid < 4; ++pid) {
+    EXPECT_FALSE(outcome.results[pid].report.aborted);
+    EXPECT_EQ(outcome.results[pid].report.final_world, 4);
+  }
+}
+
+TEST(ChaosSmoke, SurvivorDyingMidSpliceKeepsOraclesGreen) {
+  // Hand-built deterministic kill-point: a survivor dies as it enters
+  // the splice. The remaining survivors and the staged joiner carry the
+  // merged membership; the victim is repaired away.
+  Schedule s;
+  s.shape.world = 4;
+  s.shape.epochs = 2;
+  s.shape.steps_per_epoch = 4;
+  s.shape.grad_buckets = 2;
+  s.shape.inflight_window = 2;
+  s.shape.joins[1] = 1;
+  s.shape.async_admission = true;
+  s.phased.push_back(
+      PhaseKill{/*victim=*/2, "recovery/expand_splice", 1, 0.0});
+  CampaignOutcome outcome = RunSchedule(s);
+  auto violations = CheckOracles(s, outcome);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  ASSERT_EQ(outcome.results.size(), 5u);
+  EXPECT_TRUE(outcome.results[2].report.aborted);  // the splice victim
+  const WorkerResult& joiner = outcome.results[4];
+  EXPECT_TRUE(joiner.joined_ok);
+  EXPECT_FALSE(joiner.report.aborted);
+  for (int pid : {0, 1, 3}) {
+    EXPECT_FALSE(outcome.results[pid].report.aborted);
+    EXPECT_EQ(outcome.results[pid].report.final_world, 4);  // 3 + joiner
+  }
+}
+
 TEST(ChaosSmoke, PlantedReplayBugIsCaughtAndShrunk) {
   // Plant: pid 0 participates in replayed collectives but never applies
   // the result (stale recvbuf) — a "replayed but not restored" bug.

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <climits>
 #include <cmath>
 
 #include "coll/algorithms.h"
+#include "coll/tuning.h"
 #include "mpi/comm.h"
 #include "test_util.h"
 
@@ -389,6 +391,33 @@ TEST(RingReduceScatter, OwnershipLayoutAndAllgatherRoundTrip) {
       }
     });
   }
+}
+
+TEST(AllreduceTuning, SelectionRecomputedPerRequestAfterResize) {
+  // Audit pin: every stack resolves kAuto at request-build time against
+  // the communicator's *current* size (mpi/comm.h, nccl/nccl.h,
+  // gloo/gloo.h all call ChooseAllreduce per request), so a shrink or
+  // expand changes the selection on the very next collective — there is
+  // no cached choice to invalidate.
+  AllreduceTuning t;
+  t.rows = {{8, 65536.0}, {INT_MAX, 1024.0}};
+  t.small_algo = AllreduceAlgo::kRecursiveDoubling;
+  t.large_algo = AllreduceAlgo::kRing;
+  // Same payload, different world sizes: the row lookup tracks the size
+  // passed with each request.
+  EXPECT_EQ(ChooseAllreduce(t, AllreduceAlgo::kAuto, 4096.0, 8),
+            AllreduceAlgo::kRecursiveDoubling);
+  EXPECT_EQ(ChooseAllreduce(t, AllreduceAlgo::kAuto, 4096.0, 9),
+            AllreduceAlgo::kRing);
+  // An explicit request bypasses the table at any size.
+  EXPECT_EQ(ChooseAllreduce(t, AllreduceAlgo::kRabenseifner, 1e9, 128),
+            AllreduceAlgo::kRabenseifner);
+  // Default NCCL table: the 32 KiB cutoff is honoured per request.
+  AllreduceTuning nccl = NcclAllreduceTuning();
+  EXPECT_EQ(ChooseAllreduce(nccl, AllreduceAlgo::kAuto, 32768.0, 12),
+            nccl.small_algo);
+  EXPECT_EQ(ChooseAllreduce(nccl, AllreduceAlgo::kAuto, 32769.0, 12),
+            nccl.large_algo);
 }
 
 }  // namespace

@@ -485,7 +485,7 @@ TEST(ElasticTrainer, JoinerReceivesStateAndConverges) {
     EXPECT_EQ(cursor.epoch, 1);
     ElasticTrainer trainer(rc.get(), &rig.model, rig.opt.get(), &data, opts,
                            &flags);
-    auto report = trainer.Run(cursor);
+    auto report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
     std::lock_guard<std::mutex> lock(mu);
     reports.push_back(std::move(report));
   }, 0.0);
@@ -549,6 +549,152 @@ TEST(ElasticTrainer, LinearLrScalingTracksWorkerCount) {
     }
   }
   EXPECT_EQ(survivors, 3);
+}
+
+// Regression for the resume-epoch silent drop: a run restored from a
+// checkpoint that lands exactly on a scheduled join epoch must still
+// expand. The old guard compared against the resume epoch and skipped
+// the boundary, stranding the joiner in the rendezvous forever.
+TEST(ElasticTrainer, ResumeIntoJoinEpochStillExpands) {
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  TrainerOptions opts;
+  opts.epochs = 2;
+  opts.steps_per_epoch = 5;
+  opts.joins[1] = 1;
+  std::vector<std::atomic<bool>> flags(0);
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  std::vector<int> pids{0, 1, 2};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    WorkerRig rig(opts);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    ElasticTrainer trainer(&rc, &rig.model, rig.opt.get(), &data, opts,
+                           &flags);
+    // Plain resume (joined_at_epoch = -1) landing on the join epoch.
+    checkpoint::TrainingCursor resume;
+    resume.epoch = 1;
+    resume.global_step = opts.steps_per_epoch;
+    auto report = trainer.Run(resume);
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.SpawnOnFreshNodes(1, [&](sim::Endpoint& ep) {
+    WorkerRig rig(opts);
+    auto rc = ResilientComm::JoinExisting(ep, "trainer-epoch1", 1,
+                                          opts.drop_policy, nullptr);
+    ASSERT_NE(rc, nullptr);
+    checkpoint::TrainingCursor cursor;
+    ASSERT_TRUE(ElasticTrainer::SyncState(rc.get(), &rig.model,
+                                          rig.opt.get(), &cursor,
+                                          /*receiver=*/true)
+                    .ok());
+    ElasticTrainer trainer(rc.get(), &rig.model, rig.opt.get(), &data, opts,
+                           &flags);
+    auto report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  }, 0.0);
+  cluster.Join();
+  ASSERT_EQ(reports.size(), 4u);
+  const TrainerReport* reference = nullptr;
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.final_world, 4);
+    if (reference == nullptr) {
+      reference = &r;
+    } else {
+      ASSERT_EQ(r.final_params.size(), reference->final_params.size());
+      for (size_t i = 0; i < r.final_params.size(); ++i) {
+        ASSERT_EQ(r.final_params[i], reference->final_params[i]);
+      }
+    }
+  }
+}
+
+// Async admission through the real-model trainer: the joiner stages the
+// published snapshot through the kvstore, splices at a step boundary,
+// catches up via the delta sync, and ends bitwise-identical to the
+// founders.
+TEST(ElasticTrainer, AsyncAdmissionJoinerConvergesIdentically) {
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  kv::Store store;
+  TrainerOptions opts;
+  opts.epochs = 2;
+  opts.steps_per_epoch = 5;
+  opts.joins[1] = 1;
+  opts.async_admission = true;
+  opts.admission_store = &store;
+  std::vector<std::atomic<bool>> flags(0);
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  std::vector<int> pids{0, 1, 2};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    WorkerRig rig(opts);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    ElasticTrainer trainer(&rc, &rig.model, rig.opt.get(), &data, opts,
+                           &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.SpawnOnFreshNodes(1, [&](sim::Endpoint& ep) {
+    WorkerRig rig(opts);
+    checkpoint::TrainingCursor cursor;
+    auto rc = ResilientComm::JoinAsync(
+        ep, &store, "trainer-epoch1", opts.drop_policy, nullptr,
+        [&](const std::vector<uint8_t>& blob) -> Status {
+          checkpoint::Snapshot snap;
+          snap.blob = blob;
+          return checkpoint::Restore(snap, &rig.model, rig.opt.get(),
+                                     &cursor);
+        });
+    ASSERT_NE(rc, nullptr);
+    ASSERT_TRUE(ElasticTrainer::DeltaSync(rc.get(), &rig.model,
+                                          rig.opt.get(), &cursor,
+                                          /*receiver=*/true,
+                                          /*steps_behind=*/0)
+                    .ok());
+    ElasticTrainer trainer(rc.get(), &rig.model, rig.opt.get(), &data, opts,
+                           &flags);
+    auto report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  }, 0.0);
+  cluster.Join();
+  ASSERT_EQ(reports.size(), 4u);
+  const TrainerReport* reference = nullptr;
+  for (const auto& r : reports) {
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.final_world, 4);
+    if (reference == nullptr) {
+      reference = &r;
+    } else {
+      ASSERT_EQ(r.final_params.size(), reference->final_params.size());
+      for (size_t i = 0; i < r.final_params.size(); ++i) {
+        ASSERT_EQ(r.final_params[i], reference->final_params[i]);
+      }
+    }
+  }
+}
+
+// Async admission through the synthetic runner: joiners stage while the
+// survivors train, and the async recovery phases replace the blocking
+// expand's full state_sync stall.
+TEST(UlfmElastic, AsyncAdmissionSplicesJoiners) {
+  sim::Cluster cluster;
+  trace::Recorder rec;
+  SyntheticPlan plan = SmallPlan();
+  plan.async_admission = true;
+  plan.joins.push_back({/*epoch=*/1, /*count=*/6, /*cold=*/true});
+  auto stats = RunUlfmElastic(cluster, plan, &rec);
+  EXPECT_EQ(stats.final_world, 18);
+  EXPECT_GT(Phase(rec, "recovery/state_stage"), 0.0);
+  EXPECT_GT(Phase(rec, "recovery/expand_splice"), 0.0);
+  EXPECT_GT(Phase(rec, "recovery/delta_sync"), 0.0);
+  // The blocking path's full-snapshot broadcast stall never happens.
+  EXPECT_EQ(Phase(rec, "recovery/state_sync"), 0.0);
 }
 
 }  // namespace

@@ -77,6 +77,34 @@ TEST(KvStore, WaitBlocksUntilSet) {
   EXPECT_EQ(std::string(r.value().begin(), r.value().end()), "v");
 }
 
+TEST(KvStore, WaitEntryDeliversVersionAndVisibility) {
+  sim::Fabric fabric{sim::SimConfig{}};
+  fabric.RegisterProcess(0);
+  fabric.RegisterProcess(0);
+  sim::Endpoint writer(&fabric, 0), reader(&fabric, 1);
+  Store store(1e-3);
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    writer.Busy(3.0);
+    store.SetString(&writer, "staged", "v1");
+  });
+  auto r = store.WaitEntry(&reader, "staged");
+  setter.join();
+  ASSERT_TRUE(r.ok());
+  const Entry& e = r.value();
+  EXPECT_EQ(std::string(e.value.begin(), e.value.end()), "v1");
+  EXPECT_GE(e.visible_at, 3.0);  // carries the writer's virtual time
+  EXPECT_EQ(e.version, 1u);
+  EXPECT_GE(reader.now(), e.visible_at);  // causally after the write
+  // An overwrite is visible to a later WaitEntry with a bumped version.
+  store.SetString(&writer, "staged", "v2");
+  auto r2 = store.WaitEntry(&reader, "staged");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(std::string(r2.value().value.begin(), r2.value().value.end()),
+            "v2");
+  EXPECT_EQ(r2.value().version, 2u);
+}
+
 TEST(KvStore, WaitAbortsWhenCallerDies) {
   sim::Fabric fabric{sim::SimConfig{}};
   fabric.RegisterProcess(0);

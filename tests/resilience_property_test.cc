@@ -287,7 +287,7 @@ TEST(JoinerParity, JoinerEndsBitIdenticalToFounders) {
                       .ok());
       EXPECT_EQ(cursor.epoch, join_epoch);
       ElasticTrainer trainer(rc.get(), &model, &opt, &data, opts, &flags);
-      auto report = trainer.Run(cursor);
+      auto report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
       std::lock_guard<std::mutex> lock(mu);
       reports.push_back(std::move(report));
     }, 0.0);
@@ -344,7 +344,7 @@ TEST(FailurePlusJoin, ReplacementKeepsTrainingEquivalent) {
         ElasticTrainer::SyncState(rc.get(), &model, &opt, &cursor, true)
             .ok());
     ElasticTrainer trainer(rc.get(), &model, &opt, &data, opts, &flags);
-    auto report = trainer.Run(cursor);
+    auto report = trainer.Run(cursor, /*joined_at_epoch=*/cursor.epoch);
     std::lock_guard<std::mutex> lock(mu);
     reports.push_back(std::move(report));
   }, 0.0);
