@@ -7,6 +7,7 @@
 
 #include "chaos/runner.h"
 #include "common/rng.h"
+#include "sim/engine.h"
 
 namespace rcc::chaos {
 
@@ -80,6 +81,10 @@ GenConfig GenConfig::FromEnv() {
   cfg.allow_node_scope =
       EnvInt("RCC_CHAOS_NODE_SCOPE", cfg.allow_node_scope ? 1 : 0) != 0;
   cfg.allow_async = EnvInt("RCC_CHAOS_ASYNC", cfg.allow_async ? 1 : 0) != 0;
+  cfg.format =
+      sim::ResolveEngineKind(sim::EngineKind::kAuto) == sim::EngineKind::kFibers
+          ? 2
+          : 1;
   return cfg;
 }
 
@@ -87,6 +92,7 @@ Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
   Rng rng(seed, /*stream=*/0xC4A05);
   Schedule s;
   s.seed = seed;
+  s.format = cfg.format;
   Shape& sh = s.shape;
 
   const int world_span = std::max(1, cfg.max_world - cfg.min_world + 1);

@@ -27,9 +27,14 @@ struct GenConfig {
   // phases (joiner dies while staging, survivor dies mid-splice). Off by
   // default so pre-async seeds keep generating byte-identical schedules.
   bool allow_async = false;
+  // Seed format stamped on generated schedules (1 = threads replay,
+  // 2 = fibers replay; see chaos/schedule.h). Does not consume RNG
+  // draws, so format-1 generation stays byte-identical to older builds.
+  int format = 1;
 
   // Reads the RCC_CHAOS_* knobs (MIN_WORLD, MAX_WORLD, MAX_TIMED,
-  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC) over the defaults above.
+  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC) over the defaults above, and
+  // stamps `format` 2 when RCC_SIM_ENGINE resolves to fibers.
   static GenConfig FromEnv();
 };
 

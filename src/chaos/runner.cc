@@ -30,6 +30,11 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
   const Shape& sh = schedule.shape;
   sim::SimConfig cfg;
   cfg.gpus_per_node = sh.gpus_per_node;
+  // The replay engine is pinned by the seed format, NOT by RCC_SIM_ENGINE:
+  // a format-1 reproducer replays byte-identically on the threads backend
+  // forever, and a format-2 one on the fibers event queue.
+  cfg.engine = schedule.format >= 2 ? sim::EngineKind::kFibers
+                                    : sim::EngineKind::kThreads;
   sim::Cluster cluster(cfg);
   dnn::ClusterDataset data(8, 3, 512, 7);
 

@@ -66,15 +66,19 @@ bool operator==(const PhaseKill& a, const PhaseKill& b) {
 }
 
 bool operator==(const Schedule& a, const Schedule& b) {
-  return a.seed == b.seed && a.shape == b.shape && a.timed == b.timed &&
-         a.phased == b.phased;
+  return a.seed == b.seed && a.format == b.format && a.shape == b.shape &&
+         a.timed == b.timed && a.phased == b.phased;
 }
 
 std::string Schedule::ToJson() const {
   std::ostringstream os;
   char seedbuf[32];
   std::snprintf(seedbuf, sizeof(seedbuf), "%" PRIu64, seed);
-  os << "{\n  \"seed\": " << seedbuf << ",\n  \"shape\": {";
+  os << "{\n  \"seed\": " << seedbuf;
+  // Format 1 omits the field so pre-versioned reproducers (and their
+  // byte-for-byte golden copies) still round-trip exactly.
+  if (format != 1) os << ",\n  \"format\": " << format;
+  os << ",\n  \"shape\": {";
   os << "\"world\": " << shape.world
      << ", \"epochs\": " << shape.epochs
      << ", \"steps_per_epoch\": " << shape.steps_per_epoch
@@ -121,6 +125,21 @@ bool Schedule::FromJson(const std::string& text, Schedule* out,
   bool ok = true;
   Schedule s;
   s.seed = static_cast<uint64_t>(GetNum(root, "seed", &ok));
+  // Optional: absent in reproducers recorded before engine versioning.
+  const obs::json::Value* format = root.Find("format");
+  if (format != nullptr) {
+    if (format->is_number()) {
+      s.format = static_cast<int>(format->AsNumber());
+      if (s.format < 1 || s.format > 2) {
+        if (error != nullptr) {
+          *error = "unknown schedule format " + std::to_string(s.format);
+        }
+        return false;
+      }
+    } else {
+      ok = false;
+    }
+  }
 
   const obs::json::Value* shape = root.Find("shape");
   if (shape == nullptr || !shape->is_object()) {

@@ -1,6 +1,6 @@
 // Chaos schedule: one seeded failure campaign against the elastic
 // trainer, fully determined by this value. Every kill is executed as a
-// virtual-time *self*-kill on the victim's own thread (sim/endpoint.h),
+// virtual-time *self*-kill on the victim's own task (sim/endpoint.h),
 // so a schedule replays byte-identically regardless of host thread
 // scheduling:
 //
@@ -12,11 +12,22 @@
 //    fuzzer lands failures inside the recovery machinery itself:
 //    mid-revoke, mid-agree, mid-shrink, mid-replay, mid-join. Phase
 //    kills are process-scope only — killing node peers from another
-//    thread's hook would reintroduce real-time races. Under the kNode
+//    task's hook would reintroduce real-time races. Under the kNode
 //    drop policy the victim's node peers still leave with it.
 //
 // Schedules serialize to JSON (doubles at %.17g, so FromJson(ToJson(s))
 // round-trips exactly) for reproducer artifacts and --replay.
+//
+// Seed-format versioning: `format` names the engine backend the
+// schedule's deterministic replay is pinned to. Format 1 (the original)
+// replays on the `threads` backend and serializes byte-identically to
+// pre-versioned reproducers (no "format" field emitted). Format 2
+// replays on the `fibers` discrete-event backend, whose event ordering
+// (virtual time, pid, spawn sequence) differs from the threads
+// backend's real-time interleavings, so the two formats' outcome
+// streams are each self-deterministic but not comparable across
+// formats. RunSchedule selects the engine from the format, never from
+// the environment, so a reproducer replays identically anywhere.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +75,9 @@ struct PhaseKill {
 
 struct Schedule {
   uint64_t seed = 0;  // provenance only; the events below are the truth
+  // Engine the replay is pinned to: 1 = threads, 2 = fibers (see the
+  // header comment). Absent in pre-versioned JSON; defaults to 1.
+  int format = 1;
   Shape shape;
   std::vector<TimedKill> timed;
   std::vector<PhaseKill> phased;

@@ -28,7 +28,7 @@ void RecordRequestMetrics(const Request::Info& info, sim::Seconds submit,
 }  // namespace
 
 Request Request::Start(Info info, sim::Seconds submit, Body body,
-                       const Request* after) {
+                       sim::Engine& engine, int pid, const Request* after) {
   Request req;
   req.state_ = std::make_shared<State>();
   State* st = req.state_.get();
@@ -41,11 +41,17 @@ Request Request::Start(Info info, sim::Seconds submit, Body body,
   inflight->Add(1.0);
   std::shared_ptr<State> pred =
       (after != nullptr) ? after->state_ : nullptr;
-  st->worker = std::thread(
+  sim::TaskOptions opts;
+  opts.pid = pid;
+  // The op task's run-queue position follows its virtual completion
+  // clock (== the effective start time while the body runs).
+  opts.clock = &st->complete;
+  st->worker = engine.Spawn(
+      opts,
       [st, inflight, pred = std::move(pred), body = std::move(body)]() mutable {
         if (pred) {
           std::unique_lock<std::mutex> lock(pred->mu);
-          pred->cv.wait(lock, [&] { return pred->done; });
+          while (!pred->done) pred->wp.Wait(lock);
           // In-order engine: start no earlier than the predecessor's
           // completion.
           if (pred->complete > st->complete) st->complete = pred->complete;
@@ -62,7 +68,7 @@ Request Request::Start(Info info, sim::Seconds submit, Body body,
           st->done = true;
         }
         st->done_flag.store(true, std::memory_order_release);
-        st->cv.notify_all();
+        st->wp.NotifyAll();
       });
   return req;
 }
@@ -84,7 +90,7 @@ Request Request::Failed(Info info, sim::Seconds submit, Status status) {
 Status Request::Join() {
   if (!state_) return Status(Code::kInvalid, "join on empty request");
   std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  while (!state_->done) state_->wp.Wait(lock);
   return state_->status;
 }
 

@@ -1,31 +1,33 @@
 // Nonblocking collective requests.
 //
-// A Request is a shared handle onto one in-flight collective op. Ranks
-// are real OS threads, so each op runs on a background worker thread
+// A Request is a shared handle onto one in-flight collective op. Each op
+// body runs as an engine task (an OS thread under the `threads` backend,
+// a fiber on the discrete-event queue under `fibers`; see sim/engine.h)
 // over the timestamped fabric with a *private* virtual clock: the
 // fabric's Recv already takes the clock by pointer, which keeps the
 // virtual-time cost model exact while the submitting rank's own clock
 // keeps advancing through compute.
 //
-// Ops submitted on one communicator are chained (each worker starts at
+// Ops submitted on one communicator are chained (each op task starts at
 // max(submit time, predecessor completion)): the modeled engine executes
 // collectives in order, like a NCCL stream, so the in-flight window size
 // controls how far compute can run ahead of communication rather than
-// how many ops transfer concurrently.
+// how many ops transfer concurrently. Under fibers the chain is driven
+// by virtual completion time — a successor parks until its predecessor's
+// completion is known, with no background threads involved.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "coll/transport.h"
 #include "common/status.h"
 #include "sim/endpoint.h"
+#include "sim/engine.h"
 
 namespace rcc::coll {
 
@@ -37,17 +39,20 @@ class Request {
     double bytes = 0.0;       // modeled wire payload
   };
 
-  // The op body. Runs on the worker thread; receives the op's private
-  // virtual clock (pre-advanced to the effective start time) and leaves
-  // the completion time in it.
+  // The op body. Runs on the op task; receives the op's private virtual
+  // clock (pre-advanced to the effective start time) and leaves the
+  // completion time in it.
   using Body = std::function<Status(sim::Seconds*)>;
 
   Request() = default;
 
-  // Starts the op on a background worker. `submit` is the submitting
-  // rank's clock at submission; if `after` holds an active request, the
-  // worker first waits for it and starts no earlier than its completion.
+  // Starts the op as a task on `engine`. `submit` is the submitting
+  // rank's clock at submission; `pid` its rank id (the deterministic
+  // run-queue tie-break for the op task); if `after` holds an active
+  // request, the op task first waits for it and starts no earlier than
+  // its completion.
   static Request Start(Info info, sim::Seconds submit, Body body,
+                       sim::Engine& engine, int pid,
                        const Request* after = nullptr);
 
   // An already-completed failed request (submission-time errors such as
@@ -84,12 +89,12 @@ class Request {
     sim::Seconds complete = 0.0;
     Status status;
     std::mutex mu;
-    std::condition_variable cv;
+    sim::WaitPoint wp;
     bool done = false;  // guarded by mu
     std::atomic<bool> done_flag{false};
-    std::thread worker;
+    sim::TaskHandle worker;
     ~State() {
-      if (worker.joinable()) worker.join();
+      if (worker.joinable()) worker.Join();
     }
   };
 

@@ -1,6 +1,5 @@
 #include "kvstore/kvstore.h"
 
-#include <chrono>
 #include <cstring>
 
 #include "obs/metrics.h"
@@ -35,7 +34,7 @@ Status Store::Set(sim::Endpoint* ep, const std::string& key,
   entry.visible_at = ep != nullptr ? ep->now() : 0.0;
   ++entry.version;
   SetKeysGauge(data_.size());
-  cv_.notify_all();
+  wp_.NotifyAll();
   return Status::Ok();
 }
 
@@ -78,9 +77,11 @@ Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
     if (ep != nullptr && !ep->alive()) {
       return Status(Code::kAborted, "kv wait: caller died");
     }
-    // Real-time poll so a killed waiter unblocks; virtual time is merged
-    // from the writer's publication stamp, not from this poll interval.
-    cv_.wait_for(lock, std::chrono::milliseconds(2));
+    // Threads backend: real-time poll so a killed waiter unblocks (the
+    // virtual time is merged from the writer's publication stamp, not
+    // from this poll interval). Fibers backend: the park is woken by the
+    // next write, by Fabric::Kill, or at quiescence.
+    wp_.WaitFor(lock, 2e-3);
   }
 }
 
@@ -97,7 +98,7 @@ Result<Entry> Store::WaitEntry(sim::Endpoint* ep, const std::string& key) {
     if (ep != nullptr && !ep->alive()) {
       return Status(Code::kAborted, "kv wait: caller died");
     }
-    cv_.wait_for(lock, std::chrono::milliseconds(2));
+    wp_.WaitFor(lock, 2e-3);
   }
 }
 
@@ -126,7 +127,7 @@ Result<int64_t> Store::AddAndGet(sim::Endpoint* ep, const std::string& key,
   entry.visible_at = ep != nullptr ? ep->now() : 0.0;
   ++entry.version;
   SetKeysGauge(data_.size());
-  cv_.notify_all();
+  wp_.NotifyAll();
   return current;
 }
 
@@ -143,7 +144,7 @@ Result<bool> Store::CompareAndSwap(sim::Endpoint* ep, const std::string& key,
   entry.value = std::move(value);
   entry.visible_at = ep != nullptr ? ep->now() : 0.0;
   ++entry.version;
-  cv_.notify_all();
+  wp_.NotifyAll();
   return true;
 }
 
@@ -175,7 +176,7 @@ void Store::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   data_.clear();
   SetKeysGauge(0);
-  cv_.notify_all();
+  wp_.NotifyAll();
 }
 
 size_t Store::size() const {

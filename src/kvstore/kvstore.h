@@ -6,7 +6,6 @@
 // time they became visible so waiters observe causally-consistent time.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -15,6 +14,7 @@
 
 #include "common/status.h"
 #include "sim/endpoint.h"
+#include "sim/engine.h"
 
 namespace rcc::kv {
 
@@ -76,7 +76,7 @@ class Store {
   }
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  sim::WaitPoint wp_;
   std::map<std::string, Entry> data_;
   sim::Seconds roundtrip_;
 };

@@ -39,8 +39,9 @@ Status Comm::FinishCollective(Status s) {
 
 coll::Request Comm::StartOp(coll::Request::Info info,
                             coll::Request::Body body) {
-  coll::Request req = coll::Request::Start(info, ep_->now(), std::move(body),
-                                           &engine_tail_);
+  coll::Request req =
+      coll::Request::Start(info, ep_->now(), std::move(body),
+                           ep_->fabric().engine(), ep_->pid(), &engine_tail_);
   engine_tail_ = req;
   return req;
 }

@@ -56,8 +56,9 @@ void Comm::NodeGroups(std::vector<std::vector<int>>* by_node,
 
 coll::Request Comm::StartOp(coll::Request::Info info,
                             coll::Request::Body body) {
-  coll::Request req = coll::Request::Start(info, ep_->now(), std::move(body),
-                                           &engine_tail_);
+  coll::Request req =
+      coll::Request::Start(info, ep_->now(), std::move(body),
+                           ep_->fabric().engine(), ep_->pid(), &engine_tail_);
   engine_tail_ = req;
   return req;
 }

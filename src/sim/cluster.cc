@@ -13,14 +13,14 @@ int Cluster::AllocateSlotNode() {
 
 void Cluster::AddPendingFailure(const FailureEvent& ev) {
   std::lock_guard<std::mutex> lock(mu_);
-  pending_kills_.push_back(
-      {ev.scope == FailScope::kNode, ev.target, ev.at});
+  pending_kills_.push_back(ev);
 }
 
 void Cluster::ArmFromPending(int pid, int node, Endpoint& ep) {
-  for (const PendingKill& pk : pending_kills_) {
-    const bool hit = pk.node_scope ? pk.target == node : pk.target == pid;
-    if (hit) ep.ArmKillAt(pk.at);
+  for (const FailureEvent& ev : pending_kills_) {
+    const bool hit =
+        ev.scope == FailScope::kNode ? ev.target == node : ev.target == pid;
+    if (hit) ep.ArmKillAt(ev.at);
   }
 }
 
@@ -28,8 +28,8 @@ std::vector<int> Cluster::Spawn(int n, const RankFn& fn, Seconds start_time) {
   std::vector<int> pids;
   pids.reserve(n);
   std::lock_guard<std::mutex> lock(mu_);
-  // Register every process before starting any thread: rank 0 may
-  // message rank n-1 immediately.
+  // Register every process before starting any task: rank 0 may message
+  // rank n-1 immediately.
   for (int i = 0; i < n; ++i) {
     const int node = AllocateSlotNode();
     const int pid = fabric_->RegisterProcess(node);
@@ -42,7 +42,10 @@ std::vector<int> Cluster::Spawn(int n, const RankFn& fn, Seconds start_time) {
   }
   for (int pid : pids) {
     Endpoint* ep = endpoints_[pid].get();
-    threads_.emplace_back([fn, ep] { fn(*ep); });
+    TaskOptions opts;
+    opts.pid = pid;
+    opts.clock = ep->clock();
+    tasks_.push_back(fabric_->engine().Spawn(opts, [fn, ep] { fn(*ep); }));
   }
   return pids;
 }
@@ -68,7 +71,10 @@ int Cluster::SpawnOn(int node, const RankFn& fn, Seconds start_time) {
       std::make_unique<Endpoint>(fabric_.get(), pid, start_time));
   Endpoint* ep = endpoints_.back().get();
   ArmFromPending(pid, node, *ep);
-  threads_.emplace_back([fn, ep] { fn(*ep); });
+  TaskOptions opts;
+  opts.pid = pid;
+  opts.clock = ep->clock();
+  tasks_.push_back(fabric_->engine().Spawn(opts, [fn, ep] { fn(*ep); }));
   return pid;
 }
 
@@ -80,17 +86,17 @@ Endpoint& Cluster::endpoint(int pid) {
 }
 
 void Cluster::Join() {
-  // Ranks admitted while we join add new threads; loop until stable.
+  // Ranks admitted while we join add new tasks; loop until stable.
   size_t joined = 0;
   for (;;) {
-    std::thread worker;
+    TaskHandle task;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (joined >= threads_.size()) break;
-      worker = std::move(threads_[joined]);
+      if (joined >= tasks_.size()) break;
+      task = tasks_[joined];
       ++joined;
     }
-    if (worker.joinable()) worker.join();
+    if (task.joinable()) task.Join();
   }
 }
 

@@ -1,19 +1,19 @@
-// Cluster: thread lifecycle for simulated ranks, node slot allocation,
-// dynamic worker admission and failure-plan application.
+// Cluster: task lifecycle for simulated ranks, node slot allocation,
+// dynamic worker admission and failure-plan application. Ranks run as
+// engine tasks (OS threads or fibers, per the fabric's engine).
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "sim/endpoint.h"
+#include "sim/engine.h"
 #include "sim/fabric.h"
+#include "sim/failure_event.h"
 
 namespace rcc::sim {
-
-struct FailureEvent;  // sim/failure.h
 
 using RankFn = std::function<void(Endpoint&)>;
 
@@ -30,8 +30,8 @@ class Cluster {
   const SimConfig& config() const { return fabric_->config(); }
 
   // Spawns `n` processes packed onto nodes (gpus_per_node slots per node,
-  // continuing from the last allocated slot). Each runs `fn` on its own
-  // thread with its clock starting at `start_time`. Returns the pids.
+  // continuing from the last allocated slot). Each runs `fn` as an engine
+  // task with its clock starting at `start_time`. Returns the pids.
   std::vector<int> Spawn(int n, const RankFn& fn, Seconds start_time = 0.0);
 
   // Spawns `n` processes starting on a *fresh* node boundary (replacement
@@ -50,12 +50,13 @@ class Cluster {
   // Registers a failure event that must also arm processes spawned
   // *after* the plan was applied: a replacement landing on an
   // already-doomed node (or a pid that does not exist yet) is armed the
-  // moment it registers, before its thread starts. FailurePlan::ApplyTo
+  // moment it registers, before its task starts. FailurePlan::ApplyTo
   // records every event here.
   void AddPendingFailure(const FailureEvent& ev);
 
-  // Waits for every rank thread spawned so far (including ones admitted
-  // while joining) to finish.
+  // Waits for every rank task spawned so far (including ones admitted
+  // while joining) to finish. Under the fibers backend this is where the
+  // calling thread pumps the event loop.
   void Join();
 
   int nodes_allocated() const;
@@ -66,16 +67,9 @@ class Cluster {
 
   std::unique_ptr<Fabric> fabric_;
   mutable std::mutex mu_;
-  std::vector<std::thread> threads_;
+  std::vector<TaskHandle> tasks_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;  // index == pid
-  // (scope, target, at) triples shadowing FailureEvent; kept as plain
-  // fields to avoid a header cycle with sim/failure.h.
-  struct PendingKill {
-    bool node_scope = false;
-    int target = 0;
-    Seconds at = 0.0;
-  };
-  std::vector<PendingKill> pending_kills_;
+  std::vector<FailureEvent> pending_kills_;
   int next_slot_ = 0;  // packed slot counter (node = slot / gpus_per_node)
 };
 

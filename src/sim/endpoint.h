@@ -24,6 +24,10 @@ class Endpoint {
   int pid() const { return pid_; }
   int node() const { return fabric_->NodeOf(pid_); }
   Seconds now() const { return now_; }
+  // Stable address of this rank's virtual clock: the engine's run queue
+  // orders a parked task by *clock() (read only while the rank is not
+  // running, so the read is race-free).
+  const Seconds* clock() const { return &now_; }
   bool alive() const { return fabric_->IsAlive(pid_); }
 
   // --- virtual time ---

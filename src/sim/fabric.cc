@@ -14,30 +14,52 @@ int Fabric::RegisterProcess(int node) {
   proc.alive = true;
   proc.mbox = std::make_unique<Mailbox>();
   procs_.push_back(std::move(proc));
-  return static_cast<int>(procs_.size()) - 1;
+  const int pid = static_cast<int>(procs_.size()) - 1;
+  alive_pids_.push_back(pid);  // pids ascend, so the index stays sorted
+  if (node >= static_cast<int>(node_pids_.size())) {
+    node_pids_.resize(node + 1);
+  }
+  node_pids_[node].push_back(pid);
+  proc_count_.store(pid + 1, std::memory_order_release);
+  alive_count_.fetch_add(1, std::memory_order_acq_rel);
+  return pid;
+}
+
+void Fabric::MarkDead(int pid) {
+  procs_[pid].alive = false;
+  auto it = std::lower_bound(alive_pids_.begin(), alive_pids_.end(), pid);
+  if (it != alive_pids_.end() && *it == pid) alive_pids_.erase(it);
+  dead_pids_.insert(
+      std::lower_bound(dead_pids_.begin(), dead_pids_.end(), pid), pid);
+  alive_count_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void Fabric::Kill(int pid) {
   std::lock_guard<std::mutex> lock(mu_);
   if (pid < 0 || pid >= static_cast<int>(procs_.size())) return;
   if (!procs_[pid].alive) return;
-  procs_[pid].alive = false;
+  MarkDead(pid);
   // Wake everything: any rank blocked on this peer (directly or through a
-  // death watch) must re-evaluate.
-  for (auto& proc : procs_) proc.mbox->cv.notify_all();
+  // death watch) must re-evaluate. Fibers parked in timeout waits (KV
+  // poll loops) are woken too — their predicate may now never hold.
+  for (auto& proc : procs_) proc.mbox->wp.NotifyAll();
+  engine_->WakeAllTimeoutParked();
 }
 
 void Fabric::KillNode(int node) {
   std::lock_guard<std::mutex> lock(mu_);
   bool any = false;
-  for (auto& proc : procs_) {
-    if (proc.node == node && proc.alive) {
-      proc.alive = false;
-      any = true;
+  if (node >= 0 && node < static_cast<int>(node_pids_.size())) {
+    for (int pid : node_pids_[node]) {
+      if (procs_[pid].alive) {
+        MarkDead(pid);
+        any = true;
+      }
     }
   }
   if (any) {
-    for (auto& proc : procs_) proc.mbox->cv.notify_all();
+    for (auto& proc : procs_) proc.mbox->wp.NotifyAll();
+    engine_->WakeAllTimeoutParked();
   }
 }
 
@@ -54,27 +76,14 @@ int Fabric::NodeOf(int pid) const {
   return procs_[pid].node;
 }
 
-int Fabric::ProcessCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(procs_.size());
-}
-
 std::vector<int> Fabric::AlivePids() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<int> out;
-  for (int pid = 0; pid < static_cast<int>(procs_.size()); ++pid) {
-    if (procs_[pid].alive) out.push_back(pid);
-  }
-  return out;
+  return alive_pids_;
 }
 
 std::vector<int> Fabric::DeadPids() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<int> out;
-  for (int pid = 0; pid < static_cast<int>(procs_.size()); ++pid) {
-    if (!procs_[pid].alive) out.push_back(pid);
-  }
-  return out;
+  return dead_pids_;
 }
 
 Seconds Fabric::ArrivalTime(const Message& msg, int dst_node) const {
@@ -102,7 +111,7 @@ Status Fabric::Send(Message msg) {
     return Status::Ok();
   }
   dst.mbox->queue.push_back(std::move(msg));
-  dst.mbox->cv.notify_all();
+  dst.mbox->wp.NotifyAll();
   return Status::Ok();
 }
 
@@ -132,7 +141,8 @@ Status Fabric::Recv(int self, Seconds* now, int src, uint64_t channel,
   }
   Mailbox& mbox = *procs_[self].mbox;
   bool watch_armed = false;
-  std::chrono::steady_clock::time_point watch_deadline{};
+  bool watch_expired = false;
+  std::chrono::steady_clock::time_point watch_deadline{};  // threads backend
   for (;;) {
     if (!procs_[self].alive) return Status(Code::kAborted, "receiver is dead");
     // Delivered data is consumed even when the context is about to be
@@ -158,23 +168,38 @@ Status Fabric::Recv(int self, Seconds* now, int src, uint64_t channel,
         }
       }
       if (!dead.empty()) {
-        // Grace period (real time): let drainable in-flight chains
-        // complete so every survivor fails in the same logical op (see
-        // NetParams::watch_drain_grace_real_ms).
+        // Grace period: let drainable in-flight chains complete so every
+        // survivor fails in the same logical op (see
+        // NetParams::watch_drain_grace_real_ms). Under threads this is a
+        // real-time deadline; under fibers the grace runs to quiescence
+        // (WaitFor reports timeout exactly when nothing else can run, so
+        // everything drainable has provably drained).
         if (!watch_armed) {
           watch_armed = true;
-          watch_deadline = std::chrono::steady_clock::now() +
-                           std::chrono::microseconds(static_cast<int64_t>(
-                               cfg_.net.watch_drain_grace_real_ms * 1000));
-        } else if (std::chrono::steady_clock::now() >= watch_deadline) {
+          if (!OnFiberTask()) {
+            watch_deadline = std::chrono::steady_clock::now() +
+                             std::chrono::microseconds(static_cast<int64_t>(
+                                 cfg_.net.watch_drain_grace_real_ms * 1000));
+          }
+        } else if (watch_expired) {
           *now += cfg_.net.failure_detect_latency;
           return Status::ProcFailed(std::move(dead), "watched peer failed");
         }
-        mbox.cv.wait_until(lock, watch_deadline);
+        if (OnFiberTask()) {
+          if (!mbox.wp.WaitFor(lock, 0.0)) watch_expired = true;
+        } else {
+          const double remaining =
+              std::chrono::duration<double>(
+                  watch_deadline - std::chrono::steady_clock::now())
+                  .count();
+          if (remaining <= 0.0 || !mbox.wp.WaitFor(lock, remaining)) {
+            watch_expired = true;
+          }
+        }
         continue;
       }
     }
-    mbox.cv.wait(lock);
+    mbox.wp.Wait(lock);
   }
 }
 
@@ -208,7 +233,7 @@ void Fabric::PurgeContext(uint64_t context_id) {
 
 void Fabric::WakeAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& proc : procs_) proc.mbox->cv.notify_all();
+  for (auto& proc : procs_) proc.mbox->wp.NotifyAll();
 }
 
 }  // namespace rcc::sim

@@ -1,15 +1,20 @@
 // The message fabric: the simulated interconnect all communication
 // libraries (MPI-like, Gloo-like, NCCL-like) are built on.
 //
-// Every simulated rank is an OS thread with its own *virtual clock*.
-// Messages carry the sender's departure time; a receive merges
+// Every simulated rank is an engine task with its own *virtual clock*:
+// a real OS thread under the `threads` backend, a cooperative fiber on a
+// discrete-event run queue under `fibers` (see sim/engine.h; selected by
+// SimConfig::engine / RCC_SIM_ENGINE). Messages carry the sender's
+// departure time; a receive merges
 //   arrival = depart + latency + cost_bytes / bandwidth
 // into the receiver's clock (LogGP-style). Intra-node and inter-node
-// links use distinct latency/bandwidth parameters.
+// links use distinct latency/bandwidth parameters. Blocked receives park
+// on a WaitPoint, so the same code runs on either backend.
 //
 // Failure semantics:
 //  * Kill(pid) / KillNode(node) mark processes dead and wake all blocked
-//    receivers.
+//    receivers (including fibers parked in timeout waits, whose
+//    predicates may now never be satisfied).
 //  * A receive whose awaited partner is dead returns kProcFailed after
 //    charging the failure-detection latency (ULFM-style per-operation
 //    error).
@@ -21,7 +26,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/engine.h"
 #include "sim/params.h"
 
 namespace rcc::sim {
@@ -66,12 +71,18 @@ class CancelToken {
 
 class Fabric {
  public:
-  explicit Fabric(SimConfig cfg) : cfg_(cfg), id_(NextFabricId()) {}
+  explicit Fabric(SimConfig cfg) : cfg_(cfg), id_(NextFabricId()) {
+    cfg_.engine = ResolveEngineKind(cfg.engine);
+    engine_ = MakeEngine(cfg_.engine);
+  }
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   const SimConfig& config() const { return cfg_; }
+
+  // The rank-execution engine every task of this simulation runs on.
+  Engine& engine() const { return *engine_; }
 
   // Process-wide unique fabric id: namespaces communicator-group cache
   // keys so distinct simulations never alias (pids restart at 0 per
@@ -86,7 +97,16 @@ class Fabric {
   void KillNode(int node);
   bool IsAlive(int pid) const;
   int NodeOf(int pid) const;
-  int ProcessCount() const;
+
+  // Membership queries are O(answer), not O(world): counts are atomics
+  // and the alive/dead pid sets are maintained incrementally on
+  // register/kill (10k-rank simulations poll these on hot paths).
+  int ProcessCount() const {
+    return proc_count_.load(std::memory_order_acquire);
+  }
+  int AliveCount() const {
+    return alive_count_.load(std::memory_order_acquire);
+  }
   std::vector<int> AlivePids() const;
   std::vector<int> DeadPids() const;
 
@@ -118,7 +138,7 @@ class Fabric {
  private:
   struct Mailbox {
     std::deque<Message> queue;
-    std::condition_variable cv;
+    WaitPoint wp;
   };
   struct Proc {
     int node = 0;
@@ -131,6 +151,7 @@ class Fabric {
 
   bool FindMatch(Mailbox& mbox, int src, uint64_t channel, int tag,
                  Message* out);  // requires mu_ held
+  void MarkDead(int pid);        // requires mu_ held
 
   static uint64_t NextFabricId() {
     static std::atomic<uint64_t> next{1};
@@ -139,8 +160,14 @@ class Fabric {
 
   mutable std::mutex mu_;
   std::vector<Proc> procs_;
+  std::vector<int> alive_pids_;                // sorted; guarded by mu_
+  std::vector<int> dead_pids_;                 // sorted; guarded by mu_
+  std::vector<std::vector<int>> node_pids_;    // node -> pids; guarded by mu_
+  std::atomic<int> proc_count_{0};
+  std::atomic<int> alive_count_{0};
   SimConfig cfg_;
   uint64_t id_;
+  std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace rcc::sim

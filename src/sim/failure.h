@@ -7,16 +7,9 @@
 
 #include "common/rng.h"
 #include "sim/cluster.h"
+#include "sim/failure_event.h"
 
 namespace rcc::sim {
-
-enum class FailScope { kProcess, kNode };
-
-struct FailureEvent {
-  FailScope scope = FailScope::kProcess;
-  int target = 0;      // pid (kProcess) or node id (kNode)
-  Seconds at = 0.0;    // virtual time at which the target self-kills
-};
 
 class FailurePlan {
  public:

@@ -1,0 +1,20 @@
+// FailureEvent: one declarative fault-injection event, shared between
+// the plan layer (sim/failure.h) and the cluster's late-arming queue
+// (sim/cluster.h). Split into its own header so both can include it
+// without a cycle (failure.h needs Cluster for ApplyTo; cluster.h needs
+// FailureEvent for AddPendingFailure).
+#pragma once
+
+#include "sim/params.h"
+
+namespace rcc::sim {
+
+enum class FailScope { kProcess, kNode };
+
+struct FailureEvent {
+  FailScope scope = FailScope::kProcess;
+  int target = 0;      // pid (kProcess) or node id (kNode)
+  Seconds at = 0.0;    // virtual time at which the target self-kills
+};
+
+}  // namespace rcc::sim

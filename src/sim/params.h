@@ -78,10 +78,16 @@ struct RuntimeCosts {
   Seconds worker_warmstart = 3.5;
 };
 
+// Rank-execution backend (see sim/engine.h). kAuto resolves from the
+// RCC_SIM_ENGINE environment variable ("threads" | "fibers"), defaulting
+// to kThreads, when the Fabric is constructed.
+enum class EngineKind { kAuto, kThreads, kFibers };
+
 struct SimConfig {
   NetParams net;
   RuntimeCosts costs;
   int gpus_per_node = 6;   // Summit: 6 V100 per node
+  EngineKind engine = EngineKind::kAuto;
 };
 
 }  // namespace rcc::sim

@@ -5,7 +5,6 @@
 #include <deque>
 #include <limits>
 #include <cmath>
-#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <set>
@@ -13,6 +12,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "sim/engine.h"
 
 namespace rcc::ulfm {
 
@@ -38,7 +38,7 @@ int CeilLog2(int n) {
 // ---------------------------------------------------------------------
 struct AgreeState {
   std::mutex mu;
-  std::condition_variable cv;
+  sim::WaitPoint wp;
   std::map<int, int> flags;               // pid -> contributed flag
   std::map<int, int64_t> values;          // pid -> contributed value
   std::map<int, sim::Seconds> arrivals;   // pid -> arrival virtual time
@@ -71,7 +71,7 @@ void ReleaseAgreeState(const std::string& key) {
 // ---------------------------------------------------------------------
 struct ExpandState {
   std::mutex mu;
-  std::condition_variable cv;
+  sim::WaitPoint wp;
   bool survivors_known = false;
   std::vector<int> old_group_pids;        // captured from the first survivor
   std::set<int> survivor_arrived;
@@ -156,7 +156,7 @@ Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
   state->flags[ep.pid()] = flag;
   state->values[ep.pid()] = value;
   state->arrivals[ep.pid()] = ep.now();
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 
   while (!state->done) {
     if (!ep.alive()) return Status(Code::kAborted, "caller died in agree");
@@ -190,13 +190,13 @@ Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
                                  static_cast<int>(members.size()));
       state->expected_leavers = alive_contributors;
       state->done = true;
-      state->cv.notify_all();
+      state->wp.NotifyAll();
       break;
     }
     // Real-time poll so that deaths (which do not notify this condvar)
     // are observed; virtual time is taken from finish_time, not from
     // this polling interval.
-    state->cv.wait_for(lock, std::chrono::microseconds(200));
+    state->wp.WaitFor(lock, 200e-6);
   }
 
   AgreeOutcome outcome = state->outcome;
@@ -273,10 +273,16 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
     state->joiner_arrived.insert(ep.pid());
   }
   state->arrivals[ep.pid()] = ep.now();
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 
   const double grace_ms = ExpandGraceMs();
   const auto real_start = std::chrono::steady_clock::now();
+  // Fibers backend: the real-time grace would break determinism, so the
+  // window "expires" when the event queue quiesces instead — if nothing
+  // in the simulation can make progress, the missing joiner can never
+  // arrive, which is exactly the condition the real-time grace detects.
+  const bool on_fiber = sim::OnFiberTask();
+  bool grace_expired = false;
   while (!state->done) {
     if (!ep.alive()) return Status(Code::kAborted, "caller died in expand");
     // An arrived joiner with a matured kill dies here: it already
@@ -326,7 +332,7 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
       state->finish_time = latest + cost;
       state->expected_leavers = alive_count;
       state->done = true;
-      state->cv.notify_all();
+      state->wp.NotifyAll();
       break;
     }
     // Deadline: the rendezvous cannot complete (a provisioned joiner
@@ -335,9 +341,10 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
     // everyone; the virtual cost is the admission deadline charged past
     // the latest arrival — survivors "waited it out", then gave up.
     if (grace_ms > 0 &&
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - real_start)
-                .count() >= grace_ms) {
+        (on_fiber ? grace_expired
+                  : std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - real_start)
+                            .count() >= grace_ms)) {
       sim::Seconds latest = 0.0;
       for (const auto& [pid, t] : state->arrivals) {
         latest = std::max(latest, t);
@@ -346,10 +353,10 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
       state->expected_leavers = static_cast<int>(state->arrivals.size());
       state->aborted = true;
       state->done = true;
-      state->cv.notify_all();
+      state->wp.NotifyAll();
       break;
     }
-    state->cv.wait_for(lock, std::chrono::microseconds(200));
+    if (!state->wp.WaitFor(lock, 200e-6)) grace_expired = true;
   }
 
   if (state->aborted) {
@@ -394,7 +401,7 @@ struct AsyncRound {
 
 struct AsyncExpandState {
   std::mutex mu;
-  std::condition_variable cv;
+  sim::WaitPoint wp;
   // Fixed by ExpandBegin.
   bool begun = false;
   std::vector<int> old_group_pids;
@@ -504,7 +511,7 @@ void AsyncDecide(AsyncExpandState* state, size_t round, bool finalize,
   r.status = decision;
   r.done = true;
   if (decision == ExpandStatus::kPending) {
-    state->cv.notify_all();
+    state->wp.NotifyAll();
     return;
   }
 
@@ -540,7 +547,7 @@ void AsyncDecide(AsyncExpandState* state, size_t round, bool finalize,
   }
   state->expected_leavers =
       static_cast<int>(r.times.size()) + alive_waiters;
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 }
 
 // Leaver bookkeeping shared by survivors and joiners; the last live
@@ -583,7 +590,7 @@ Status ExpandBegin(sim::Endpoint& ep, mpi::Comm& comm,
     state->begun = true;
   }
   state->begin_times[ep.pid()] = ep.now();
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 
   // Wait (real time only) for the provisioned joiners to announce.
   // Healthy joiners announce at spawn, long before any epoch boundary;
@@ -592,21 +599,25 @@ Status ExpandBegin(sim::Endpoint& ep, mpi::Comm& comm,
   // with whoever did announce).
   const double grace_ms = ExpandGraceMs();
   const auto real_start = std::chrono::steady_clock::now();
+  // Fibers: window closes on event-queue quiescence (see ExpandComm).
+  const bool on_fiber = sim::OnFiberTask();
+  bool grace_expired = false;
   while (!state->announce_closed &&
          static_cast<int>(state->announced.size()) < expected_joiners) {
     if (!ep.alive()) {
       return Status(Code::kAborted, "survivor died opening expand");
     }
     if (grace_ms > 0 &&
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - real_start)
-                .count() >= grace_ms) {
+        (on_fiber ? grace_expired
+                  : std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - real_start)
+                            .count() >= grace_ms)) {
       break;
     }
-    state->cv.wait_for(lock, std::chrono::microseconds(200));
+    if (!state->wp.WaitFor(lock, 200e-6)) grace_expired = true;
   }
   state->announce_closed = true;
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 
   op->key = key;
   op->session = session;
@@ -635,7 +646,7 @@ Result<ExpandStatus> ExpandTest(sim::Endpoint& ep, mpi::Comm& comm,
   AsyncRound& r = state->rounds[round];
   r.times[ep.pid()] = ep.now();
   r.op_counter = std::max(r.op_counter, op_counter);
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 
   while (!r.done) {
     if (!ep.alive()) {
@@ -645,7 +656,7 @@ Result<ExpandStatus> ExpandTest(sim::Endpoint& ep, mpi::Comm& comm,
       AsyncDecide(state.get(), round, finalize, op->key, fabric);
       continue;
     }
-    state->cv.wait_for(lock, std::chrono::microseconds(200));
+    state->wp.WaitFor(lock, 200e-6);
   }
 
   if (r.status == ExpandStatus::kPending) return ExpandStatus::kPending;
@@ -677,7 +688,7 @@ void ExpandAbort(sim::Endpoint& ep, const std::string& session) {
   std::lock_guard<std::mutex> lock(state->mu);
   if (state->decided) return;
   state->abort_requested = true;
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 }
 
 Status AnnounceJoiner(sim::Endpoint& ep, const std::string& session) {
@@ -692,7 +703,7 @@ Status AnnounceJoiner(sim::Endpoint& ep, const std::string& session) {
     return Status(Code::kUnavailable, "expand announce window closed");
   }
   state->announced[ep.pid()] = ep.now();
-  state->cv.notify_all();
+  state->wp.NotifyAll();
   return Status::Ok();
 }
 
@@ -704,7 +715,7 @@ Status MarkJoinerStaged(sim::Endpoint& ep, const std::string& session) {
   auto state = AsyncStateFor(AsyncKey(ep.fabric(), session));
   std::lock_guard<std::mutex> lock(state->mu);
   state->staged[ep.pid()] = ep.now();
-  state->cv.notify_all();
+  state->wp.NotifyAll();
   return Status::Ok();
 }
 
@@ -712,7 +723,7 @@ void WithdrawJoiner(sim::Endpoint& ep, const std::string& session) {
   auto state = AsyncStateFor(AsyncKey(ep.fabric(), session));
   std::lock_guard<std::mutex> lock(state->mu);
   state->withdrawn.insert(ep.pid());
-  state->cv.notify_all();
+  state->wp.NotifyAll();
 }
 
 Result<mpi::Comm> AwaitSplice(sim::Endpoint& ep, const std::string& session,
@@ -730,7 +741,7 @@ Result<mpi::Comm> AwaitSplice(sim::Endpoint& ep, const std::string& session,
     // is at or before this joiner's staged clock, so the outcome is a
     // pure function of virtual time).
     if (ep.MaybeSelfKill()) {
-      state->cv.notify_all();
+      state->wp.NotifyAll();
       return Status(Code::kAborted, "joiner killed awaiting splice");
     }
     if (state->begun) {
@@ -742,7 +753,7 @@ Result<mpi::Comm> AwaitSplice(sim::Endpoint& ep, const std::string& session,
         return Status(Code::kUnavailable, "no survivors left to splice");
       }
     }
-    state->cv.wait_for(lock, std::chrono::microseconds(200));
+    state->wp.WaitFor(lock, 200e-6);
   }
 
   const bool admitted =

@@ -94,6 +94,62 @@ TEST(ChaosSmoke, SameSeedIsByteDeterministic) {
   EXPECT_GT(x.repairs_metric, 0.0);
 }
 
+TEST(ChaosSmoke, FormatTwoReplaysOnFibersAndIsSelfDeterministic) {
+  // Seed format 2 pins the replay to the fibers event queue. Two runs of
+  // the same format-2 schedule must agree on the full outcome stream,
+  // the schedule must round-trip through JSON with the format field
+  // intact, and a legacy (format 1) schedule must keep serializing with
+  // no format field at all.
+  const uint64_t seed = 2;
+  GenConfig cfg;
+  cfg.format = 2;
+  Schedule s = GenerateSchedule(seed, cfg);
+  ASSERT_EQ(s.format, 2);
+  const std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"format\": 2"), std::string::npos);
+  Schedule rt;
+  std::string err;
+  ASSERT_TRUE(Schedule::FromJson(json, &rt, &err)) << err;
+  ASSERT_TRUE(rt == s);
+
+  Schedule legacy = GenerateSchedule(seed);  // default format 1
+  EXPECT_EQ(legacy.format, 1);
+  EXPECT_EQ(legacy.ToJson().find("format"), std::string::npos);
+  // Same seed, same events: only the pinned engine differs.
+  EXPECT_TRUE(legacy.shape == s.shape);
+  EXPECT_TRUE(legacy.timed == s.timed);
+  EXPECT_TRUE(legacy.phased == s.phased);
+
+  CampaignOutcome x = RunSchedule(s);
+  CampaignOutcome y = RunSchedule(rt);
+  auto violations = CheckOracles(s, x);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  ASSERT_EQ(x.results.size(), y.results.size());
+  for (size_t i = 0; i < x.results.size(); ++i) {
+    const WorkerResult& wx = x.results[i];
+    const WorkerResult& wy = y.results[i];
+    EXPECT_EQ(wx.pid, wy.pid);
+    EXPECT_EQ(wx.joined_ok, wy.joined_ok);
+    EXPECT_EQ(wx.report.aborted, wy.report.aborted);
+    EXPECT_EQ(wx.report.steps_run, wy.report.steps_run);
+    EXPECT_EQ(wx.report.final_world, wy.report.final_world);
+    EXPECT_EQ(wx.report.repairs, wy.report.repairs);
+    EXPECT_EQ(wx.report.first_loss, wy.report.first_loss);  // bitwise
+    EXPECT_EQ(wx.report.last_loss, wy.report.last_loss);
+    EXPECT_EQ(wx.report.final_params, wy.report.final_params);
+    EXPECT_EQ(wx.end_time, wy.end_time);
+  }
+  EXPECT_EQ(x.horizon, y.horizon);
+  EXPECT_EQ(x.repairs_metric, y.repairs_metric);
+  ASSERT_EQ(x.replay_events.size(), y.replay_events.size());
+  for (size_t i = 0; i < x.replay_events.size(); ++i) {
+    EXPECT_EQ(x.replay_events[i].pid, y.replay_events[i].pid);
+    EXPECT_EQ(x.replay_events[i].op_id, y.replay_events[i].op_id);
+    EXPECT_EQ(x.replay_events[i].min_id, y.replay_events[i].min_id);
+  }
+  EXPECT_GT(x.repairs_metric, 0.0);
+}
+
 TEST(ChaosSmoke, AsyncAdmissionCampaignsViolateNoOracle) {
   // Pinned multi-seed batch with the async-admission draws enabled: the
   // nonblocking join-in-flight machinery must hold every oracle,

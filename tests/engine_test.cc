@@ -1,0 +1,326 @@
+// Engine-seam coverage: the fabric blocking points (TryRecv, any-source
+// receives, context purges, death-watch and cancel-token wakeups) and the
+// cluster's pending-failure arming, exercised under BOTH scheduler
+// backends; plus fibers-only determinism and scheduling-order tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/endpoint.h"
+#include "sim/engine.h"
+#include "sim/fabric.h"
+#include "trace/trace.h"
+
+namespace rcc::sim {
+namespace {
+
+class EngineBackends : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  SimConfig Config() const {
+    SimConfig cfg;
+    cfg.engine = GetParam();
+    return cfg;
+  }
+};
+
+std::vector<uint8_t> Payload(size_t n, uint8_t fill = 0xAB) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+TEST_P(EngineBackends, EngineKindResolved) {
+  Fabric fabric(Config());
+  EXPECT_EQ(fabric.engine().kind(), GetParam());
+  EXPECT_EQ(fabric.config().engine, GetParam());
+}
+
+TEST_P(EngineBackends, TryRecvNeverBlocks) {
+  Cluster cluster(Config());
+  std::atomic<int> probes_empty{0};
+  std::atomic<bool> delivered{false};
+  cluster.Spawn(2, [&](Endpoint& ep) {
+    if (ep.pid() == 0) {
+      ASSERT_TRUE(ep.Send(1, 10, 5, Payload(16)).ok());
+      return;
+    }
+    Message msg;
+    // Unmatched channel: must return immediately, both backends.
+    if (ep.TryRecv(0, 99, 0, &msg).code() == Code::kUnavailable) {
+      probes_empty++;
+    }
+    // Blocking receive still completes after the probe.
+    Status s = ep.Recv(0, 10, 5, &msg);
+    delivered = s.ok() && msg.payload.size() == 16u;
+  });
+  cluster.Join();
+  EXPECT_EQ(probes_empty.load(), 1);
+  EXPECT_TRUE(delivered.load());
+}
+
+TEST_P(EngineBackends, AnySourceRecvMatchesEitherSender) {
+  Cluster cluster(Config());
+  std::atomic<int> received{0};
+  cluster.Spawn(3, [&](Endpoint& ep) {
+    if (ep.pid() != 2) {
+      ASSERT_TRUE(ep.Send(2, 7, 1, Payload(1, uint8_t(ep.pid()))).ok());
+      return;
+    }
+    for (int i = 0; i < 2; ++i) {
+      Message msg;
+      ASSERT_TRUE(ep.Recv(kAnySource, 7, 1, &msg).ok());
+      received++;
+    }
+  });
+  cluster.Join();
+  EXPECT_EQ(received.load(), 2);
+}
+
+TEST_P(EngineBackends, PurgeContextDropsOnlyThatContext) {
+  Cluster cluster(Config());
+  std::atomic<bool> purged_gone{false};
+  std::atomic<bool> other_kept{false};
+  cluster.Spawn(2, [&](Endpoint& ep) {
+    if (ep.pid() == 0) {
+      ASSERT_TRUE(ep.Send(1, ChannelKey(7, 1), 0, Payload(1)).ok());
+      ASSERT_TRUE(ep.Send(1, ChannelKey(8, 1), 0, Payload(1)).ok());
+      return;
+    }
+    // Wait until both messages are queued (they are sent back to back,
+    // but under threads the sender races us).
+    Message msg;
+    ASSERT_TRUE(ep.Recv(0, ChannelKey(8, 1), 0, &msg).ok());
+    ASSERT_TRUE(ep.Send(1, ChannelKey(8, 1), 0, Payload(1)).ok());  // requeue
+    ep.fabric().PurgeContext(7);
+    purged_gone =
+        ep.TryRecv(0, ChannelKey(7, 1), 0, &msg).code() == Code::kUnavailable;
+    other_kept = ep.TryRecv(kAnySource, ChannelKey(8, 1), 0, &msg).ok();
+  });
+  cluster.Join();
+  EXPECT_TRUE(purged_gone.load());
+  EXPECT_TRUE(other_kept.load());
+}
+
+TEST_P(EngineBackends, DeathWatchWakesBlockedReceiver) {
+  Cluster cluster(Config());
+  std::vector<int> watch{0, 2};
+  std::atomic<int> failed_pid{-1};
+  cluster.Spawn(3, [&](Endpoint& ep) {
+    if (ep.pid() == 2) {
+      ep.fabric().Kill(ep.pid());
+      return;
+    }
+    if (ep.pid() == 1) {
+      // Parked awaiting pid 0 (alive, silent) while watching pid 2.
+      Message msg;
+      Status s = ep.Recv(0, 1, 0, &msg, nullptr, &watch);
+      if (s.code() == Code::kProcFailed && !s.failed_pids().empty()) {
+        failed_pid = s.failed_pids()[0];
+      }
+      return;
+    }
+    // pid 0 stays alive but never sends; it must not satisfy the recv.
+  });
+  cluster.Join();
+  EXPECT_EQ(failed_pid.load(), 2);
+}
+
+TEST_P(EngineBackends, CancelTokenWakesBlockedReceiver) {
+  Cluster cluster(Config());
+  CancelToken token;
+  std::atomic<bool> got_revoked{false};
+  std::atomic<bool> receiver_parked{false};
+  cluster.Spawn(2, [&](Endpoint& ep) {
+    if (ep.pid() == 1) {
+      receiver_parked = true;
+      Message msg;
+      Status s = ep.Recv(0, 1, 0, &msg, &token);
+      got_revoked = s.code() == Code::kRevoked;
+      return;
+    }
+    while (!receiver_parked.load()) YieldTask();
+    ep.Busy(1e-3);  // give the receiver time to actually park
+    token.Cancel();
+    ep.fabric().WakeAll();
+  });
+  cluster.Join();
+  EXPECT_TRUE(got_revoked.load());
+}
+
+TEST_P(EngineBackends, PendingFailureArmsLateRegisteredPid) {
+  // Regression for the pending-kill bookkeeping: a failure scheduled for
+  // a pid that does not exist yet must arm the victim when it finally
+  // registers (joiner case), on both backends.
+  Cluster cluster(Config());
+  cluster.AddPendingFailure(FailureEvent{FailScope::kProcess, 2, 0.5});
+  std::atomic<bool> founder_done{false};
+  std::atomic<bool> joiner_died{false};
+  cluster.Spawn(2, [&](Endpoint& ep) {
+    ep.Busy(2.0);
+    if (ep.pid() == 0) founder_done = true;
+  });
+  cluster.SpawnOnFreshNodes(
+      1,
+      [&](Endpoint& ep) {
+        ep.Busy(1.0);  // crosses the 0.5s arming point
+        ep.MaybeSelfKill();
+        joiner_died = !ep.alive();
+      },
+      /*start_time=*/0.0);
+  cluster.Join();
+  EXPECT_TRUE(founder_done.load());
+  EXPECT_TRUE(joiner_died.load());
+}
+
+TEST_P(EngineBackends, NodeScopedPendingFailureArmsWholeLateNode) {
+  Cluster cluster(Config());
+  // Node 1 is not populated yet: the event must sit pending and arm
+  // every process later placed there.
+  cluster.AddPendingFailure(FailureEvent{FailScope::kNode, 1, 0.25});
+  std::atomic<int> dead{0};
+  cluster.Spawn(2, [&](Endpoint& ep) { ep.Busy(1.0); });  // node 0: safe
+  cluster.SpawnOnFreshNodes(
+      2,
+      [&](Endpoint& ep) {
+        ep.Busy(1.0);
+        ep.MaybeSelfKill();
+        if (!ep.alive()) dead++;
+      },
+      /*start_time=*/0.0);
+  cluster.Join();
+  EXPECT_EQ(dead.load(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EngineBackends,
+                         ::testing::Values(EngineKind::kThreads,
+                                           EngineKind::kFibers),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kFibers
+                                      ? "fibers"
+                                      : "threads";
+                         });
+
+// --------------------------------------------------------------------
+// Fibers-only: determinism and scheduling order.
+// --------------------------------------------------------------------
+
+// A small messaging workload with a mid-run death, phase-traced. Returns
+// the recorder's event stream in record order, which under fibers is the
+// scheduler's deterministic execution order.
+std::vector<trace::Event> TracedWorkload() {
+  SimConfig cfg;
+  cfg.engine = EngineKind::kFibers;
+  Cluster cluster(cfg);
+  cluster.AddPendingFailure(FailureEvent{FailScope::kProcess, 3, 0.02});
+  trace::Recorder rec;
+  const int world = 4;
+  cluster.Spawn(world, [&](Endpoint& ep) {
+    for (int round = 0; round < 3; ++round) {
+      const Seconds start = ep.now();
+      const int dst = (ep.pid() + 1) % world;
+      const int src = (ep.pid() + world - 1) % world;
+      if (!ep.Send(dst, 1, round, Payload(64)).ok()) break;
+      Message msg;
+      std::vector<int> watch{src};
+      if (!ep.Recv(src, 1, round, &msg, nullptr, &watch).ok()) break;
+      ep.Busy(5e-3);
+      if (ep.MaybeSelfKill()) break;
+      rec.Record(ep.pid(), "round" + std::to_string(round), start, ep.now());
+    }
+  });
+  cluster.Join();
+  return rec.events();
+}
+
+TEST(FiberDeterminism, IdenticalRunsProduceIdenticalTraceStreams) {
+  const std::vector<trace::Event> a = TracedWorkload();
+  const std::vector<trace::Event> b = TracedWorkload();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pid, b[i].pid) << "event " << i;
+    EXPECT_EQ(a[i].phase, b[i].phase) << "event " << i;
+    EXPECT_EQ(a[i].start, b[i].start) << "event " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << "event " << i;
+  }
+}
+
+TEST(FiberScheduler, RunsReadyTasksInVirtualTimeOrder) {
+  // Ranks go busy for different durations and then record; the fibers
+  // run queue must interleave them by virtual time, not spawn order.
+  SimConfig cfg;
+  cfg.engine = EngineKind::kFibers;
+  Cluster cluster(cfg);
+  std::vector<int> order;
+  std::mutex mu;
+  cluster.Spawn(3, [&](Endpoint& ep) {
+    // pid 0 -> 30ms, pid 1 -> 10ms, pid 2 -> 20ms.
+    const double busy[] = {30e-3, 10e-3, 20e-3};
+    ep.Busy(busy[ep.pid()]);
+    // Cross-rank rendezvous forces a reschedule at the busy horizon.
+    ep.Send((ep.pid() + 1) % 3, 1, 0, Payload(1)).ok();
+    Message msg;
+    ep.Recv((ep.pid() + 2) % 3, 1, 0, &msg).ok();
+    std::lock_guard<std::mutex> g(mu);
+    order.push_back(ep.pid());
+  });
+  cluster.Join();
+  // Completion times are start + busy + recv merge: the slowest sender
+  // gates its receiver. Recv merges the sender's clock, so completion
+  // order is deterministic under fibers; just assert determinism against
+  // a second identical run rather than a hand-derived order.
+  Cluster cluster2(cfg);
+  std::vector<int> order2;
+  cluster2.Spawn(3, [&](Endpoint& ep) {
+    const double busy[] = {30e-3, 10e-3, 20e-3};
+    ep.Busy(busy[ep.pid()]);
+    ep.Send((ep.pid() + 1) % 3, 1, 0, Payload(1)).ok();
+    Message msg;
+    ep.Recv((ep.pid() + 2) % 3, 1, 0, &msg).ok();
+    std::lock_guard<std::mutex> g(mu);
+    order2.push_back(ep.pid());
+  });
+  cluster2.Join();
+  EXPECT_EQ(order, order2);
+}
+
+TEST(FiberScheduler, YieldLetsSameTimePeersRun) {
+  SimConfig cfg;
+  cfg.engine = EngineKind::kFibers;
+  Cluster cluster(cfg);
+  std::atomic<bool> done{false};
+  cluster.Spawn(2, [&](Endpoint& ep) {
+    if (ep.pid() == 1) {
+      done = true;
+      return;
+    }
+    // pid 0 spawns first and spins: without YieldTask the cooperative
+    // scheduler would never run pid 1.
+    while (!done.load()) YieldTask();
+  });
+  cluster.Join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(FiberScheduler, ManyCheapRanksComplete) {
+  // A quick scale probe: 512 fibers ping-pong once; far past the point
+  // where one-thread-per-rank starts thrashing a small machine.
+  SimConfig cfg;
+  cfg.engine = EngineKind::kFibers;
+  Cluster cluster(cfg);
+  const int world = 512;
+  std::atomic<int> finished{0};
+  cluster.Spawn(world, [&](Endpoint& ep) {
+    const int peer = ep.pid() ^ 1;
+    ASSERT_TRUE(ep.Send(peer, 1, 0, Payload(8)).ok());
+    Message msg;
+    ASSERT_TRUE(ep.Recv(peer, 1, 0, &msg).ok());
+    finished++;
+  });
+  cluster.Join();
+  EXPECT_EQ(finished.load(), world);
+}
+
+}  // namespace
+}  // namespace rcc::sim

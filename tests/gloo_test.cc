@@ -9,6 +9,7 @@
 #include "common/serial.h"
 #include "gloo/gloo.h"
 #include "sim/cluster.h"
+#include "sim/engine.h"
 
 namespace rcc::gloo {
 namespace {
@@ -82,7 +83,7 @@ TEST(Failure, PeerDeathThrowsIoException) {
       // Die only once everyone is out of the rendezvous so the failure
       // surfaces in the collective, not in Connect.
       while (connected.load() < 4) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        sim::YieldTask();  // cooperative under the fibers engine
       }
       ep.fabric().Kill(ep.pid());
       return;
@@ -144,7 +145,7 @@ TEST(Failure, FreshRendezvousRoundRecoversAfterTeardown) {
     connected++;
     if (ctx->rank() == 3) {
       while (connected.load() < 4) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        sim::YieldTask();  // cooperative under the fibers engine
       }
       ep.fabric().Kill(ep.pid());
       return;

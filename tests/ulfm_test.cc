@@ -22,8 +22,10 @@ TEST(FailureAck, SeesFabricDeathsInGroup) {
       return;
     }
     if (comm.rank() == 0) {
-      // Give the victim time to die, then acknowledge.
+      // Give the victim time to die, then acknowledge. The yield keeps
+      // the spin cooperative under the fibers engine.
       while (ep.fabric().IsAlive(1)) {
+        sim::YieldTask();
       }
       auto acked = FailureAck(comm);
       acked_count = static_cast<int>(acked.size());
