@@ -7,6 +7,7 @@
 
 #include "chaos/runner.h"
 #include "common/rng.h"
+#include "common/sampling.h"
 #include "sim/engine.h"
 
 namespace rcc::chaos {
@@ -81,6 +82,8 @@ GenConfig GenConfig::FromEnv() {
   cfg.allow_node_scope =
       EnvInt("RCC_CHAOS_NODE_SCOPE", cfg.allow_node_scope ? 1 : 0) != 0;
   cfg.allow_async = EnvInt("RCC_CHAOS_ASYNC", cfg.allow_async ? 1 : 0) != 0;
+  cfg.allow_serving =
+      EnvInt("RCC_CHAOS_SERVE", cfg.allow_serving ? 1 : 0) != 0;
   cfg.format =
       sim::ResolveEngineKind(sim::EngineKind::kAuto) == sim::EngineKind::kFibers
           ? 2
@@ -116,14 +119,16 @@ Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
   const double horizon = EstimateHorizon(s);
   const int nodes = (sh.world + sh.gpus_per_node - 1) / sh.gpus_per_node;
 
-  // Poisson background kills over [5%, 95%] of the horizon.
+  // Poisson background kills over [5%, 95%] of the horizon, drawn from
+  // the shared audited sampler (common/sampling.h). PoissonProcess does
+  // exactly one rng draw per Next(), matching the historical inline
+  // loop, so pre-existing seeds keep producing byte-identical schedules.
   const double expected_kills = 1.3 * cfg.rate_scale;
   const double window = 0.9 * horizon;
   if (window > 0 && expected_kills > 0) {
-    const double rate = expected_kills / window;
-    double t = 0.05 * horizon;
+    PoissonProcess arrivals(&rng, expected_kills / window, 0.05 * horizon);
     for (;;) {
-      t += rng.NextExponential(rate);
+      const double t = arrivals.Next();
       if (t >= 0.95 * horizon ||
           static_cast<int>(s.timed.size()) >= cfg.max_timed) {
         break;
@@ -195,6 +200,30 @@ Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
       k.occurrence = 1;
       k.delay = rng.NextDouble() * 1e-3;
       s.phased.push_back(k);
+    }
+  }
+
+  // Serving-plane campaigns (opt-in). Drawn strictly after every
+  // pre-existing draw — including the async-admission block — so with
+  // allow_serving off the rng stream and every old seed's schedule stay
+  // byte-identical. A serving campaign repurposes the scheduled joiners
+  // as autoscaler standbys and ignores the trainer-only shape fields.
+  if (cfg.allow_serving && rng.NextBelow(3) != 0) {
+    sh.serving = true;
+    sh.serve_requests = 24 + static_cast<int>(rng.NextBelow(41));  // 24..64
+    sh.serve_rps = 40.0 + rng.NextDouble() * 160.0;
+    sh.serve_max_batch = 2 + static_cast<int>(rng.NextBelow(7));  // 2..8
+    sh.serve_standbys = std::min(total_joiners, 2);
+    sh.joins.clear();
+    sh.async_admission = false;
+    // Phase kills drawn earlier may target ex-joiner pids; standbys now
+    // occupy those spawn slots, and a victim that never spawns is a
+    // no-op trigger by construction. Background kills were placed inside
+    // the trainer horizon; rescale them into the serving horizon so they
+    // still land mid-service (no draws, deterministic).
+    const double serve_horizon = EstimateHorizon(s);
+    if (horizon > 0 && serve_horizon > 0) {
+      for (TimedKill& k : s.timed) k.at *= serve_horizon / horizon;
     }
   }
 

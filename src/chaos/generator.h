@@ -27,14 +27,21 @@ struct GenConfig {
   // phases (joiner dies while staging, survivor dies mid-splice). Off by
   // default so pre-async seeds keep generating byte-identical schedules.
   bool allow_async = false;
+  // Opt-in: some campaigns run the serving plane (continuous-batching
+  // ServingDriver + standby autoscaling) instead of the trainer. Off by
+  // default so pre-serving seeds keep generating byte-identical
+  // schedules — the serving draws happen strictly after every other
+  // draw.
+  bool allow_serving = false;
   // Seed format stamped on generated schedules (1 = threads replay,
   // 2 = fibers replay; see chaos/schedule.h). Does not consume RNG
   // draws, so format-1 generation stays byte-identical to older builds.
   int format = 1;
 
   // Reads the RCC_CHAOS_* knobs (MIN_WORLD, MAX_WORLD, MAX_TIMED,
-  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC) over the defaults above, and
-  // stamps `format` 2 when RCC_SIM_ENGINE resolves to fibers.
+  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC, SERVE) over the defaults
+  // above, and stamps `format` 2 when RCC_SIM_ENGINE resolves to
+  // fibers.
   static GenConfig FromEnv();
 };
 

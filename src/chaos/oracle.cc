@@ -1,6 +1,7 @@
 #include "chaos/oracle.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 namespace rcc::chaos {
@@ -9,6 +10,137 @@ namespace {
 
 std::string Fmt(const char* oracle, const std::ostringstream& os) {
   return std::string(oracle) + ": " + os.str();
+}
+
+// Serving-campaign oracles. P0/P3/P6/P7 keep their trainer meanings;
+// P8 is the serving plane's core guarantee: across every repair,
+// splice, and voluntary shrink, no admitted request is lost or
+// double-completed — all finishers hold the identical completion log
+// covering exactly the generated request ids, and the replicated-state
+// digests agree bit for bit.
+void CheckServingOracles(const Schedule& schedule, const CampaignOutcome& o,
+                         std::vector<Violation>* out) {
+  const Shape& sh = schedule.shape;
+  auto violate = [out](const char* oracle, const std::string& detail) {
+    out->push_back(Violation{oracle, detail});
+  };
+
+  const int expected_workers = sh.world + sh.serve_standbys;
+  if (static_cast<int>(o.results.size()) != expected_workers) {
+    std::ostringstream os;
+    os << "got " << o.results.size() << " worker results, expected "
+       << expected_workers;
+    violate("P0", os.str());
+  }
+
+  const WorkerResult* ref = nullptr;  // a founder that drained the stream
+  int finishers = 0;
+  int max_worker_repairs = 0;
+  for (const WorkerResult& r : o.results) {
+    max_worker_repairs = std::max(max_worker_repairs, r.serve.repairs);
+    if (r.serve.aborted || r.serve.left || r.serve.idle_standby) continue;
+    ++finishers;
+    if (ref == nullptr && r.join_epoch < 0) ref = &r;
+  }
+  if (ref == nullptr) {
+    violate("P0", "no founder drained the request stream (all aborted)");
+    return;
+  }
+
+  const int requests = sh.serve_requests;
+  for (const WorkerResult& r : o.results) {
+    if (r.serve.aborted || r.serve.left || r.serve.idle_standby) continue;
+    const bool joiner = r.join_epoch >= 0;
+
+    // P3: one shared view of the final membership.
+    if (r.serve.final_world != ref->serve.final_world) {
+      std::ostringstream os;
+      os << "pid " << r.pid << " final_world " << r.serve.final_world
+         << " != pid " << ref->pid << "'s " << ref->serve.final_world;
+      violate("P3", os.str());
+    }
+
+    // P8: exactly-once completion of every admitted request, identical
+    // on every finisher (joiners included — their post-splice state sync
+    // must hand them the full log).
+    if (r.serve.completed != requests) {
+      std::ostringstream os;
+      os << "pid " << r.pid << (joiner ? " (joiner)" : "") << " completed "
+         << r.serve.completed << " of " << requests << " requests";
+      violate("P8", os.str());
+    }
+    std::map<int, int> seen;
+    for (const serve::Completion& c : r.serve.completions) ++seen[c.id];
+    for (int id = 0; id < requests; ++id) {
+      const auto it = seen.find(id);
+      const int n = it == seen.end() ? 0 : it->second;
+      if (n != 1) {
+        std::ostringstream os;
+        os << "pid " << r.pid << " completed request " << id << " " << n
+           << " times";
+        violate("P8", os.str());
+        break;  // one divergent log, one violation
+      }
+    }
+    if (&r != ref) {
+      if (r.serve.digest != ref->serve.digest) {
+        std::ostringstream os;
+        os << "pid " << r.pid << " digest " << r.serve.digest << " != pid "
+           << ref->pid << "'s " << ref->serve.digest;
+        violate("P8", os.str());
+      } else if (r.serve.completions.size() != ref->serve.completions.size()) {
+        std::ostringstream os;
+        os << "pid " << r.pid << " has " << r.serve.completions.size()
+           << " completions, pid " << ref->pid << " has "
+           << ref->serve.completions.size();
+        violate("P8", os.str());
+      } else {
+        for (size_t i = 0; i < r.serve.completions.size(); ++i) {
+          if (!(r.serve.completions[i] == ref->serve.completions[i])) {
+            std::ostringstream os;
+            os << "pid " << r.pid << " completion " << i
+               << " (request " << r.serve.completions[i].id
+               << ") differs from pid " << ref->pid << "'s";
+            violate("P8", os.str());
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // P6: every replayed op is at or above the MIN its repair agreed on.
+  for (const trace::ReplayEvent& e : o.replay_events) {
+    if (e.op_id < e.min_id) {
+      std::ostringstream os;
+      os << "pid " << e.pid << " replayed op " << e.op_id
+         << " below agreed MIN " << e.min_id;
+      violate("P6", os.str());
+    }
+  }
+
+  // P7: counters, spans and reports must cohere (same invariants as the
+  // trainer path; the serving plane shares the recovery substrate).
+  {
+    std::ostringstream os;
+    os << "repairs counter " << o.repairs_metric << ", repair spans "
+       << o.repair_span_count << ", max worker repairs "
+       << max_worker_repairs << ", replayed counter " << o.replayed_metric
+       << ", replay events " << o.replay_events.size();
+    const std::string ctx = os.str();
+    if (o.repair_span_count < static_cast<int>(o.repairs_metric)) {
+      violate("P7", "spans fewer than repair increments (" + ctx + ")");
+    }
+    if (static_cast<int>(o.repairs_metric) < max_worker_repairs) {
+      violate("P7", "counter below a worker's repair count (" + ctx + ")");
+    }
+    if ((o.repairs_metric > 0) != (o.repair_span_count > 0)) {
+      violate("P7", "repairs counter and spans disagree on >0 (" + ctx + ")");
+    }
+    if (static_cast<size_t>(o.replayed_metric) != o.replay_events.size()) {
+      violate("P7", "replayed counter != replay events (" + ctx + ")");
+    }
+  }
 }
 
 }  // namespace
@@ -36,6 +168,11 @@ std::vector<Violation> CheckOracles(const Schedule& schedule,
   auto violate = [&out](const char* oracle, const std::string& detail) {
     out.push_back(Violation{oracle, detail});
   };
+
+  if (sh.serving) {
+    CheckServingOracles(schedule, o, &out);
+    return out;
+  }
 
   int expected_workers = sh.world;
   for (const auto& [epoch, count] : sh.joins) expected_workers += count;

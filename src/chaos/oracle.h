@@ -21,6 +21,13 @@
 //   P7. Metrics/trace consistency: the repairs counter, recovery spans
 //       and per-worker repair counts tell one coherent story, and the
 //       replayed-ops counter matches the recorded replay events.
+//   P8. Serving exactly-once (serving-shape campaigns): no admitted
+//       request is lost or double-completed across any repair, splice,
+//       or voluntary shrink — every finisher (joiners included) holds
+//       the identical completion log covering each generated request
+//       exactly once, and the replicated-state digests agree bit for
+//       bit. Serving campaigns check P0/P3/P6/P7/P8; the
+//       trainer-specific P1/P2/P4/P5 don't apply.
 #pragma once
 
 #include <string>
@@ -32,7 +39,7 @@
 namespace rcc::chaos {
 
 struct Violation {
-  std::string oracle;  // "P0" .. "P7"
+  std::string oracle;  // "P0" .. "P8"
   std::string detail;
 };
 

@@ -26,6 +26,32 @@ struct Trigger {
 
 }  // namespace
 
+// Deterministic serving configuration for a serving-shape campaign.
+serve::ServeOptions ServeOptionsFromSchedule(const Schedule& s) {
+  const Shape& sh = s.shape;
+  serve::ServeOptions o;
+  o.traffic.seed = s.seed + 1;  // decoupled from the kill-placement rng
+  o.traffic.requests = sh.serve_requests < 8 ? 8 : sh.serve_requests;
+  o.traffic.base_rps = sh.serve_rps > 0 ? sh.serve_rps : 50.0;
+  o.traffic.min_prompt = 4;
+  o.traffic.max_prompt = 8;
+  o.traffic.min_decode = 4;
+  o.traffic.max_decode = 8;
+  o.max_batch = sh.serve_max_batch < 2 ? 2 : sh.serve_max_batch;
+  o.hidden = 64;
+  o.model_bytes = 1e6;
+  o.policy = sh.policy;
+  o.autoscale.enabled = true;
+  o.autoscale.queue_high = 6;
+  o.autoscale.queue_low = 1;
+  o.autoscale.low_steps = 16;
+  o.autoscale.cooldown_steps = 8;
+  o.autoscale.min_world = 2;
+  o.autoscale.standby_pool = sh.serve_standbys;
+  o.session = "serve-chaos";
+  return o;
+}
+
 CampaignOutcome RunSchedule(const Schedule& schedule) {
   const Shape& sh = schedule.shape;
   sim::SimConfig cfg;
@@ -35,6 +61,10 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
   // forever, and a format-2 one on the fibers event queue.
   cfg.engine = schedule.format >= 2 ? sim::EngineKind::kFibers
                                     : sim::EngineKind::kThreads;
+  // Serving replicas warm-start: the weights arrive via the admission
+  // protocol's background staging, not a full framework cold boot, so a
+  // standby can realistically splice inside a serving campaign horizon.
+  if (sh.serving) cfg.costs.worker_coldstart = 0.25;
   sim::Cluster cluster(cfg);
   dnn::ClusterDataset data(8, 3, 512, 7);
 
@@ -81,6 +111,77 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
   std::iota(pids.begin(), pids.end(), 0);
   std::mutex mu;
   std::vector<WorkerResult> results;
+
+  // Joins the cluster and assembles the outcome; shared by the serving
+  // and trainer campaign paths.
+  auto finalize = [&]() {
+    cluster.Join();
+    rec.SetPhaseStartHook(nullptr);
+    CampaignOutcome out;
+    out.results = std::move(results);
+    // Thread completion order is real-time; pid order is the
+    // deterministic stream the oracles and determinism tests consume.
+    std::sort(out.results.begin(), out.results.end(),
+              [](const WorkerResult& a, const WorkerResult& b) {
+                return a.pid < b.pid;
+              });
+    for (const WorkerResult& r : out.results) {
+      out.horizon = std::max(out.horizon, r.end_time);
+    }
+    out.repairs_metric =
+        reg.CounterValue("rcc_recovery_repairs_total") - repairs0;
+    out.replayed_metric =
+        reg.CounterValue("rcc_recovery_replayed_ops_total") - replayed0;
+    out.repair_span_count = static_cast<int>(
+        rec.EventsForPhase(std::string("recovery/") +
+                           horovod::phase::kUlfmRepair)
+            .size());
+    out.replay_events = rec.replay_events();
+    std::sort(out.replay_events.begin(), out.replay_events.end(),
+              [](const trace::ReplayEvent& a, const trace::ReplayEvent& b) {
+                return a.pid != b.pid ? a.pid < b.pid : a.op_id < b.op_id;
+              });
+    return out;
+  };
+
+  if (sh.serving) {
+    // Serving-plane campaign: founders drive the continuous batcher over
+    // the same resilient substrate; standbys park on the autoscaler's
+    // kvstore keys and join through the async admission when queue
+    // pressure opens an expand.
+    serve::ServeOptions so = ServeOptionsFromSchedule(schedule);
+    so.store = &store;
+    cluster.Spawn(sh.world, [&, so](sim::Endpoint& ep) {
+      core::ResilientComm rc(ep, pids, so.policy, &rec);
+      serve::ServingDriver driver(&rc, so);
+      WorkerResult r;
+      r.pid = ep.pid();
+      r.serve = driver.Run();
+      r.report.aborted = r.serve.aborted;
+      if (r.serve.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
+      r.end_time = ep.now();
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(std::move(r));
+    });
+    for (int i = 0; i < sh.serve_standbys; ++i) {
+      cluster.SpawnOnFreshNodes(
+          1,
+          [&, so, i](sim::Endpoint& ep) {
+            WorkerResult r;
+            r.pid = ep.pid();
+            r.join_epoch = 0;  // standby: a (potential) joiner worker
+            r.serve = serve::ServingDriver::RunStandbyJoiner(ep, &store, so,
+                                                             i, &rec);
+            r.report.aborted = r.serve.aborted;
+            if (r.serve.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
+            r.end_time = ep.now();
+            std::lock_guard<std::mutex> lock(mu);
+            results.push_back(std::move(r));
+          },
+          /*start_time=*/0.0);
+    }
+    return finalize();
+  }
 
   cluster.Spawn(sh.world, [&](sim::Endpoint& ep) {
     dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
@@ -157,34 +258,7 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
         /*start_time=*/0.0);
   }
 
-  cluster.Join();
-  rec.SetPhaseStartHook(nullptr);
-
-  CampaignOutcome out;
-  out.results = std::move(results);
-  // Thread completion order is real-time; pid order is the deterministic
-  // stream the oracles and determinism tests consume.
-  std::sort(out.results.begin(), out.results.end(),
-            [](const WorkerResult& a, const WorkerResult& b) {
-              return a.pid < b.pid;
-            });
-  for (const WorkerResult& r : out.results) {
-    out.horizon = std::max(out.horizon, r.end_time);
-  }
-  out.repairs_metric =
-      reg.CounterValue("rcc_recovery_repairs_total") - repairs0;
-  out.replayed_metric =
-      reg.CounterValue("rcc_recovery_replayed_ops_total") - replayed0;
-  out.repair_span_count = static_cast<int>(
-      rec.EventsForPhase(std::string("recovery/") +
-                         horovod::phase::kUlfmRepair)
-          .size());
-  out.replay_events = rec.replay_events();
-  std::sort(out.replay_events.begin(), out.replay_events.end(),
-            [](const trace::ReplayEvent& a, const trace::ReplayEvent& b) {
-              return a.pid != b.pid ? a.pid < b.pid : a.op_id < b.op_id;
-            });
-  return out;
+  return finalize();
 }
 
 double EstimateHorizon(const Schedule& schedule) {

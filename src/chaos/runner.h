@@ -9,6 +9,7 @@
 
 #include "chaos/schedule.h"
 #include "core/elastic_trainer.h"
+#include "serve/server.h"
 #include "trace/trace.h"
 
 namespace rcc::chaos {
@@ -27,6 +28,10 @@ struct WorkerResult {
   int start_epoch = 0;
   int start_step = 0;
   core::TrainerReport report;
+  // Serving campaigns (shape.serving) fill this instead of `report`;
+  // report.aborted mirrors serve.aborted so shared bookkeeping (the
+  // exit-is-a-failure rule, result counting) stays uniform.
+  serve::ServeReport serve;
   double end_time = 0.0;  // virtual clock when the worker finished/died
 };
 

@@ -53,7 +53,11 @@ bool operator==(const Shape& a, const Shape& b) {
          a.grad_buckets == b.grad_buckets &&
          a.inflight_window == b.inflight_window &&
          a.gpus_per_node == b.gpus_per_node && a.policy == b.policy &&
-         a.joins == b.joins && a.async_admission == b.async_admission;
+         a.joins == b.joins && a.async_admission == b.async_admission &&
+         a.serving == b.serving && a.serve_requests == b.serve_requests &&
+         a.serve_rps == b.serve_rps &&
+         a.serve_max_batch == b.serve_max_batch &&
+         a.serve_standbys == b.serve_standbys;
 }
 
 bool operator==(const TimedKill& a, const TimedKill& b) {
@@ -89,7 +93,17 @@ std::string Schedule::ToJson() const {
      << (shape.policy == horovod::DropPolicy::kNode ? "\"node\""
                                                     : "\"process\"")
      << ", \"async_admission\": "
-     << (shape.async_admission ? "true" : "false") << ", \"joins\": [";
+     << (shape.async_admission ? "true" : "false");
+  // Serving fields only appear on serving campaigns, so every
+  // pre-serving reproducer still serializes byte-identically.
+  if (shape.serving) {
+    os << ", \"serving\": true"
+       << ", \"serve_requests\": " << shape.serve_requests
+       << ", \"serve_rps\": " << Num(shape.serve_rps)
+       << ", \"serve_max_batch\": " << shape.serve_max_batch
+       << ", \"serve_standbys\": " << shape.serve_standbys;
+  }
+  os << ", \"joins\": [";
   bool first = true;
   for (const auto& [epoch, count] : shape.joins) {
     if (!first) os << ", ";
@@ -170,6 +184,24 @@ bool Schedule::FromJson(const std::string& text, Schedule* out,
       s.shape.async_admission = async_adm->AsBool();
     } else {
       ok = false;
+    }
+  }
+  // Optional: absent in reproducers recorded before the serving plane.
+  const obs::json::Value* serving = shape->Find("serving");
+  if (serving != nullptr) {
+    if (serving->is_bool()) {
+      s.shape.serving = serving->AsBool();
+    } else {
+      ok = false;
+    }
+    if (s.shape.serving) {
+      s.shape.serve_requests =
+          static_cast<int>(GetNum(*shape, "serve_requests", &ok));
+      s.shape.serve_rps = GetNum(*shape, "serve_rps", &ok);
+      s.shape.serve_max_batch =
+          static_cast<int>(GetNum(*shape, "serve_max_batch", &ok));
+      s.shape.serve_standbys =
+          static_cast<int>(GetNum(*shape, "serve_standbys", &ok));
     }
   }
   const obs::json::Value* joins = shape->Find("joins");

@@ -54,6 +54,17 @@ struct Shape {
   // (kvstore staging + step-boundary splice) instead of the blocking
   // expand. Absent in pre-async reproducer JSON; defaults to false.
   bool async_admission = false;
+  // Serving-plane campaign (opt-in via RCC_CHAOS_SERVE): the run drives
+  // the continuous-batching ServingDriver instead of the elastic
+  // trainer — epochs/steps/buckets/joins are ignored and the fields
+  // below shape the traffic. `serve_standbys` workers park on the
+  // autoscaler's standby keys and are admitted by queue pressure.
+  // Absent in pre-serving reproducer JSON; defaults keep it off.
+  bool serving = false;
+  int serve_requests = 0;
+  double serve_rps = 0.0;
+  int serve_max_batch = 0;
+  int serve_standbys = 0;
 };
 
 // Background failure: the target self-kills when its clock reaches `at`.

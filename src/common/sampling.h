@@ -1,0 +1,100 @@
+// Audited arrival-time samplers shared by the chaos fuzzer and the
+// serving request generator. Both subsystems need seeded, replayable
+// event streams; hoisting the draws here means one implementation with
+// one set of determinism guarantees:
+//
+//  - PoissonProcess draws exactly ONE NextExponential per Next() call,
+//    matching the historical inline loop in chaos/generator.cc, so every
+//    pre-existing chaos seed still produces a byte-identical schedule.
+//  - InhomogeneousPoissonProcess uses Lewis-Shedler thinning against a
+//    caller-supplied rate function bounded by rate_max; the number of
+//    rng draws depends only on (seed, rate fn, rate_max), never on wall
+//    time or thread scheduling.
+//
+// Everything here is a pure function of the Rng it is handed: no
+// globals, no clocks, no allocation beyond the object itself.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace rcc {
+
+// Homogeneous Poisson process: successive arrival times with
+// exponential inter-arrival gaps at a fixed rate (events per virtual
+// second). Next() advances and returns the new arrival time; the caller
+// decides when the stream ends (horizon, count cap, ...). One rng draw
+// per call, including the call that overshoots the caller's horizon —
+// that final draw is part of the historical chaos stream contract.
+class PoissonProcess {
+ public:
+  PoissonProcess(Rng* rng, double rate, double start = 0.0)
+      : rng_(rng), rate_(rate), t_(start) {
+    RCC_CHECK(rng != nullptr);
+    RCC_CHECK(rate > 0) << "PoissonProcess rate must be positive";
+  }
+
+  double Next() {
+    t_ += rng_->NextExponential(rate_);
+    return t_;
+  }
+
+  double now() const { return t_; }
+  double rate() const { return rate_; }
+
+ private:
+  Rng* rng_;
+  double rate_;
+  double t_;
+};
+
+// Inhomogeneous Poisson process via Lewis-Shedler thinning: candidate
+// arrivals are drawn from a homogeneous process at rate_max and each is
+// accepted with probability rate(t)/rate_max. rate(t) must never exceed
+// rate_max (checked); a rate of zero at time t simply rejects the
+// candidate. Exactly two rng draws per candidate (one exponential, one
+// uniform), so the stream layout is a pure function of the inputs.
+class InhomogeneousPoissonProcess {
+ public:
+  InhomogeneousPoissonProcess(Rng* rng, std::function<double(double)> rate,
+                              double rate_max, double start = 0.0)
+      : candidates_(rng, rate_max, start),
+        rng_(rng),
+        rate_(std::move(rate)),
+        rate_max_(rate_max) {}
+
+  // Next accepted arrival. `horizon` bounds the candidate walk so a
+  // rate function that decays to zero cannot spin forever; returns an
+  // arrival >= horizon (unaccepted) when the stream is exhausted.
+  double Next(double horizon) {
+    for (;;) {
+      const double t = candidates_.Next();
+      if (t >= horizon) return t;
+      const double r = rate_(t);
+      RCC_CHECK(r <= rate_max_ * (1 + 1e-9))
+          << "rate(" << t << ")=" << r << " exceeds rate_max=" << rate_max_;
+      if (r > 0 && rng_->NextDouble() * rate_max_ < r) return t;
+    }
+  }
+
+ private:
+  PoissonProcess candidates_;
+  Rng* rng_;
+  std::function<double(double)> rate_;
+  double rate_max_;
+};
+
+// Diurnal load curve: a raised cosine around `base` with relative
+// `amplitude` in [0, 1] and the given period. amplitude=0 is flat;
+// amplitude=1 swings between 0 and 2*base. Peak is at t=0 (callers
+// phase-shift by choosing their own origin).
+inline double DiurnalRate(double base, double amplitude, double period,
+                          double t) {
+  if (amplitude <= 0 || period <= 0) return base;
+  return base * (1.0 + amplitude * std::cos(6.283185307179586 * t / period));
+}
+
+}  // namespace rcc

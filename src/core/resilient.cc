@@ -209,6 +209,7 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
           if (rec_ != nullptr) {
             rec_->RecordReplay(ep_.pid(), op_id, replay_min);
           }
+          if (replay_hook_) replay_hook_(op_id, replay_min);
           replay_min = kNoIncompleteOp;
         }
       }
@@ -344,6 +345,7 @@ Status ResilientComm::ReplayWindowFrom(int64_t min_id) {
     }
     replayed->Increment();
     if (rec_ != nullptr) rec_->RecordReplay(ep_.pid(), op.id, min_id);
+    if (replay_hook_) replay_hook_(op.id, min_id);
     op.done = true;
     op.req = coll::Request();  // the pre-failure request is retired
   }

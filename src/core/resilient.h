@@ -201,6 +201,15 @@ class ResilientComm {
   // negotiation) that shares the global metrics registry.
   double TakeCommServiceSeconds();
 
+  // Observer invoked once per replayed op (after its successful
+  // re-execution on the repaired communicator), with the op's id and
+  // the agreed replay MIN. The serving driver uses this to count decode
+  // steps re-executed by recovery and to audit exactly-once token
+  // commits; runs on the rank's own task, so no synchronization needed.
+  void SetReplayHook(std::function<void(int64_t op_id, int64_t min_id)> fn) {
+    replay_hook_ = std::move(fn);
+  }
+
   // Test-only planted fault: window ops matching the predicate are
   // skipped during replay (marked done without re-execution), leaving
   // the skipping rank with a stale result. The chaos harness uses this
@@ -273,6 +282,7 @@ class ResilientComm {
   int repairs_ = 0;
   uint64_t op_counter_ = 0;
   int max_inflight_ = 8;
+  std::function<void(int64_t, int64_t)> replay_hook_;
   std::deque<WindowOp> window_;
   double comm_service_acc_ = 0.0;  // see TakeCommServiceSeconds
 

@@ -117,12 +117,30 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
 
 double Histogram::Snapshot::Quantile(double q) const {
   if (count == 0) return 0.0;
-  const uint64_t target = static_cast<uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
+  q = std::min(1.0, std::max(0.0, q));
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t below = 0;
+  double lower = 0.0;
   for (const auto& [bound, cum] : cumulative) {
-    if (cum >= target) return bound;
+    if (cum >= target) {
+      // Linear interpolation by rank within the containing bucket; the
+      // +Inf bucket borrows the observed max as its finite upper edge.
+      const double upper = std::isinf(bound) ? max : bound;
+      const uint64_t in_bucket = cum - below;
+      const double frac =
+          in_bucket == 0
+              ? 1.0
+              : static_cast<double>(target - below) /
+                    static_cast<double>(in_bucket);
+      const double v = lower + frac * (upper - lower);
+      // The true value lies in [min, max]; the bucket edges may not.
+      return std::min(max, std::max(min, v));
+    }
+    below = cum;
+    lower = bound;
   }
-  return cumulative.empty() ? 0.0 : cumulative.back().first;
+  return max;
 }
 
 void Histogram::Reset() {
@@ -264,6 +282,14 @@ std::string Registry::PrometheusText() const {
           }
           os << name << "_sum" << key << " " << FormatValue(s.sum) << "\n";
           os << name << "_count" << key << " " << s.count << "\n";
+          // Summary-style quantile series estimated from the buckets
+          // (rank-interpolated, clamped to the observed range) so SLO
+          // dashboards get p50/p99/p999 without client-side bucket math.
+          for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+            os << name
+               << LabelStringWith(in->labels, "quantile", FormatBound(q))
+               << " " << FormatValue(s.Quantile(q)) << "\n";
+          }
           break;
         }
       }
@@ -275,7 +301,7 @@ std::string Registry::PrometheusText() const {
 std::string Registry::CsvText() const {
   std::shared_lock lock(mu_);
   std::ostringstream os;
-  os << "metric,labels,type,value,count,sum,mean,min,max\n";
+  os << "metric,labels,type,value,count,sum,mean,min,max,p50,p90,p99,p999\n";
   for (const auto& [name, fam] : families_) {
     for (const auto& [key, in] : fam.instruments) {
       // Labels cell is quoted: the canonical label string contains
@@ -289,17 +315,21 @@ std::string Registry::CsvText() const {
       switch (in->kind) {
         case Instrument::Kind::kCounter:
           os << name << "," << quoted << ",counter,"
-             << FormatValue(in->counter->Value()) << ",,,,,\n";
+             << FormatValue(in->counter->Value()) << ",,,,,,,,,\n";
           break;
         case Instrument::Kind::kGauge:
           os << name << "," << quoted << ",gauge,"
-             << FormatValue(in->gauge->Value()) << ",,,,,\n";
+             << FormatValue(in->gauge->Value()) << ",,,,,,,,,\n";
           break;
         case Instrument::Kind::kHistogram: {
           const Histogram::Snapshot s = in->histogram->TakeSnapshot();
           os << name << "," << quoted << ",histogram,," << s.count << ","
              << FormatValue(s.sum) << "," << FormatValue(s.Mean()) << ","
-             << FormatValue(s.min) << "," << FormatValue(s.max) << "\n";
+             << FormatValue(s.min) << "," << FormatValue(s.max) << ","
+             << FormatValue(s.Quantile(0.5)) << ","
+             << FormatValue(s.Quantile(0.9)) << ","
+             << FormatValue(s.Quantile(0.99)) << ","
+             << FormatValue(s.Quantile(0.999)) << "\n";
           break;
         }
       }

@@ -108,7 +108,10 @@ class Histogram {
     std::vector<std::pair<double, uint64_t>> cumulative;
 
     double Mean() const { return count == 0 ? 0.0 : sum / count; }
-    // Upper bucket bound containing quantile q in [0, 1].
+    // Quantile q in [0, 1] estimated from the bucket counts:
+    // rank-interpolated within the containing bucket and clamped to the
+    // observed [min, max], so the estimate's error is bounded by the
+    // bucket width (~a factor of 2 worst case, exact at min/max).
     double Quantile(double q) const;
   };
   Snapshot TakeSnapshot() const;
@@ -150,9 +153,11 @@ class Registry {
                                         const Labels& labels = {}) const;
 
   // Prometheus text exposition (families sorted by name, instruments by
-  // label string; histogram as _bucket/_sum/_count series).
+  // label string; histogram as _bucket/_sum/_count series plus
+  // summary-style {quantile="0.5|0.9|0.99|0.999"} estimates).
   std::string PrometheusText() const;
-  // Flat CSV: metric,labels,type,value,count,sum,mean,min,max
+  // Flat CSV: metric,labels,type,value,count,sum,mean,min,max,
+  // p50,p90,p99,p999 (quantile columns filled for histograms only).
   std::string CsvText() const;
 
   // Zeroes every instrument, keeping registrations (a fresh bench run).

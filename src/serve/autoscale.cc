@@ -1,0 +1,49 @@
+#include "serve/autoscale.h"
+
+namespace rcc::serve {
+
+ScaleDecision AutoscaleController::Decide(int queue_depth, int load,
+                                          int world, int64_t step) {
+  if (!cfg_.enabled) return ScaleDecision::kNone;
+  // Streak accounting runs every step, even inside the cooldown, so a
+  // lull that starts during the cooldown still counts toward shrink.
+  if (load <= cfg_.queue_low) {
+    ++low_streak_;
+  } else {
+    low_streak_ = 0;
+  }
+  if (step - last_action_step_ < cfg_.cooldown_steps) {
+    return ScaleDecision::kNone;
+  }
+  if (queue_depth >= cfg_.queue_high && world < cfg_.max_world &&
+      expands_ < cfg_.standby_pool) {
+    ++expands_;
+    last_action_step_ = step;
+    low_streak_ = 0;
+    return ScaleDecision::kExpand;
+  }
+  if (low_streak_ >= cfg_.low_steps && world > cfg_.min_world) {
+    ++shrinks_;
+    last_action_step_ = step;
+    low_streak_ = 0;
+    return ScaleDecision::kShrink;
+  }
+  return ScaleDecision::kNone;
+}
+
+void AutoscaleController::Serialize(ByteWriter* w) const {
+  w->WriteI32(expands_);
+  w->WriteI32(shrinks_);
+  w->WriteI32(low_streak_);
+  w->WriteI64(last_action_step_);
+}
+
+Status AutoscaleController::Restore(ByteReader* r) {
+  RCC_RETURN_IF_ERROR(r->ReadI32(&expands_));
+  RCC_RETURN_IF_ERROR(r->ReadI32(&shrinks_));
+  RCC_RETURN_IF_ERROR(r->ReadI32(&low_streak_));
+  RCC_RETURN_IF_ERROR(r->ReadI64(&last_action_step_));
+  return Status::Ok();
+}
+
+}  // namespace rcc::serve

@@ -1,0 +1,64 @@
+// Load-driven autoscaling policy for the serving plane. Decide() is a
+// pure function of SPMD-replicated inputs (queue depth, in-batch load,
+// world size, step index) plus controller state that is itself part of
+// the replicated serving cursor — so every rank reaches the identical
+// scaling decision at the identical step, with zero coordination:
+//
+//   kExpand  queue depth has reached queue_high and a standby worker is
+//            available: rank 0 publishes the snapshot and every member
+//            opens the async admission window (ExpandAsyncBegin); the
+//            batch keeps decoding while the joiner stages.
+//   kShrink  load stayed at or below queue_low for low_steps
+//            consecutive decode steps: the highest-ranked member leaves
+//            via ulfm::LeaveGracefully and the survivors' next decode
+//            step repairs the membership down.
+//
+// A cooldown separates consecutive actions so a splice's queue drain
+// cannot immediately trigger the opposite decision.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace rcc::serve {
+
+struct AutoscaleConfig {
+  bool enabled = false;
+  int min_world = 1;        // never shrink below
+  int max_world = 1 << 20;  // never expand above
+  int queue_high = 16;      // waiting-queue depth that triggers expand
+  int queue_low = 1;        // load (waiting + running) of a "low" step
+  int low_steps = 48;       // consecutive low steps before shrink
+  int cooldown_steps = 32;  // steps between scaling actions
+  int standby_pool = 0;     // joiners available for admission
+};
+
+enum class ScaleDecision { kNone, kExpand, kShrink };
+
+class AutoscaleController {
+ public:
+  explicit AutoscaleController(const AutoscaleConfig& cfg) : cfg_(cfg) {}
+
+  // One decision per decode step; mutates the replicated streak state.
+  ScaleDecision Decide(int queue_depth, int load, int world, int64_t step);
+
+  // Expands begun so far (names the kvstore session / standby slot).
+  int expands_begun() const { return expands_; }
+  int shrinks() const { return shrinks_; }
+
+  // Controller state rides inside the serving state blob so a joiner's
+  // copy agrees with the survivors'.
+  void Serialize(ByteWriter* w) const;
+  Status Restore(ByteReader* r);
+
+ private:
+  AutoscaleConfig cfg_;
+  int expands_ = 0;
+  int shrinks_ = 0;
+  int low_streak_ = 0;
+  int64_t last_action_step_ = -(1ll << 40);  // no cooldown at start
+};
+
+}  // namespace rcc::serve

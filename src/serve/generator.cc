@@ -1,0 +1,74 @@
+#include "serve/generator.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/sampling.h"
+
+namespace rcc::serve {
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
+TrafficConfig TrafficFromEnv(TrafficConfig d) {
+  d.seed = static_cast<uint64_t>(EnvInt("RCC_SERVE_SEED",
+                                        static_cast<int>(d.seed)));
+  d.requests = EnvInt("RCC_SERVE_REQUESTS", d.requests);
+  d.base_rps = EnvDouble("RCC_SERVE_RPS", d.base_rps);
+  d.diurnal_amplitude = EnvDouble("RCC_SERVE_DIURNAL", d.diurnal_amplitude);
+  d.diurnal_period_s = EnvDouble("RCC_SERVE_PERIOD", d.diurnal_period_s);
+  return d;
+}
+
+std::vector<Request> GenerateArrivals(const TrafficConfig& cfg) {
+  RCC_CHECK(cfg.requests >= 0);
+  RCC_CHECK(cfg.base_rps > 0) << "serve traffic needs a positive rate";
+  RCC_CHECK(cfg.min_prompt > 0 && cfg.max_prompt >= cfg.min_prompt);
+  RCC_CHECK(cfg.min_decode > 0 && cfg.max_decode >= cfg.min_decode);
+
+  // Distinct streams for arrival times and request sizes, so tweaking
+  // one knob cannot shift the other's draws.
+  Rng arrivals_rng(cfg.seed, /*stream=*/0x5E21E);
+  Rng sizes_rng(cfg.seed, /*stream=*/0x5E21F);
+
+  std::vector<Request> out;
+  out.reserve(static_cast<size_t>(cfg.requests));
+  const bool diurnal = cfg.diurnal_amplitude > 0 && cfg.diurnal_period_s > 0;
+  PoissonProcess flat(&arrivals_rng, cfg.base_rps);
+  auto rate = [&cfg](double t) {
+    return DiurnalRate(cfg.base_rps, cfg.diurnal_amplitude,
+                       cfg.diurnal_period_s, t);
+  };
+  InhomogeneousPoissonProcess curved(
+      &arrivals_rng, rate, cfg.base_rps * (1.0 + cfg.diurnal_amplitude));
+  // The count cap (not a horizon) ends the stream: the driver drains
+  // every generated request, which is what oracle P8 audits against.
+  constexpr double kNoHorizon = 1e30;
+  for (int i = 0; i < cfg.requests; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival = diurnal ? curved.Next(kNoHorizon) : flat.Next();
+    r.prompt_tokens =
+        cfg.min_prompt + static_cast<int>(sizes_rng.NextBelow(
+                             cfg.max_prompt - cfg.min_prompt + 1));
+    r.decode_tokens =
+        cfg.min_decode + static_cast<int>(sizes_rng.NextBelow(
+                             cfg.max_decode - cfg.min_decode + 1));
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace rcc::serve

@@ -1,0 +1,39 @@
+// Serving-plane data types: one inference request and its completion
+// record. Requests are generated up front as a pure function of the
+// traffic seed (serve/generator.h), so every SPMD rank — and a joiner
+// admitted mid-run — sees the identical request stream without any
+// cross-rank coordination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rcc::serve {
+
+struct Request {
+  int id = 0;              // dense index into the generated stream
+  double arrival = 0.0;    // virtual seconds (open-loop: never blocks)
+  int prompt_tokens = 0;   // prefill size (priced into the admit step)
+  int decode_tokens = 0;   // tokens to generate before completion
+};
+
+// Lifecycle timestamps of one finished request, in virtual seconds.
+// admit is when the continuous batcher scheduled it into the running
+// batch; first_token is the end of its first decode step (TTFT =
+// first_token - arrival); done is the final token's commit time.
+struct Completion {
+  int id = 0;
+  double arrival = 0.0;
+  double admit = 0.0;
+  double first_token = 0.0;
+  double done = 0.0;
+  int tokens = 0;  // decode tokens committed (== request.decode_tokens)
+};
+
+inline bool operator==(const Completion& a, const Completion& b) {
+  return a.id == b.id && a.arrival == b.arrival && a.admit == b.admit &&
+         a.first_token == b.first_token && a.done == b.done &&
+         a.tokens == b.tokens;
+}
+
+}  // namespace rcc::serve

@@ -1,0 +1,330 @@
+#include "serve/server.h"
+
+#include <cstring>
+
+#include "common/serial.h"
+#include "obs/metrics.h"
+#include "sim/params.h"
+
+namespace rcc::serve {
+
+namespace {
+
+const char* ModeName(RecoveryMode m) {
+  return m == RecoveryMode::kResilient ? "resilient" : "teardown";
+}
+
+}  // namespace
+
+ServingDriver::ServingDriver(core::ResilientComm* rc, const ServeOptions& opts)
+    : rc_(rc),
+      opts_(opts),
+      stream_(GenerateArrivals(opts.traffic)),
+      batcher_(opts.max_batch),
+      ctl_(opts.autoscale),
+      last_repairs_(rc->repairs()) {
+  rc_->SetReplayHook(
+      [this](int64_t /*op_id*/, int64_t /*min_id*/) { ++decode_replays_; });
+}
+
+std::string ServingDriver::StandbyKey(const std::string& session, int index) {
+  return "serve/" + session + "/standby/" + std::to_string(index);
+}
+
+ServeReport ServingDriver::Run() {
+  // Founders: agree on the serving epoch's start clock. The init
+  // barrier leaves per-rank residuals (microseconds of skew), and
+  // admission stamps must be bit-identical everywhere.
+  if (t_sync_ < rc_->endpoint().now()) t_sync_ = rc_->endpoint().now();
+  if (!AgreeClock().ok()) return Finish(/*aborted=*/true);
+  return Loop();
+}
+
+ServeReport ServingDriver::RunStandbyJoiner(sim::Endpoint& ep, kv::Store* store,
+                                            const ServeOptions& opts, int index,
+                                            trace::Recorder* rec) {
+  ServeReport r;
+  auto entry = store->WaitEntry(&ep, StandbyKey(opts.session, index));
+  if (!entry.ok()) {
+    r.aborted = true;
+    return r;
+  }
+  const std::string session(entry.value().value.begin(),
+                            entry.value().value.end());
+  if (session.empty()) {
+    // Released at drain without being needed.
+    r.idle_standby = true;
+    return r;
+  }
+  std::vector<uint8_t> staged;
+  auto rc = core::ResilientComm::JoinAsync(
+      ep, store, session, opts.policy, rec,
+      [&staged](const std::vector<uint8_t>& b) {
+        staged = b;
+        return Status::Ok();
+      });
+  if (rc == nullptr) {
+    r.aborted = true;
+    return r;
+  }
+  ServingDriver d(rc.get(), opts);
+  // The staged snapshot restores the weights + a (stale) serving cursor
+  // in the background; the post-splice sync below replaces the cursor
+  // with the survivors' live state.
+  if (!d.RestoreState(staged).ok() || !d.SpliceSync(/*receiver=*/true).ok()) {
+    r.aborted = true;
+    return r;
+  }
+  return d.Loop();
+}
+
+ServeReport ServingDriver::Loop() {
+  sim::Endpoint& ep = rc_->endpoint();
+  const size_t hidden = static_cast<size_t>(opts_.hidden < 1 ? 1 : opts_.hidden);
+  std::vector<float> send(hidden), recv(hidden);
+  size_t exported_completions = 0;
+  int64_t exported_replays = 0;
+
+  for (;;) {
+    if (!PollAdmission(/*finalize=*/false)) return Finish(/*aborted=*/true);
+
+    int prompt_tokens = 0;
+    batcher_.Admit(stream_, t_sync_, &prompt_tokens);
+
+    if (batcher_.running() == 0) {
+      if (batcher_.Drained(static_cast<int>(stream_.size()))) {
+        if (!PollAdmission(/*finalize=*/true)) return Finish(/*aborted=*/true);
+        ReleaseStandbys();
+        break;
+      }
+      // Idle: jump the agreed clock to the next arrival. Every rank
+      // computes the same target, so no re-agreement is needed.
+      const double next =
+          stream_[static_cast<size_t>(batcher_.next_arrival())].arrival;
+      if (next > t_sync_) t_sync_ = next;
+      ep.AdvanceTo(t_sync_);
+      continue;
+    }
+
+    // Scaling decisions pause while an admission is in flight so the
+    // rendezvous membership cannot change under the joiner.
+    if (!rc_->expand_pending()) {
+      const int load = batcher_.waiting() + batcher_.running();
+      const ScaleDecision d = ctl_.Decide(batcher_.waiting(), load,
+                                          rc_->size(), batcher_.steps());
+      if (d == ScaleDecision::kExpand) {
+        if (!BeginExpand()) return Finish(/*aborted=*/true);
+      } else if (d == ScaleDecision::kShrink) {
+        ++report_.shrinks;
+        if (rc_->rank() == rc_->size() - 1) {
+          ulfm::LeaveGracefully(ep, rc_->host());
+          ServeReport r = Finish(/*aborted=*/false);
+          r.left = true;
+          return r;
+        }
+        // Survivors fall through; their decode step repairs down.
+      }
+    }
+
+    // One decode step: prefill for the newly scheduled sequences plus
+    // one token for every running sequence, then the tensor-parallel
+    // activation allreduce. A failure anywhere inside is repaired by
+    // the resilient op, which re-executes only this step.
+    const double step_start = t_sync_;
+    const int batch = batcher_.batch_tokens();
+    ep.Compute(opts_.flops_per_token * (batch + prompt_tokens));
+    const int64_t step_id = batcher_.steps();
+    for (size_t i = 0; i < hidden; ++i) {
+      send[i] = static_cast<float>((step_id + static_cast<int64_t>(i)) % 97 +
+                                   rc_->rank() + 1) *
+                1e-3f;
+    }
+    Status st =
+        rc_->Allreduce(send.data(), recv.data(), hidden, opts_.decode_cost_scale);
+    if (!st.ok()) return Finish(/*aborted=*/true);
+
+    const int rdelta = rc_->repairs() - last_repairs_;
+    const bool recovery = rdelta > 0;
+    if (recovery) {
+      last_repairs_ = rc_->repairs();
+      report_.repairs += rdelta;
+      ++report_.recovery_steps;
+      if (opts_.mode == RecoveryMode::kTeardownRebuild) {
+        TeardownPenalty();
+        if (!ep.alive()) return Finish(/*aborted=*/true);
+      }
+    }
+
+    if (!AgreeClock().ok()) return Finish(/*aborted=*/true);
+    const double step_seconds = t_sync_ - step_start;
+    batcher_.CommitStep(stream_, t_sync_, recv[0], step_seconds);
+
+    std::vector<double> ttft = batcher_.TakeFirstTokenLatencies();
+    if (rc_->rank() == 0) {
+      ExportStepMetrics(step_seconds, batch, recovery);
+      obs::Registry& reg = obs::Registry::Global();
+      const obs::Labels labels{{"mode", ModeName(opts_.mode)}};
+      obs::Histogram* h = reg.GetHistogram("rcc_serve_ttft_seconds", labels);
+      for (double v : ttft) h->Observe(v);
+      const size_t done = batcher_.completions().size();
+      reg.GetCounter("rcc_serve_completions_total", labels)
+          ->Add(static_cast<double>(done - exported_completions));
+      exported_completions = done;
+      reg.GetCounter("rcc_serve_decode_replays_total", labels)
+          ->Add(static_cast<double>(decode_replays_ - exported_replays));
+      exported_replays = decode_replays_;
+    } else {
+      // Keep the export cursors current so a later rank-0 handover only
+      // exports the post-handover deltas.
+      exported_completions = batcher_.completions().size();
+      exported_replays = decode_replays_;
+    }
+  }
+  return Finish(/*aborted=*/false);
+}
+
+Status ServingDriver::AgreeClock() {
+  const double now = rc_->endpoint().now();
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(now));
+  std::memcpy(&bits, &now, sizeof(bits));
+  std::vector<uint64_t> all;
+  RCC_RETURN_IF_ERROR(rc_->AllgatherU64(bits, &all));
+  double agreed = t_sync_;
+  for (uint64_t b : all) {
+    double v = 0.0;
+    std::memcpy(&v, &b, sizeof(v));
+    if (v > agreed) agreed = v;
+  }
+  t_sync_ = agreed;
+  return Status::Ok();
+}
+
+bool ServingDriver::PollAdmission(bool finalize) {
+  if (!rc_->expand_pending()) return true;
+  const core::ResilientComm::PollResult pr = rc_->ExpandPoll(finalize);
+  if (pr == core::ResilientComm::PollResult::kSpliced) {
+    if (!SpliceSync(/*receiver=*/false).ok()) return rc_->endpoint().alive();
+    ++report_.expands;
+  }
+  // kAborted means the expand was abandoned (timeout); the membership is
+  // unchanged and serving continues degraded. Only our own death stops us.
+  return rc_->endpoint().alive();
+}
+
+Status ServingDriver::SpliceSync(bool receiver) {
+  // The serving cursor is small (weights were staged asynchronously), so
+  // the splice-time sync is cheap — this is the payoff of PR 4's async
+  // admission for inference.
+  std::vector<uint8_t> blob;
+  if (!receiver && rc_->rank() == 0) blob = SerializeState();
+  RCC_RETURN_IF_ERROR(rc_->BcastBlob(&blob, 0, 1.0));
+  if (receiver) RCC_RETURN_IF_ERROR(RestoreState(blob));
+  return Status::Ok();
+}
+
+bool ServingDriver::BeginExpand() {
+  const int slot = ctl_.expands_begun() - 1;  // Decide() already advanced it
+  const std::string session =
+      opts_.session + "-exp" + std::to_string(slot);
+  sim::Endpoint& ep = rc_->endpoint();
+  if (opts_.store == nullptr) return true;  // nothing to wake; serve on
+  if (rc_->rank() == 0) {
+    if (!opts_.store->SetString(&ep, StandbyKey(opts_.session, slot), session)
+             .ok()) {
+      return ep.alive();
+    }
+  }
+  const std::vector<uint8_t> snap = SerializeState();
+  const Status st = rc_->ExpandAsyncBegin(opts_.store, session, /*joiner_count=*/1,
+                                          snap, opts_.model_bytes);
+  return st.ok() || ep.alive();
+}
+
+void ServingDriver::TeardownPenalty() {
+  // Gloo-style recovery: the surviving job tears down, re-initializes the
+  // stack from scratch, rebroadcasts the full model state, and has lost
+  // every KV cache. Charged on top of the (already paid) repair that the
+  // shared substrate performed, standing in for the whole
+  // exception-unwind + re-bootstrap sequence of the baseline runtime.
+  sim::Endpoint& ep = rc_->endpoint();
+  const sim::SimConfig& cfg = ep.fabric().config();
+  ep.Busy(cfg.costs.eh_exception_catch + cfg.costs.eh_shutdown +
+          cfg.costs.eh_gloo_reinit + cfg.costs.eh_elastic_reinit);
+  ep.Busy(nccl::Comm::InitCost(cfg, rc_->size()));
+  std::vector<uint8_t> blob;
+  if (rc_->rank() == 0) blob = SerializeState();
+  const double scale =
+      blob.empty() ? opts_.model_bytes
+                   : opts_.model_bytes / static_cast<double>(blob.size());
+  (void)rc_->BcastBlob(&blob, 0, scale);
+  batcher_.RestartRunning();
+}
+
+void ServingDriver::ReleaseStandbys() {
+  if (opts_.store == nullptr || rc_->rank() != 0) return;
+  for (int i = ctl_.expands_begun(); i < opts_.autoscale.standby_pool; ++i) {
+    (void)opts_.store->SetString(&rc_->endpoint(),
+                                 StandbyKey(opts_.session, i), "");
+  }
+}
+
+void ServingDriver::ExportStepMetrics(double step_seconds, int committed_tokens,
+                                      bool recovery_step) {
+  obs::Registry& reg = obs::Registry::Global();
+  const obs::Labels labels{{"mode", ModeName(opts_.mode)}};
+  obs::Histogram* tok = reg.GetHistogram("rcc_serve_token_seconds", labels);
+  for (int i = 0; i < committed_tokens; ++i) tok->Observe(step_seconds);
+  reg.GetCounter("rcc_serve_tokens_total", labels)
+      ->Add(static_cast<double>(committed_tokens));
+  reg.GetGauge("rcc_serve_queue_depth", labels)->Set(batcher_.waiting());
+  reg.GetGauge("rcc_serve_world_size", labels)->Set(rc_->size());
+  const double goodput =
+      step_seconds > 0 ? committed_tokens / step_seconds : 0.0;
+  reg.GetGauge("rcc_serve_goodput_tokens_per_s", labels)->Set(goodput);
+  if (recovery_step) {
+    reg.GetCounter("rcc_serve_recovery_steps_total", labels)->Increment();
+    reg.GetCounter("rcc_serve_recovery_seconds_total", labels)
+        ->Add(step_seconds);
+    reg.GetCounter("rcc_serve_recovery_tokens_total", labels)
+        ->Add(static_cast<double>(committed_tokens));
+    reg.GetGauge("rcc_serve_goodput_during_recovery_tokens_per_s", labels)
+        ->Set(goodput);
+  }
+}
+
+ServeReport ServingDriver::Finish(bool aborted) {
+  ServeReport r = report_;
+  r.aborted = aborted;
+  // Repairs that landed after the last step's bookkeeping (e.g. inside
+  // the final clock agreement) still count.
+  r.repairs += rc_->repairs() - last_repairs_;
+  r.completed = static_cast<int>(batcher_.completions().size());
+  r.digest = batcher_.digest();
+  r.completions = batcher_.completions();
+  r.final_world = rc_->size();
+  r.steps = batcher_.steps();
+  r.end_time = t_sync_;
+  return r;
+}
+
+std::vector<uint8_t> ServingDriver::SerializeState() const {
+  ByteWriter w;
+  w.WriteF64(t_sync_);
+  w.WriteBytes(batcher_.Serialize());
+  ctl_.Serialize(&w);
+  return w.data();
+}
+
+Status ServingDriver::RestoreState(const std::vector<uint8_t>& blob) {
+  ByteReader r(blob);
+  RCC_RETURN_IF_ERROR(r.ReadF64(&t_sync_));
+  std::vector<uint8_t> b;
+  RCC_RETURN_IF_ERROR(r.ReadBytes(&b));
+  RCC_RETURN_IF_ERROR(batcher_.Restore(b));
+  RCC_RETURN_IF_ERROR(ctl_.Restore(&r));
+  if (!r.AtEnd()) return Status(Code::kIoError, "trailing serving state");
+  return Status::Ok();
+}
+
+}  // namespace rcc::serve

@@ -57,7 +57,18 @@ size_t FiberStackBytes() {
   return bytes;
 }
 
+// Stall handler storage: written by SetStallHandler before a run, read
+// at the (single-threaded) point the scheduler proves a stall.
+std::function<void(const std::string&)>& StallHandlerSlot() {
+  static std::function<void(const std::string&)> handler;
+  return handler;
+}
+
 }  // namespace
+
+void SetStallHandler(std::function<void(const std::string&)> handler) {
+  StallHandlerSlot() = std::move(handler);
+}
 
 struct FiberTask : std::enable_shared_from_this<FiberTask> {
   enum class St { kRunnable, kRunning, kParked, kDone };
@@ -301,6 +312,9 @@ class FiberEngine : public Engine {
       std::unique_lock<std::mutex> pl(pump_mu_, std::try_to_lock);
       if (pl.owns_lock()) {
         RunScheduler([this, t] { return TaskDone(t); });
+        if (!TaskDone(t) && StallHandlerSlot()) {
+          StallHandlerSlot()(StallReport("JoinTask"));
+        }
         RCC_CHECK(TaskDone(t)) << StallReport("JoinTask");
         return;
       }

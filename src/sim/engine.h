@@ -49,6 +49,14 @@ EngineKind ResolveEngineKind(EngineKind requested);
 
 std::unique_ptr<Engine> MakeEngine(EngineKind kind);
 
+// Process-wide handler invoked when the fibers scheduler proves a stall
+// (run queue drained, quiescence ladder exhausted, tasks still parked)
+// right before the fatal check aborts. CLI smokes install one to exit
+// with a distinct status code instead of a generic abort; pass nullptr
+// to clear. Threads-backend deadlocks simply hang and cannot be proven
+// here — callers pair the handler with a real-time watchdog.
+void SetStallHandler(std::function<void(const std::string& report)> handler);
+
 // True when the calling context is a fiber task (cooperative backend).
 // Blocking code uses this to pick quiescence semantics over real-clock
 // deadlines.

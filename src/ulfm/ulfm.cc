@@ -134,6 +134,16 @@ void Revoke(mpi::Comm& comm) {
   fabric.WakeAll();
 }
 
+void LeaveGracefully(sim::Endpoint& ep, mpi::Comm& comm) {
+  if (!ep.alive()) return;
+  // Revoke-then-die: the revoke wakes peers parked in collectives so
+  // they observe the departure at the next blocking point instead of a
+  // transport timeout; the fabric kill makes the departure a normal
+  // acked failure for the subsequent agree/shrink.
+  Revoke(comm);
+  ep.fabric().Kill(ep.pid());
+}
+
 Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
   sim::Endpoint& ep = comm.endpoint();
   sim::Fabric& fabric = ep.fabric();

@@ -62,6 +62,16 @@ Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value = 0);
 // traffic is purged.
 Result<mpi::Comm> Shrink(mpi::Comm& comm);
 
+// Voluntary departure (load-driven downscale): the caller revokes the
+// communicator so peers parked in a collective are interrupted promptly,
+// then leaves the fabric. To the survivors this is indistinguishable
+// from a process failure — the standard revoke/agree/shrink repair
+// removes the leaver — which is exactly the point: downscale reuses the
+// audited recovery path instead of growing a second membership protocol.
+// Call between operations (nothing of the caller's is in flight); the
+// caller's endpoint is dead afterwards.
+void LeaveGracefully(sim::Endpoint& ep, mpi::Comm& comm);
+
 // Admits `expected_joiners` new processes into a communicator.
 // Survivors call with their (shrunk) communicator; joiners call with
 // old_comm == nullptr. `session` must be globally unique per expand

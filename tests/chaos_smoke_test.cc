@@ -260,6 +260,103 @@ TEST(ChaosSmoke, SurvivorDyingMidSpliceKeepsOraclesGreen) {
   }
 }
 
+TEST(ChaosSmoke, ServingCampaignsViolateNoOracle) {
+  // Pinned multi-seed batch with the serving-plane draws enabled: the
+  // continuous-batching serving campaigns must hold P0/P3/P6/P7 plus the
+  // serving exactly-once oracle P8 under the generator's background
+  // kills, including campaigns that park autoscaler standbys.
+  GenConfig cfg;
+  cfg.allow_serving = true;
+  int serving_campaigns = 0;
+  int serving_with_kills = 0;
+  int standby_campaigns = 0;
+  for (uint64_t seed = 201; seed < 209; ++seed) {
+    Schedule s = GenerateSchedule(seed, cfg);
+    if (s.shape.serving) {
+      ++serving_campaigns;
+      if (s.EventCount() > 0) ++serving_with_kills;
+      if (s.shape.serve_standbys > 0) ++standby_campaigns;
+    }
+    CampaignOutcome outcome = RunSchedule(s);
+    auto violations = CheckOracles(s, outcome);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << s.seed << ":\n" << FormatViolations(violations);
+  }
+  // The pinned range must actually exercise the serving plane.
+  EXPECT_GE(serving_campaigns, 3);
+  EXPECT_GE(serving_with_kills, 1);
+  EXPECT_GE(standby_campaigns, 1);
+}
+
+TEST(ChaosSmoke, ServingDrawsAreGatedAndSchedulesRoundTrip) {
+  // Old seeds keep generating byte-identical schedules with the serving
+  // draws off (the default): pre-serving reproducers stay valid, and
+  // their JSON carries no serving fields at all.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Schedule s = GenerateSchedule(seed);
+    EXPECT_FALSE(s.shape.serving);
+    EXPECT_EQ(s.ToJson().find("serving"), std::string::npos);
+  }
+  // The serving shape fields survive the JSON round-trip...
+  Schedule s = GenerateSchedule(3);
+  s.shape.serving = true;
+  s.shape.serve_requests = 32;
+  s.shape.serve_rps = 87.5;
+  s.shape.serve_max_batch = 4;
+  s.shape.serve_standbys = 1;
+  Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(Schedule::FromJson(s.ToJson(), &parsed, &error)) << error;
+  EXPECT_TRUE(parsed == s);
+  // ...and JSON recorded before the fields existed parses with them off.
+  ASSERT_TRUE(
+      Schedule::FromJson(GenerateSchedule(3).ToJson(), &parsed, &error))
+      << error;
+  EXPECT_FALSE(parsed.shape.serving);
+}
+
+TEST(ChaosSmoke, ServingKillMidDecodeKeepsEveryAdmittedRequest) {
+  // Hand-built P8 probe: one founder dies mid-service. The survivors
+  // must finish every admitted request exactly once (no drops, no
+  // double-completions), and two replays of the same schedule must
+  // agree on the replicated-state digests bit for bit.
+  Schedule s;
+  s.shape.world = 4;
+  s.shape.serving = true;
+  s.shape.serve_requests = 32;
+  s.shape.serve_rps = 120.0;
+  s.shape.serve_max_batch = 4;
+  s.shape.serve_standbys = 1;
+  const double horizon = EstimateHorizon(s);
+  ASSERT_GT(horizon, 0.0);
+  s.timed.push_back(
+      TimedKill{sim::FailScope::kProcess, /*target=*/2, 0.5 * horizon});
+
+  CampaignOutcome x = RunSchedule(s);
+  auto violations = CheckOracles(s, x);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  EXPECT_GT(x.repairs_metric, 0.0);  // the kill really landed mid-service
+  int finishers = 0;
+  for (const WorkerResult& r : x.results) {
+    if (r.serve.aborted || r.serve.left || r.serve.idle_standby) continue;
+    ++finishers;
+    EXPECT_EQ(r.serve.completed, 32);
+  }
+  EXPECT_GE(finishers, 2);
+
+  CampaignOutcome y = RunSchedule(s);
+  ASSERT_EQ(x.results.size(), y.results.size());
+  for (size_t i = 0; i < x.results.size(); ++i) {
+    EXPECT_EQ(x.results[i].pid, y.results[i].pid);
+    EXPECT_EQ(x.results[i].serve.digest, y.results[i].serve.digest);
+    EXPECT_EQ(x.results[i].serve.completed, y.results[i].serve.completed);
+    EXPECT_EQ(x.results[i].serve.repairs, y.results[i].serve.repairs);
+    EXPECT_EQ(x.results[i].end_time, y.results[i].end_time);
+  }
+  EXPECT_EQ(x.horizon, y.horizon);
+  EXPECT_EQ(x.repairs_metric, y.repairs_metric);
+}
+
 TEST(ChaosSmoke, PlantedReplayBugIsCaughtAndShrunk) {
   // Plant: pid 0 participates in replayed collectives but never applies
   // the result (stale recvbuf) — a "replayed but not restored" bug.

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "kvstore/kvstore.h"
 #include "sim/fabric.h"
@@ -103,6 +106,67 @@ TEST(KvStore, WaitEntryDeliversVersionAndVisibility) {
   EXPECT_EQ(std::string(r2.value().value.begin(), r2.value().value.end()),
             "v2");
   EXPECT_EQ(r2.value().version, 2u);
+}
+
+TEST(KvStore, WaitEntryVersionedVisibilityUnderRacingWriters) {
+  // The race the async admission depends on: writers re-publish one key
+  // (CAS-guarded, so version k always carries the value "v<k>") while
+  // readers snapshot it through WaitEntry. Every observed Entry must be
+  // internally consistent — the value exactly the one its version
+  // published, never a torn (version, value) pair — and the versions a
+  // single reader observes must never move backwards. Run under TSan
+  // this also audits the store's locking around the entry copy-out.
+  Store store;
+  constexpr uint64_t kFinalVersion = 300;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store] {
+      for (;;) {
+        auto v = store.VersionOf(nullptr, "hot");
+        const uint64_t cur = v.ok() ? v.value() : 0;
+        if (cur >= kFinalVersion) return;
+        const std::string val = "v" + std::to_string(cur + 1);
+        store.CompareAndSwap(nullptr, "hot", cur,
+                             std::vector<uint8_t>(val.begin(), val.end()));
+      }
+    });
+  }
+
+  std::atomic<bool> consistent{true};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &consistent] {
+      uint64_t last = 0;
+      for (;;) {
+        auto e = store.WaitEntry(nullptr, "hot");
+        if (!e.ok()) {
+          consistent = false;
+          return;
+        }
+        const Entry& en = e.value();
+        const std::string want = "v" + std::to_string(en.version);
+        if (std::string(en.value.begin(), en.value.end()) != want ||
+            en.version < last) {
+          consistent = false;
+          return;
+        }
+        last = en.version;
+        if (en.version >= kFinalVersion) return;
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(consistent.load());
+  auto fin = store.WaitEntry(nullptr, "hot");
+  ASSERT_TRUE(fin.ok());
+  EXPECT_EQ(fin.value().version, kFinalVersion);
+  EXPECT_EQ(std::string(fin.value().value.begin(), fin.value().value.end()),
+            "v" + std::to_string(kFinalVersion));
 }
 
 TEST(KvStore, WaitAbortsWhenCallerDies) {

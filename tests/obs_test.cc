@@ -64,8 +64,48 @@ TEST(Metrics, HistogramBucketsAndStats) {
     EXPECT_LE(v, Histogram::BucketBound(idx));
     if (idx > 0) EXPECT_GT(v, Histogram::BucketBound(idx - 1));
   }
-  // Quantile returns an upper bucket bound at or above the true value.
+  // Quantile estimates stay within a bucket width of the true value and
+  // never leave the observed range.
   EXPECT_GE(s.Quantile(0.5), 0.5);
+  EXPECT_LE(s.Quantile(0.5), 2.0 * 0.5 + 1e-9);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), s.max);
+  EXPECT_GE(s.Quantile(0.0), s.min);
+}
+
+TEST(Metrics, QuantileEstimatesBoundedByBucketWidth) {
+  // 1000 uniform observations in [1ms, 2ms]: every estimated quantile
+  // must land within the log-bucket's factor-of-2 error bound of the
+  // exact empirical quantile, and extreme quantiles clamp to min/max.
+  Histogram h;
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1e-3 + 1e-3 * (i / 999.0);
+    vals.push_back(v);
+    h.Observe(v);
+  }
+  const auto s = h.TakeSnapshot();
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = vals[static_cast<size_t>(q * 999)];
+    const double est = s.Quantile(q);
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+    EXPECT_GE(est, s.min);
+    EXPECT_LE(est, s.max);
+  }
+  // Monotone in q.
+  EXPECT_LE(s.Quantile(0.5), s.Quantile(0.9));
+  EXPECT_LE(s.Quantile(0.9), s.Quantile(0.99));
+  EXPECT_LE(s.Quantile(0.99), s.Quantile(0.999));
+}
+
+TEST(Metrics, QuantileSingleObservationIsExact) {
+  Histogram h;
+  h.Observe(0.125);
+  const auto s = h.TakeSnapshot();
+  for (const double q : {0.0, 0.5, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.Quantile(q), 0.125);
+  }
+  EXPECT_DOUBLE_EQ(Histogram::Snapshot{}.Quantile(0.5), 0.0);  // empty
 }
 
 // The registry must tolerate many threads hammering the same and
@@ -123,10 +163,20 @@ TEST(Metrics, PrometheusTextShape) {
   EXPECT_NE(text.find("obs_test_prom_seconds_bucket{le=\"+Inf\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("obs_test_prom_seconds_count 1"), std::string::npos);
-  // CSV exposition carries the same families.
+  // Summary-style quantile estimates ride along with the buckets.
+  EXPECT_NE(text.find("obs_test_prom_seconds{quantile=\"0.5\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_seconds{quantile=\"0.999\"} 0.25"),
+            std::string::npos);
+  // CSV exposition carries the same families plus quantile columns.
   const std::string csv = reg.CsvText();
+  EXPECT_NE(csv.find("metric,labels,type,value,count,sum,mean,min,max,"
+                     "p50,p90,p99,p999"),
+            std::string::npos);
   EXPECT_NE(csv.find("obs_test_prom_total"), std::string::npos);
   EXPECT_NE(csv.find("histogram"), std::string::npos);
+  EXPECT_NE(csv.find(",0.25,0.25,0.25,0.25,0.25,0.25,0.25\n"),
+            std::string::npos);  // min,max,p50,p90,p99,p999 all 0.25
 }
 
 TEST(JsonLite, ParsesAndRejects) {
