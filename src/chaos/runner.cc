@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "kvstore/kvstore.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "sim/failure.h"
 
@@ -53,6 +54,9 @@ serve::ServeOptions ServeOptionsFromSchedule(const Schedule& s) {
 }
 
 CampaignOutcome RunSchedule(const Schedule& schedule) {
+  // Fresh flight rings per schedule: a post-abort dump then holds only
+  // this reproducer's history, not the whole campaign's.
+  obs::flight::ResetAll();
   const Shape& sh = schedule.shape;
   sim::SimConfig cfg;
   cfg.gpus_per_node = sh.gpus_per_node;
@@ -158,6 +162,7 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
       r.pid = ep.pid();
       r.serve = driver.Run();
       r.report.aborted = r.serve.aborted;
+      if (r.serve.aborted) obs::flight::DumpOnAbort();
       if (r.serve.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
       r.end_time = ep.now();
       std::lock_guard<std::mutex> lock(mu);
@@ -173,6 +178,7 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
             r.serve = serve::ServingDriver::RunStandbyJoiner(ep, &store, so,
                                                              i, &rec);
             r.report.aborted = r.serve.aborted;
+            if (r.serve.aborted) obs::flight::DumpOnAbort();
             if (r.serve.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
             r.end_time = ep.now();
             std::lock_guard<std::mutex> lock(mu);
@@ -194,6 +200,7 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
     // A worker that aborts while its endpoint is still alive has exited
     // the job (e.g. an unrecoverable state-sync error): peers must
     // observe a process failure, not block forever on a silent leaver.
+    if (r.report.aborted) obs::flight::DumpOnAbort();
     if (r.report.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
     r.end_time = ep.now();
     std::lock_guard<std::mutex> lock(mu);
@@ -250,6 +257,7 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
           }
           // Same exit-is-a-failure rule as the founders: an aborted
           // joiner still registered in the fabric must die visibly.
+          if (r.report.aborted) obs::flight::DumpOnAbort();
           if (r.report.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
           r.end_time = ep.now();
           std::lock_guard<std::mutex> lock(mu);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace rcc::coll {
@@ -48,7 +49,8 @@ Request Request::Start(Info info, sim::Seconds submit, Body body,
   opts.clock = &st->complete;
   st->worker = engine.Spawn(
       opts,
-      [st, inflight, pred = std::move(pred), body = std::move(body)]() mutable {
+      [st, inflight, pid, pred = std::move(pred),
+       body = std::move(body)]() mutable {
         if (pred) {
           std::unique_lock<std::mutex> lock(pred->mu);
           while (!pred->done) pred->wp.Wait(lock);
@@ -61,6 +63,12 @@ Request Request::Start(Info info, sim::Seconds submit, Body body,
         Status s = body(&st->complete);
         RecordRequestMetrics(st->info, st->submit, st->start, st->complete,
                              s.ok());
+        if (obs::flight::Enabled()) {
+          obs::flight::ForRank(pid)->Record(
+              obs::flight::Ev::kCollSvc, st->complete,
+              static_cast<int64_t>(st->info.op_id), s.ok() ? 1 : 0,
+              st->complete - st->start);
+        }
         inflight->Add(-1.0);
         {
           std::lock_guard<std::mutex> lock(st->mu);

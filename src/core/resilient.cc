@@ -43,7 +43,8 @@ ResilientComm::ResilientComm(sim::Endpoint& ep, mpi::Comm comm,
     : ep_(ep),
       comm_(std::make_unique<mpi::Comm>(std::move(comm))),
       policy_(policy),
-      rec_(rec) {}
+      rec_(rec),
+      flight_(obs::flight::ForRank(ep.pid())) {}
 
 std::unique_ptr<ResilientComm> ResilientComm::JoinExisting(
     sim::Endpoint& ep, const std::string& session, int expected_joiners,
@@ -100,9 +101,22 @@ bool ResilientComm::ShouldLeaveNode() const {
 Status ResilientComm::Repair(const Status& failure) {
   if (!ep_.alive()) return Status(Code::kAborted, "self dead");
   ++repairs_;
+  const int64_t repair = repairs_;
   obs::Registry::Global()
       .GetCounter("rcc_recovery_repairs_total")
       ->Increment();
+  const bool fly = obs::flight::Enabled();
+  const double repair_t0 = ep_.now();
+  const std::vector<int> prior_pids = comm_->pids();
+  std::vector<int> noted_failed;
+  if (fly) {
+    flight_->Record(obs::flight::Ev::kRepairBegin, repair_t0, repair);
+    for (int pid : failure.failed_pids()) {
+      flight_->Record(obs::flight::Ev::kFailureDetected, repair_t0, pid);
+      obs::flight::NoteFailureDetected(pid, repair_t0);
+      noted_failed.push_back(pid);
+    }
+  }
   RCC_LOG(kDebug) << "pid " << ep_.pid() << " repair start: "
                   << failure.ToString();
   {
@@ -117,6 +131,9 @@ Status ResilientComm::Repair(const Status& failure) {
       ulfm::Revoke(*comm_);
       ulfm::FailureAck(*comm_);
     }
+    obs::flight::RecordRecoveryPhase(fly ? flight_ : nullptr,
+                                     obs::flight::Phase::kRevoke, ep_.now(),
+                                     repair, ep_.now() - repair_t0);
     if (ShouldLeaveNode()) {
       // Node-drop policy: this process's host lost a member, so it
       // leaves the training job immediately; the survivors' shrink
@@ -128,6 +145,7 @@ Status ResilientComm::Repair(const Status& failure) {
     // die concurrently with the first shrink; the stability check is
     // itself an agreement so every survivor takes the same number of
     // shrink rounds.
+    const double shrink_t0 = ep_.now();
     obs::Span shrink_span(rec_, ep_, "recovery/shrink");
     auto shrunk = ulfm::Shrink(*comm_);
     if (!shrunk.ok()) return shrunk.status();
@@ -146,10 +164,14 @@ Status ResilientComm::Repair(const Status& failure) {
       shrunk = std::move(again);
     }
     comm_ = std::make_unique<mpi::Comm>(shrunk.take());
+    obs::flight::RecordRecoveryPhase(fly ? flight_ : nullptr,
+                                     obs::flight::Phase::kShrink, ep_.now(),
+                                     repair, ep_.now() - shrink_t0);
   }
   // Rebuild the GPU communicator, agreeing each round on success: a
   // member dying *during* the rebuild sends every survivor back through
   // another shrink together (op streams stay aligned).
+  const double rebuild_t0 = ep_.now();
   for (;;) {
     if (gpu_ != nullptr) gpu_->Abort();
     gpu_init_status_ = InitGpu("recovery/");
@@ -175,6 +197,30 @@ Status ResilientComm::Repair(const Status& failure) {
     if (!shrunk.ok()) return shrunk.status();
     comm_ = std::make_unique<mpi::Comm>(shrunk.take());
   }
+  obs::flight::RecordRecoveryPhase(fly ? flight_ : nullptr,
+                                   obs::flight::Phase::kRebuild, ep_.now(),
+                                   repair, ep_.now() - rebuild_t0);
+  if (fly) {
+    // The triggering Status often lacks the casualty list (a collective
+    // reports a generic peer failure; the pids only become certain after
+    // the shrink agreement). Attribute every member that dropped out of
+    // the communicator during this repair, stamped at detection time.
+    const std::vector<int>& now_pids = comm_->pids();
+    for (int pid : prior_pids) {
+      if (std::find(now_pids.begin(), now_pids.end(), pid) !=
+          now_pids.end()) {
+        continue;
+      }
+      if (std::find(noted_failed.begin(), noted_failed.end(), pid) !=
+          noted_failed.end()) {
+        continue;
+      }
+      flight_->Record(obs::flight::Ev::kFailureDetected, repair_t0, pid);
+      obs::flight::NoteFailureDetected(pid, repair_t0);
+    }
+    flight_->Record(obs::flight::Ev::kRepairDone, ep_.now(), repair, 0,
+                    ep_.now() - repair_t0);
+  }
   RCC_LOG(kDebug) << "pid " << ep_.pid() << " repair done";
   return Status::Ok();
 }
@@ -183,6 +229,11 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
                                    const std::function<Status()>& sync_fn,
                                    bool has_data) {
   const auto op_id = static_cast<int64_t>(++op_counter_);
+  const double post_t = ep_.now();
+  if (obs::flight::Enabled()) {
+    flight_->Record(obs::flight::Ev::kCollPost, post_t, op_id,
+                    has_data ? 1 : 0);
+  }
   bool data_done = !has_data;
   bool repaired = false;
   // Set when the pending data run is a post-repair re-execution; the
@@ -192,6 +243,7 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
   for (;;) {
     Status st;
     if (!data_done) {
+      const double retry_t0 = ep_.now();
       if (repaired) {
         obs::Span span(
             rec_, ep_,
@@ -209,6 +261,14 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
           if (rec_ != nullptr) {
             rec_->RecordReplay(ep_.pid(), op_id, replay_min);
           }
+          const bool fly = obs::flight::Enabled();
+          if (fly) {
+            flight_->Record(obs::flight::Ev::kCollReplay, ep_.now(), op_id,
+                            replay_min);
+          }
+          obs::flight::RecordRecoveryPhase(
+              fly ? flight_ : nullptr, obs::flight::Phase::kReplay, ep_.now(),
+              repairs_, ep_.now() - retry_t0);
           if (replay_hook_) replay_hook_(op_id, replay_min);
           replay_min = kNoIncompleteOp;
         }
@@ -216,7 +276,13 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
     }
     if (data_done) {
       st = sync_fn();
-      if (st.ok()) return Status::Ok();
+      if (st.ok()) {
+        if (obs::flight::Enabled()) {
+          flight_->Record(obs::flight::Ev::kCollComplete, ep_.now(), op_id,
+                          0, ep_.now() - post_t);
+        }
+        return Status::Ok();
+      }
     }
     if (st.code() == Code::kAborted) return st;
     // Post-repair resolution (see header): ONE agreement on the earliest
@@ -231,17 +297,26 @@ Status ResilientComm::RunResilient(const std::function<Status()>& data_fn,
       repaired = true;
       int64_t contribution = FirstIncompleteWindowOp();
       if (contribution == kNoIncompleteOp && !data_done) contribution = op_id;
+      const double agree_t0 = ep_.now();
       auto verdict = [&] {
         obs::Span agree(rec_, ep_, "recovery/agree");
         return ulfm::Agree(*comm_, /*flag=*/1, contribution);
       }();
       if (!verdict.ok()) return verdict.status();
+      obs::flight::RecordRecoveryPhase(
+          obs::flight::Enabled() ? flight_ : nullptr,
+          obs::flight::Phase::kAgree, ep_.now(), repairs_,
+          ep_.now() - agree_t0);
       const int64_t min_id = verdict.value().min_value;
       RCC_LOG(kDebug) << "pid " << ep_.pid() << " resolve op " << op_id
                       << " contrib " << contribution << " min " << min_id;
       if (min_id == kNoIncompleteOp || min_id > op_id) {
         // Every survivor holds the data of this op (and of everything
         // before it) and the repair itself synchronized us: complete.
+        if (obs::flight::Enabled()) {
+          flight_->Record(obs::flight::Ev::kCollComplete, ep_.now(), op_id,
+                          0, ep_.now() - post_t);
+        }
         return Status::Ok();
       }
       // Forward recovery: re-execute every op >= MIN in program order on
@@ -294,6 +369,12 @@ Status ResilientComm::WaitOp(WindowOp* op) {
       rec_->RecordOp(ep_.pid(), static_cast<uint64_t>(op->id),
                      op->req.info().algo, op->req.info().bytes,
                      op->req.submit_time(), op->req.complete_time());
+      rec_->RecordCounter(ep_.pid(), "in_flight_window", ep_.now(),
+                          static_cast<double>(inflight()));
+    }
+    if (obs::flight::Enabled()) {
+      flight_->Record(obs::flight::Ev::kCollComplete, ep_.now(), op->id, 0,
+                      op->req.complete_time() - op->req.submit_time());
     }
   }
   return st;
@@ -320,6 +401,9 @@ int64_t ResilientComm::FirstIncompleteWindowOp() const {
 Status ResilientComm::ReplayWindowFrom(int64_t min_id) {
   obs::Counter* replayed =
       obs::Registry::Global().GetCounter("rcc_recovery_replayed_ops_total");
+  const bool fly = obs::flight::Enabled();
+  const double replay_t0 = ep_.now();
+  int64_t depth = 0;
   std::vector<float> scratch;  // planted-fault sink, see below
   for (auto& op : window_) {
     if (op.id < min_id) continue;
@@ -345,10 +429,20 @@ Status ResilientComm::ReplayWindowFrom(int64_t min_id) {
     }
     replayed->Increment();
     if (rec_ != nullptr) rec_->RecordReplay(ep_.pid(), op.id, min_id);
+    if (fly) {
+      flight_->Record(obs::flight::Ev::kCollReplay, ep_.now(), op.id, min_id);
+    }
+    ++depth;
     if (replay_hook_) replay_hook_(op.id, min_id);
     op.done = true;
     op.req = coll::Request();  // the pre-failure request is retired
   }
+  obs::flight::RecordRecoveryPhase(fly ? flight_ : nullptr,
+                                   obs::flight::Phase::kReplay, ep_.now(),
+                                   repairs_, ep_.now() - replay_t0);
+  obs::Registry::Global()
+      .GetHistogram("rcc_recovery_replay_depth")
+      ->Observe(static_cast<double>(depth));
   return Status::Ok();
 }
 
@@ -358,11 +452,16 @@ Status ResilientComm::RecoverWindow(Status failure, bool* need_barrier) {
     Status drained = DrainRequests();
     if (drained.code() == Code::kAborted) return drained;
     RCC_RETURN_IF_ERROR(Repair(failure));
+    const double agree_t0 = ep_.now();
     auto verdict = [&] {
       obs::Span agree(rec_, ep_, "recovery/agree");
       return ulfm::Agree(*comm_, /*flag=*/1, FirstIncompleteWindowOp());
     }();
     if (!verdict.ok()) return verdict.status();
+    obs::flight::RecordRecoveryPhase(
+        obs::flight::Enabled() ? flight_ : nullptr,
+        obs::flight::Phase::kAgree, ep_.now(), repairs_,
+        ep_.now() - agree_t0);
     const int64_t min_id = verdict.value().min_value;
     const int64_t last_submitted = window_.empty() ? 0 : window_.back().id;
     if (min_id == kNoIncompleteOp || min_id > last_submitted) {
@@ -406,7 +505,16 @@ Status ResilientComm::IAllreduce(const float* sendbuf, float* recvbuf,
   op.count = count;
   op.cost_scale = cost_scale;
   window_.push_back(std::move(op));
+  if (obs::flight::Enabled()) {
+    flight_->Record(obs::flight::Ev::kCollPost, ep_.now(), window_.back().id,
+                    static_cast<int64_t>(count),
+                    static_cast<double>(count * sizeof(float)) * cost_scale);
+  }
   SubmitOp(&window_.back());
+  if (rec_ != nullptr) {
+    rec_->RecordCounter(ep_.pid(), "in_flight_window", ep_.now(),
+                        static_cast<double>(inflight()));
+  }
   // Bound the in-flight window on the oldest outstanding op.
   while (inflight() > max_inflight_) {
     WindowOp* oldest = nullptr;
@@ -587,6 +695,9 @@ Status ResilientComm::ExpandAsyncBegin(kv::Store* store,
     RCC_RETURN_IF_ERROR(ulfm::ExpandBegin(ep_, *comm_, session, joiner_count,
                                           timeout, &expand_op_));
   }
+  if (obs::flight::Enabled()) {
+    flight_->Record(obs::flight::Ev::kExpandBegin, ep_.now(), joiner_count);
+  }
   expand_store_ = store;
   expand_session_ = session;
   expand_begin_time_ = t0;
@@ -637,6 +748,10 @@ ResilientComm::PollResult ResilientComm::ExpandPoll(bool finalize) {
       ->Observe(ep_.now() - expand_begin_time_);
   if (decided.value() == ulfm::ExpandStatus::kAborted) {
     CountAdmission("aborted");
+    if (obs::flight::Enabled()) {
+      flight_->Record(obs::flight::Ev::kExpandAbort, ep_.now(), 0, 0,
+                      ep_.now() - expand_begin_time_);
+    }
     RCC_LOG(kDebug) << "pid " << ep_.pid() << " expand '" << expand_session_
                     << "' aborted; continuing degraded";
     if (cleaner && expand_store_ != nullptr) {
@@ -655,6 +770,11 @@ ResilientComm::PollResult ResilientComm::ExpandPoll(bool finalize) {
   {
     obs::Span span(rec_, ep_,
                    std::string("recovery/") + horovod::phase::kExpandSplice);
+    const int admitted = merged->size() - comm_->size();
+    if (obs::flight::Enabled()) {
+      flight_->Record(obs::flight::Ev::kExpandSplice, ep_.now(), admitted, 0,
+                      ep_.now() - expand_begin_time_);
+    }
     comm_ = std::move(merged);
     if (gpu_ != nullptr) gpu_->Abort();
     op_counter_ = std::max(op_counter_,
@@ -680,7 +800,11 @@ std::unique_ptr<ResilientComm> ResilientComm::JoinAsync(
     sim::Endpoint& ep, kv::Store* store, const std::string& session,
     horovod::DropPolicy policy, trace::Recorder* rec,
     const std::function<Status(const std::vector<uint8_t>&)>& restore_fn) {
+  obs::flight::Ring* fly = obs::flight::ForRank(ep.pid());
   if (!ulfm::AnnounceJoiner(ep, session).ok()) return nullptr;
+  if (obs::flight::Enabled()) {
+    fly->Record(obs::flight::Ev::kJoinAnnounce, ep.now());
+  }
   int candidate_world = 0;
   {
     obs::Span span(rec, ep,
@@ -693,7 +817,12 @@ std::unique_ptr<ResilientComm> ResilientComm::JoinAsync(
     double declared = 0.0;
     if (!r.ReadI32(&world).ok() || !r.ReadI32(&count).ok() ||
         !r.ReadF64(&declared).ok()) {
-      if (ep.alive()) ulfm::WithdrawJoiner(ep, session);
+      if (ep.alive()) {
+        if (obs::flight::Enabled()) {
+          fly->Record(obs::flight::Ev::kJoinWithdraw, ep.now());
+        }
+        ulfm::WithdrawJoiner(ep, session);
+      }
       return nullptr;
     }
     candidate_world = world + count;
@@ -707,7 +836,12 @@ std::unique_ptr<ResilientComm> ResilientComm::JoinAsync(
     if (!restored.ok()) {
       // An alive joiner that cannot restore bows out so the survivors'
       // poll round is not left waiting on it until the deadline.
-      if (ep.alive()) ulfm::WithdrawJoiner(ep, session);
+      if (ep.alive()) {
+        if (obs::flight::Enabled()) {
+          fly->Record(obs::flight::Ev::kJoinWithdraw, ep.now());
+        }
+        ulfm::WithdrawJoiner(ep, session);
+      }
       return nullptr;
     }
     // Pre-establish the merged GPU transports (hot-standby bring-up):
@@ -719,10 +853,17 @@ std::unique_ptr<ResilientComm> ResilientComm::JoinAsync(
                         std::to_string(ep.pid()),
                {1});
     if (!ulfm::MarkJoinerStaged(ep, session).ok()) return nullptr;
+    if (obs::flight::Enabled()) {
+      fly->Record(obs::flight::Ev::kJoinStaged, ep.now());
+    }
   }
   ulfm::SpliceOutcome outcome;
   auto joined = ulfm::AwaitSplice(ep, session, &outcome);
   if (!joined.ok()) return nullptr;  // died, excluded, or survivors gone
+  if (obs::flight::Enabled()) {
+    fly->Record(obs::flight::Ev::kJoinSpliced, ep.now(),
+                joined.value().size());
+  }
   auto rc = std::unique_ptr<ResilientComm>(
       new ResilientComm(ep, joined.take(), policy, rec));
   // Adopt the survivors' op counter (same reason as JoinExisting).

@@ -46,6 +46,7 @@
 #include "kvstore/kvstore.h"
 #include "mpi/comm.h"
 #include "nccl/nccl.h"
+#include "obs/flight.h"
 #include "trace/trace.h"
 #include "ulfm/ulfm.h"
 
@@ -278,6 +279,7 @@ class ResilientComm {
   std::unique_ptr<nccl::Comm> gpu_;
   horovod::DropPolicy policy_;
   trace::Recorder* rec_;
+  obs::flight::Ring* flight_;  // this rank's flight-recorder ring
   Status gpu_init_status_;
   int repairs_ = 0;
   uint64_t op_counter_ = 0;

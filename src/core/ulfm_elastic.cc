@@ -9,6 +9,7 @@
 #include "common/serial.h"
 #include "core/resilient.h"
 #include "kvstore/kvstore.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -45,6 +46,22 @@ struct Session {
   }
 };
 
+// Dumps every rank's flight ring the moment a worker exits dead, so the
+// black box survives even when the driver's caller never inspects the
+// outcome. Later aborts overwrite with strictly more history.
+class AbortDumpGuard {
+ public:
+  explicit AbortDumpGuard(sim::Endpoint& ep) : ep_(ep) {}
+  ~AbortDumpGuard() {
+    if (!ep_.alive()) obs::flight::DumpOnAbort();
+  }
+  AbortDumpGuard(const AbortDumpGuard&) = delete;
+  AbortDumpGuard& operator=(const AbortDumpGuard&) = delete;
+
+ private:
+  sim::Endpoint& ep_;
+};
+
 std::vector<uint8_t> EncodeCursor(int epoch, int step) {
   ByteWriter w;
   w.WriteI32(epoch);
@@ -61,6 +78,7 @@ class UlfmWorker {
 
   // Founding worker.
   void RunOriginal() {
+    AbortDumpGuard guard(ep_);
     auto blob = ss_->store->Wait(&ep_, "ulfm/pids");
     if (!blob.ok()) return;
     ByteReader r(blob.value());
@@ -81,6 +99,7 @@ class UlfmWorker {
   // Replacement / upscale worker: provisioned ahead of its merge epoch so
   // the cold start overlaps the survivors' degraded-mode training.
   void RunJoiner(int join_epoch, bool cold) {
+    AbortDumpGuard guard(ep_);
     const auto& costs = ep_.fabric().config().costs;
     const std::string signal =
         cold ? "epoch_start/" + std::to_string(std::max(0, join_epoch - 1))
@@ -108,6 +127,7 @@ class UlfmWorker {
   // finishes), stages the published snapshot in the background, then
   // parks until the survivors splice it in at a step boundary.
   void RunJoinerAsync(int join_epoch, bool cold) {
+    AbortDumpGuard guard(ep_);
     const auto& costs = ep_.fabric().config().costs;
     const std::string session = "epoch" + std::to_string(join_epoch);
     if (!ulfm::AnnounceJoiner(ep_, session).ok()) return;
@@ -333,6 +353,10 @@ class UlfmWorker {
     reg.GetHistogram("rcc_step_seconds", labels)->Observe(wall);
     reg.GetGauge("rcc_world_size", labels)
         ->Set(static_cast<double>(rc_->size()));
+    if (ss_->rec != nullptr) {
+      ss_->rec->RecordCounter(ep_.pid(), "world_size", ep_.now(),
+                              static_cast<double>(rc_->size()));
+    }
   }
 
   bool TrainStepBlocking() {

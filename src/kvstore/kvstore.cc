@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace rcc::kv {
@@ -20,6 +21,20 @@ void SetKeysGauge(size_t n) {
   obs::Registry::Global()
       .GetGauge("rcc_kv_keys")
       ->Set(static_cast<double>(n));
+}
+
+// Stable 53-bit key fingerprint (FNV-1a, truncated) so blocking waits
+// can be correlated across ranks in flight-recorder dumps without
+// storing strings in the fixed-size ring. 53 bits keeps the hash
+// exactly representable as a double, so it survives the JSON dump →
+// postmortem parse round-trip bit-identically.
+int64_t KeyHash(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<int64_t>(h & ((1ull << 53) - 1));
 }
 
 }  // namespace
@@ -67,11 +82,22 @@ Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
                                          const std::string& key) {
   CountOp("wait");
   Charge(ep);
+  obs::flight::Ring* fly = nullptr;
+  double wait_begin = 0.0;
+  if (ep != nullptr && obs::flight::Enabled()) {
+    fly = obs::flight::ForRank(ep->pid());
+    wait_begin = ep->now();
+    fly->Record(obs::flight::Ev::kKvWaitBegin, wait_begin, KeyHash(key));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     auto it = data_.find(key);
     if (it != data_.end()) {
       if (ep != nullptr) ep->AdvanceTo(it->second.visible_at + roundtrip_);
+      if (fly != nullptr) {
+        fly->Record(obs::flight::Ev::kKvWaitEnd, ep->now(), KeyHash(key), 0,
+                    ep->now() - wait_begin);
+      }
       return it->second.value;
     }
     if (ep != nullptr && !ep->alive()) {
@@ -88,11 +114,22 @@ Result<std::vector<uint8_t>> Store::Wait(sim::Endpoint* ep,
 Result<Entry> Store::WaitEntry(sim::Endpoint* ep, const std::string& key) {
   CountOp("wait_entry");
   Charge(ep);
+  obs::flight::Ring* fly = nullptr;
+  double wait_begin = 0.0;
+  if (ep != nullptr && obs::flight::Enabled()) {
+    fly = obs::flight::ForRank(ep->pid());
+    wait_begin = ep->now();
+    fly->Record(obs::flight::Ev::kKvWaitBegin, wait_begin, KeyHash(key));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     auto it = data_.find(key);
     if (it != data_.end()) {
       if (ep != nullptr) ep->AdvanceTo(it->second.visible_at + roundtrip_);
+      if (fly != nullptr) {
+        fly->Record(obs::flight::Ev::kKvWaitEnd, ep->now(), KeyHash(key), 0,
+                    ep->now() - wait_begin);
+      }
       return it->second;
     }
     if (ep != nullptr && !ep->alive()) {

@@ -65,6 +65,7 @@ void AppendMetadata(std::ostringstream& os, int pid, int tid,
 std::string ToChromeTraceJson(const trace::Recorder& rec) {
   const std::vector<trace::Event> events = rec.events();
   const std::vector<trace::OpEvent> ops = rec.op_events();
+  const std::vector<trace::CounterSample> counters = rec.counter_samples();
 
   std::ostringstream os;
   os << "{\"traceEvents\":[\n";
@@ -74,6 +75,7 @@ std::string ToChromeTraceJson(const trace::Recorder& rec) {
   std::set<int> pids;
   for (const auto& e : events) pids.insert(e.pid);
   for (const auto& o : ops) pids.insert(o.pid);
+  for (const auto& c : counters) pids.insert(c.pid);
   for (int pid : pids) {
     AppendMetadata(os, pid, kPhaseTid, "process_name",
                    "rank " + std::to_string(pid), &first);
@@ -106,6 +108,20 @@ std::string ToChromeTraceJson(const trace::Recorder& rec) {
        << ",\"algo\":\"" << JsonEscape(o.algo) << "\"}}";
   }
 
+  // Counter series (ph:"C"): one sample per record; Perfetto renders
+  // each distinct name as a per-rank step chart.
+  for (const auto& c : counters) {
+    if (!first) os << ",\n";
+    first = false;
+    std::ostringstream val;
+    val.setf(std::ios::fixed);
+    val.precision(3);
+    val << c.value;
+    os << "{\"name\":\"" << JsonEscape(c.name) << "\",\"ph\":\"C\",\"ts\":"
+       << Micros(c.t) << ",\"pid\":" << c.pid << ",\"tid\":0,\"args\":{\""
+       << JsonEscape(c.name) << "\":" << val.str() << "}}";
+  }
+
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
   return os.str();
 }
@@ -127,7 +143,8 @@ bool WriteChromeTraceJson(const trace::Recorder& rec,
 }
 
 bool ValidateChromeTraceJson(const std::string& json_text, std::string* error,
-                             size_t* events_checked) {
+                             size_t* events_checked,
+                             size_t* counters_checked) {
   json::Value doc;
   std::string perr;
   if (!json::Parse(json_text, &doc, &perr)) {
@@ -144,6 +161,7 @@ bool ValidateChromeTraceJson(const std::string& json_text, std::string* error,
     return false;
   }
   size_t checked = 0;
+  size_t counters = 0;
   for (size_t i = 0; i < evs->AsArray().size(); ++i) {
     const json::Value& e = evs->AsArray()[i];
     if (!e.is_object()) {
@@ -158,6 +176,45 @@ bool ValidateChromeTraceJson(const std::string& json_text, std::string* error,
         *error = "traceEvents[" + std::to_string(i) + "] missing ph";
       }
       return false;
+    }
+    if (ph->AsString() == "C") {
+      const char* bad = nullptr;
+      const json::Value* name = e.Find("name");
+      if (name == nullptr || !name->is_string()) bad = "name";
+      for (const char* field : {"ts", "pid"}) {
+        if (bad != nullptr) break;
+        const json::Value* v = e.Find(field);
+        if (v == nullptr || !v->is_number() ||
+            !std::isfinite(v->AsNumber())) {
+          bad = field;
+        }
+      }
+      if (bad == nullptr) {
+        const json::Value* cargs = e.Find("args");
+        if (cargs == nullptr || !cargs->is_object()) {
+          bad = "args";
+        } else {
+          // At least one finite numeric series value.
+          bool numeric = false;
+          for (const auto& [k, v] : cargs->AsObject()) {
+            (void)k;
+            if (v.is_number() && std::isfinite(v.AsNumber())) {
+              numeric = true;
+              break;
+            }
+          }
+          if (!numeric) bad = "args (no finite numeric series)";
+        }
+      }
+      if (bad != nullptr) {
+        if (error != nullptr) {
+          *error = "traceEvents[" + std::to_string(i) +
+                   "] invalid counter field: " + bad;
+        }
+        return false;
+      }
+      ++counters;
+      continue;
     }
     if (ph->AsString() != "X") continue;  // metadata events checked above
     const char* missing = nullptr;
@@ -186,6 +243,7 @@ bool ValidateChromeTraceJson(const std::string& json_text, std::string* error,
     return false;
   }
   if (events_checked != nullptr) *events_checked = checked;
+  if (counters_checked != nullptr) *counters_checked = counters;
   return true;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/serial.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "sim/params.h"
 
@@ -84,12 +85,18 @@ ServeReport ServingDriver::Loop() {
   std::vector<float> send(hidden), recv(hidden);
   size_t exported_completions = 0;
   int64_t exported_replays = 0;
+  obs::flight::Ring* fly = obs::flight::ForRank(ep.pid());
+  size_t flight_completions = batcher_.completions().size();
 
   for (;;) {
     if (!PollAdmission(/*finalize=*/false)) return Finish(/*aborted=*/true);
 
     int prompt_tokens = 0;
-    batcher_.Admit(stream_, t_sync_, &prompt_tokens);
+    const int scheduled = batcher_.Admit(stream_, t_sync_, &prompt_tokens);
+    if (scheduled > 0 && obs::flight::Enabled()) {
+      fly->Record(obs::flight::Ev::kServeAdmit, t_sync_, scheduled,
+                  batcher_.waiting(), static_cast<double>(prompt_tokens));
+    }
 
     if (batcher_.running() == 0) {
       if (batcher_.Drained(static_cast<int>(stream_.size()))) {
@@ -158,6 +165,16 @@ ServeReport ServingDriver::Loop() {
     if (!AgreeClock().ok()) return Finish(/*aborted=*/true);
     const double step_seconds = t_sync_ - step_start;
     batcher_.CommitStep(stream_, t_sync_, recv[0], step_seconds);
+
+    const std::vector<Completion>& done_list = batcher_.completions();
+    if (obs::flight::Enabled()) {
+      for (size_t i = flight_completions; i < done_list.size(); ++i) {
+        const Completion& c = done_list[i];
+        fly->Record(obs::flight::Ev::kServeComplete, c.done, c.id, c.tokens,
+                    c.done - c.admit);
+      }
+    }
+    flight_completions = done_list.size();
 
     std::vector<double> ttft = batcher_.TakeFirstTokenLatencies();
     if (rc_->rank() == 0) {
@@ -294,6 +311,12 @@ void ServingDriver::ExportStepMetrics(double step_seconds, int committed_tokens,
 }
 
 ServeReport ServingDriver::Finish(bool aborted) {
+  if (aborted && obs::flight::Enabled()) {
+    sim::Endpoint& ep = rc_->endpoint();
+    obs::flight::ForRank(ep.pid())->Record(obs::flight::Ev::kSelfAbort,
+                                           ep.now());
+    obs::flight::DumpOnAbort();
+  }
   ServeReport r = report_;
   r.aborted = aborted;
   // Repairs that landed after the last step's bookkeeping (e.g. inside

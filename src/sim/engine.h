@@ -57,6 +57,14 @@ std::unique_ptr<Engine> MakeEngine(EngineKind kind);
 // here — callers pair the handler with a real-time watchdog.
 void SetStallHandler(std::function<void(const std::string& report)> handler);
 
+// Secondary stall hook invoked just before the stall handler (and before
+// the fatal check when no handler is installed). Unlike SetStallHandler
+// — which tools own to pick an exit path — the observer is for passive
+// instrumentation: the obs flight recorder installs one that dumps every
+// rank's event ring so a proven deadlock always leaves forensics behind,
+// whatever the handler then does. Pass nullptr to clear.
+void SetStallObserver(std::function<void(const std::string& report)> observer);
+
 // True when the calling context is a fiber task (cooperative backend).
 // Blocking code uses this to pick quiescence semantics over real-clock
 // deadlines.

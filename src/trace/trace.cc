@@ -40,6 +40,17 @@ std::vector<ReplayEvent> Recorder::replay_events() const {
   return replay_events_;
 }
 
+void Recorder::RecordCounter(int pid, const std::string& name, sim::Seconds t,
+                             double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counter_samples_.push_back(CounterSample{pid, name, t, value});
+}
+
+std::vector<CounterSample> Recorder::counter_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_samples_;
+}
+
 void Recorder::SetPhaseStartHook(PhaseStartHook hook) {
   std::lock_guard<std::mutex> lock(hook_mu_);
   phase_start_hook_ = std::move(hook);
@@ -110,6 +121,7 @@ void Recorder::Clear() {
   by_phase_.clear();
   op_events_.clear();
   replay_events_.clear();
+  counter_samples_.clear();
 }
 
 Table Recorder::ToTable() const {

@@ -51,6 +51,15 @@ struct ReplayEvent {
   int64_t min_id = 0;  // the MIN agreed for the repair that replayed this op
 };
 
+// One sample of a named per-rank time series (world size, in-flight
+// window depth). Exported as Chrome trace counter events (ph:"C").
+struct CounterSample {
+  int pid = -1;
+  std::string name;
+  sim::Seconds t = 0.0;
+  double value = 0.0;
+};
+
 class Recorder {
  public:
   void Record(int pid, const std::string& phase, sim::Seconds start,
@@ -63,6 +72,11 @@ class Recorder {
   // Replay audit trail for the chaos oracles.
   void RecordReplay(int pid, int64_t op_id, int64_t min_id);
   std::vector<ReplayEvent> replay_events() const;
+
+  // Counter time series (world size, in-flight window, ...).
+  void RecordCounter(int pid, const std::string& name, sim::Seconds t,
+                     double value);
+  std::vector<CounterSample> counter_samples() const;
 
   // --- phase-start hook -------------------------------------------------
   // Invoked on the *entering* rank's own thread the moment a trace::Scope
@@ -110,6 +124,7 @@ class Recorder {
   std::map<std::string, PhaseAgg> by_phase_;
   std::vector<OpEvent> op_events_;
   std::vector<ReplayEvent> replay_events_;
+  std::vector<CounterSample> counter_samples_;
 
   // Hook storage behind its own mutex so PhaseStarted never contends with
   // Record; has_hook_ lets the common (no hook) case skip the lock.

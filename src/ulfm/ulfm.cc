@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "obs/flight.h"
 #include "sim/engine.h"
 
 namespace rcc::ulfm {
@@ -128,10 +129,15 @@ std::vector<int> FailureGetAcked(mpi::Comm& comm) {
 }
 
 void Revoke(mpi::Comm& comm) {
-  sim::Fabric& fabric = comm.endpoint().fabric();
-  comm.endpoint().Busy(fabric.config().costs.ulfm_revoke_propagation);
+  sim::Endpoint& ep = comm.endpoint();
+  sim::Fabric& fabric = ep.fabric();
+  ep.Busy(fabric.config().costs.ulfm_revoke_propagation);
   comm.group()->revoke.Cancel();
   fabric.WakeAll();
+  if (obs::flight::Enabled()) {
+    obs::flight::ForRank(ep.pid())->Record(obs::flight::Ev::kRevoke,
+                                           ep.now(), comm.context_id());
+  }
 }
 
 void LeaveGracefully(sim::Endpoint& ep, mpi::Comm& comm) {
@@ -141,6 +147,9 @@ void LeaveGracefully(sim::Endpoint& ep, mpi::Comm& comm) {
   // transport timeout; the fabric kill makes the departure a normal
   // acked failure for the subsequent agree/shrink.
   Revoke(comm);
+  if (obs::flight::Enabled()) {
+    obs::flight::ForRank(ep.pid())->Record(obs::flight::Ev::kLeave, ep.now());
+  }
   ep.fabric().Kill(ep.pid());
 }
 
@@ -156,9 +165,10 @@ Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
     return Status(Code::kAborted, "caller died entering agree");
   }
 
-  const std::string key =
-      std::to_string(comm.context_id()) + "/agree/" +
-      std::to_string(comm.NextAgreeSeq());
+  const uint64_t agree_round = comm.NextAgreeSeq();
+  const sim::Seconds agree_enter = ep.now();
+  const std::string key = std::to_string(comm.context_id()) + "/agree/" +
+                          std::to_string(agree_round);
   auto state = AgreeStateFor(key);
   const std::vector<int>& members = comm.pids();
 
@@ -216,11 +226,18 @@ Result<AgreeOutcome> Agree(mpi::Comm& comm, int flag, int64_t value) {
   const bool last = state->leavers >= state->expected_leavers;
   lock.unlock();
   if (last) ReleaseAgreeState(key);
+  if (obs::flight::Enabled()) {
+    obs::flight::ForRank(ep.pid())->Record(
+        obs::flight::Ev::kAgree, ep.now(),
+        static_cast<int64_t>(agree_round), outcome.min_value,
+        ep.now() - agree_enter);
+  }
   return outcome;
 }
 
 Result<mpi::Comm> Shrink(mpi::Comm& comm) {
   sim::Endpoint& ep = comm.endpoint();
+  const sim::Seconds shrink_enter = ep.now();
   auto agreed = Agree(comm, /*flag=*/1);
   if (!agreed.ok()) return agreed.status();
 
@@ -249,6 +266,13 @@ Result<mpi::Comm> Shrink(mpi::Comm& comm) {
   if (next.rank() == 0) {
     ep.fabric().PurgeContext(comm.context_id());
   }
+  if (obs::flight::Enabled()) {
+    obs::flight::ForRank(ep.pid())->Record(
+        obs::flight::Ev::kShrink, ep.now(),
+        static_cast<int64_t>(survivors.size()),
+        static_cast<int64_t>(agreed.value().failed_pids.size()),
+        ep.now() - shrink_enter);
+  }
   return next;
 }
 
@@ -270,6 +294,7 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
   if (old_comm != nullptr && ep.MaybeSelfKill()) {
     return Status(Code::kAborted, "survivor killed entering expand");
   }
+  const sim::Seconds expand_enter = ep.now();
 
   std::unique_lock<std::mutex> lock(state->mu);
   if (old_comm != nullptr) {
@@ -375,6 +400,11 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
     const bool last = state->leavers >= state->expected_leavers;
     lock.unlock();
     if (last) ReleaseExpandState(key);
+    if (obs::flight::Enabled()) {
+      obs::flight::ForRank(ep.pid())->Record(
+          obs::flight::Ev::kExpandAbort, ep.now(), 0, 0,
+          ep.now() - expand_enter);
+    }
     return Status(Code::kTimeout,
                   "expand timed out waiting for rendezvous arrivals");
   }
@@ -386,6 +416,12 @@ Result<mpi::Comm> ExpandComm(sim::Endpoint& ep, mpi::Comm* old_comm,
   const bool last = state->leavers >= state->expected_leavers;
   lock.unlock();
   if (last) ReleaseExpandState(key);
+  if (obs::flight::Enabled()) {
+    obs::flight::ForRank(ep.pid())->Record(
+        obs::flight::Ev::kExpand, ep.now(),
+        static_cast<int64_t>(group->pids.size()), expected_joiners,
+        ep.now() - expand_enter);
+  }
 
   mpi::Comm next(&ep, group);
   if (old_comm != nullptr) {
@@ -667,6 +703,17 @@ Result<ExpandStatus> ExpandTest(sim::Endpoint& ep, mpi::Comm& comm,
       continue;
     }
     state->wp.WaitFor(lock, 200e-6);
+  }
+
+  if (obs::flight::Enabled()) {
+    // b: round verdict — 0 pending, 1 spliced, 2 aborted.
+    const int64_t verdict = r.status == ExpandStatus::kPending  ? 0
+                            : r.status == ExpandStatus::kSpliced ? 1
+                                                                 : 2;
+    obs::flight::ForRank(ep.pid())->Record(obs::flight::Ev::kExpandRound,
+                                           ep.now(),
+                                           static_cast<int64_t>(round),
+                                           verdict);
   }
 
   if (r.status == ExpandStatus::kPending) return ExpandStatus::kPending;

@@ -1,0 +1,244 @@
+// Flight recorder unit tests: seqlock ring semantics (ordering,
+// wraparound, torn-write rejection under concurrency), the JSON dump
+// round-trip through the postmortem parser, and the live-metric feeds
+// (recovery-phase histograms, MTBF estimator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/postmortem.h"
+
+namespace rcc::obs::flight {
+namespace {
+
+TEST(FlightRing, RecordsInOrderWithPayloads) {
+  Ring ring(/*pid=*/7, /*slots=*/64);
+  ring.Record(Ev::kCollPost, 1.0, 100, 256, 1024.0);
+  ring.Record(Ev::kCollComplete, 2.0, 100, 0, 1.0);
+  ring.Record(Ev::kRevoke, 3.0, 42);
+
+  const std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].index, 0u);
+  EXPECT_EQ(events[0].kind, Ev::kCollPost);
+  EXPECT_DOUBLE_EQ(events[0].t, 1.0);
+  EXPECT_EQ(events[0].a, 100);
+  EXPECT_EQ(events[0].b, 256);
+  EXPECT_DOUBLE_EQ(events[0].c, 1024.0);
+  EXPECT_EQ(events[1].kind, Ev::kCollComplete);
+  EXPECT_DOUBLE_EQ(events[1].c, 1.0);
+  EXPECT_EQ(events[2].kind, Ev::kRevoke);
+  EXPECT_EQ(events[2].a, 42);
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(FlightRing, WraparoundKeepsNewestAndCountsDropped) {
+  Ring ring(/*pid=*/1, /*slots=*/16);
+  for (int i = 0; i < 40; ++i) {
+    ring.Record(Ev::kCollPost, static_cast<double>(i), i);
+  }
+  EXPECT_EQ(ring.recorded(), 40u);
+  EXPECT_EQ(ring.dropped(), 24u);
+  const std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  for (size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].index, 24 + k);
+    EXPECT_EQ(events[k].a, static_cast<int64_t>(24 + k));
+  }
+}
+
+TEST(FlightRing, ResetEmptiesInPlace) {
+  Ring ring(/*pid=*/2, /*slots=*/16);
+  for (int i = 0; i < 20; ++i) ring.Record(Ev::kAgree, 0.0, i);
+  ring.Reset();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  ring.Record(Ev::kShrink, 5.0, 3, 1);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].index, 0u);
+  EXPECT_EQ(events[0].kind, Ev::kShrink);
+}
+
+// Writers hammer a deliberately tiny ring while a reader snapshots
+// continuously: every event a snapshot returns must be internally
+// consistent (the seqlock must reject torn slots). The TSan preset runs
+// this under both engines.
+TEST(FlightRing, ConcurrentSnapshotsNeverSeeTornEvents) {
+  Ring ring(/*pid=*/3, /*slots=*/32);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const Event& e : ring.Snapshot()) {
+        // Writer w records a=w, b=i, c=w*1e6+i: any mix of two writes
+        // breaks the identity.
+        if (e.c != static_cast<double>(e.a) * 1e6 + static_cast<double>(e.b)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        ring.Record(Ev::kCollPost, static_cast<double>(i), w, i,
+                    static_cast<double>(w) * 1e6 + i);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(ring.recorded(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  // Quiescent snapshot: the last `slots` events are all intact.
+  EXPECT_EQ(ring.Snapshot().size(), 32u);
+}
+
+TEST(Flight, EnabledToggles) {
+  ASSERT_TRUE(Enabled());  // default-on (RCC_FLIGHT unset in tests)
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+}
+
+TEST(Flight, ForRankReturnsStablePointer) {
+  Ring* a = ForRank(1234);
+  Ring* b = ForRank(1234);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->pid(), 1234);
+  EXPECT_NE(ForRank(1235), a);
+}
+
+// Dump -> parse round-trip through the postmortem reader: every field
+// the recorder wrote must come back bit-identically (%.17g doubles).
+TEST(Flight, DumpJsonRoundTrip) {
+  Ring* ring = ForRank(919);
+  ring->Reset();
+  ring->Record(Ev::kCollPost, 1.25, 17, 4096, 16384.0);
+  ring->Record(Ev::kRecoveryPhase, 2.5, 2, 1, 0.125);
+  // Key hashes are 53-bit by contract: exactly representable as a
+  // double, so they survive the JSON round-trip bit-identically.
+  ring->Record(Ev::kKvWaitBegin, 3.0,
+               0x1234567890abcdefLL & ((1LL << 53) - 1));
+
+  const std::string json = ring->ToJson("unit \"test\" reason");
+  postmortem::RankDump dump;
+  std::string err;
+  ASSERT_TRUE(postmortem::ParseDumpJson(json, &dump, &err)) << err;
+  EXPECT_EQ(dump.pid, 919);
+  EXPECT_EQ(dump.reason, "unit \"test\" reason");
+  EXPECT_EQ(dump.recorded, 3u);
+  EXPECT_EQ(dump.dropped, 0u);
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_EQ(dump.events[0].kind, Ev::kCollPost);
+  EXPECT_EQ(dump.events[0].a, 17);
+  EXPECT_EQ(dump.events[0].b, 4096);
+  EXPECT_DOUBLE_EQ(dump.events[0].c, 16384.0);
+  EXPECT_DOUBLE_EQ(dump.events[0].t, 1.25);
+  EXPECT_EQ(dump.events[1].kind, Ev::kRecoveryPhase);
+  EXPECT_DOUBLE_EQ(dump.events[1].c, 0.125);
+  EXPECT_EQ(dump.events[2].kind, Ev::kKvWaitBegin);
+  EXPECT_EQ(dump.events[2].a, 0x1234567890abcdefLL & ((1LL << 53) - 1));
+}
+
+// DumpAll writes one file per rank with the prefix; the postmortem
+// lister finds them.
+TEST(Flight, DumpAllWritesPerRankFiles) {
+  Ring* ring = ForRank(7777);
+  ring->Reset();
+  ring->Record(Ev::kSelfAbort, 9.0);
+  const std::vector<std::string> paths =
+      DumpAll("flight_test", ".", "ut7777_");
+  ASSERT_FALSE(paths.empty());
+  bool found = false;
+  for (const std::string& p : paths) {
+    if (p.find("ut7777_flight_rank7777.json") == std::string::npos) continue;
+    found = true;
+    postmortem::RankDump dump;
+    std::string err;
+    ASSERT_TRUE(postmortem::ParseDumpFile(p, &dump, &err)) << err;
+    EXPECT_EQ(dump.pid, 7777);
+    EXPECT_EQ(dump.reason, "flight_test");
+    ASSERT_EQ(dump.events.size(), 1u);
+    EXPECT_EQ(dump.events[0].kind, Ev::kSelfAbort);
+  }
+  EXPECT_TRUE(found);
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+// RecordRecoveryPhase must observe the *identical* duration into the
+// flight event and the rcc_recovery_phase_seconds histogram — the
+// phase-sum == metric-delta acceptance check rests on this.
+TEST(Flight, RecoveryPhaseFeedsEventAndHistogramIdentically) {
+  auto& reg = Registry::Global();
+  const Labels agree{{"phase", "agree"}};
+  const double sum0 =
+      reg.HistogramSnapshot("rcc_recovery_phase_seconds", agree).sum;
+  const uint64_t count0 =
+      reg.HistogramSnapshot("rcc_recovery_phase_seconds", agree).count;
+
+  Ring* ring = ForRank(5555);
+  ring->Reset();
+  const double duration = 0.015625;  // exactly representable
+  RecordRecoveryPhase(ring, Phase::kAgree, /*t_end=*/12.0,
+                      /*repair_ordinal=*/4, duration);
+
+  const auto events = ring->Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, Ev::kRecoveryPhase);
+  EXPECT_EQ(events[0].a, static_cast<int64_t>(Phase::kAgree));
+  EXPECT_EQ(events[0].b, 4);
+  EXPECT_DOUBLE_EQ(events[0].c, duration);
+
+  const auto snap =
+      reg.HistogramSnapshot("rcc_recovery_phase_seconds", agree);
+  EXPECT_EQ(snap.count, count0 + 1);
+  EXPECT_DOUBLE_EQ(snap.sum - sum0, duration);
+}
+
+// MTBF estimator: dedupes by pid (every survivor reports the same
+// victim), estimates mean inter-failure time once two distinct pids
+// have failed.
+TEST(Flight, MtbfEstimatorDedupesAndAverages) {
+  auto& reg = Registry::Global();
+  ResetAll();
+  const double failures0 = reg.CounterValue("rcc_failures_observed_total");
+
+  NoteFailureDetected(50, 10.0);
+  NoteFailureDetected(50, 11.0);  // duplicate detection, ignored
+  EXPECT_DOUBLE_EQ(reg.CounterValue("rcc_failures_observed_total"),
+                   failures0 + 1);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("rcc_mtbf_seconds"), 10.0);
+
+  NoteFailureDetected(51, 30.0);
+  NoteFailureDetected(52, 50.0);
+  EXPECT_DOUBLE_EQ(reg.CounterValue("rcc_failures_observed_total"),
+                   failures0 + 3);
+  // (50 - 10) / (3 - 1)
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("rcc_mtbf_seconds"), 20.0);
+
+  ResetAll();
+  NoteFailureDetected(60, 5.0);  // fresh run: time-to-first-failure again
+  EXPECT_DOUBLE_EQ(reg.GaugeValue("rcc_mtbf_seconds"), 5.0);
+}
+
+}  // namespace
+}  // namespace rcc::obs::flight

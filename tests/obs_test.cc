@@ -179,6 +179,37 @@ TEST(Metrics, PrometheusTextShape) {
             std::string::npos);  // min,max,p50,p90,p99,p999 all 0.25
 }
 
+// Round-trip: the summary-style quantile series in the Prometheus
+// exposition must parse back to what Snapshot::Quantile computes from
+// the live histogram (to the exposition's 9 significant digits) — the
+// scrape is the paper's tail-latency data source, so the two paths may
+// never drift.
+TEST(Metrics, PrometheusQuantilesRoundTrip) {
+  auto& reg = Registry::Global();
+  Histogram* h = reg.GetHistogram("obs_test_quant_rt_seconds");
+  for (int i = 1; i <= 500; ++i) h->Observe(1e-4 * i);
+  const Histogram::Snapshot snap =
+      reg.HistogramSnapshot("obs_test_quant_rt_seconds");
+
+  const std::string text = reg.PrometheusText();
+  const double qs[] = {0.5, 0.9, 0.99, 0.999};
+  const char* labels[] = {"0.5", "0.9", "0.99", "0.999"};
+  for (int i = 0; i < 4; ++i) {
+    const std::string needle = std::string("obs_test_quant_rt_seconds") +
+                               "{quantile=\"" + labels[i] + "\"} ";
+    const size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos) << "missing quantile " << labels[i];
+    // Parse the exported sample value back off the line.
+    const size_t val_at = at + needle.size();
+    const size_t eol = text.find('\n', val_at);
+    ASSERT_NE(eol, std::string::npos);
+    const double parsed = std::stod(text.substr(val_at, eol - val_at));
+    const double expected = snap.Quantile(qs[i]);
+    EXPECT_NEAR(parsed, expected, 1e-8 * std::abs(expected) + 1e-15)
+        << "q=" << labels[i];
+  }
+}
+
 TEST(JsonLite, ParsesAndRejects) {
   json::Value v;
   std::string err;
@@ -236,6 +267,48 @@ TEST(TraceJson, SchemaRoundTrip) {
   EXPECT_TRUE(found_op);
 }
 
+// Counter samples become ph:"C" events carrying the series value; the
+// validator counts them and the values survive the round-trip.
+TEST(TraceJson, CounterEventsRoundTrip) {
+  trace::Recorder rec;
+  rec.Record(0, "step", 0.0, 1.0);  // at least one complete event
+  rec.RecordCounter(0, "world_size", 0.5, 63.0);
+  rec.RecordCounter(0, "world_size", 1.5, 62.0);
+  rec.RecordCounter(2, "in_flight_window", 0.75, 4.0);
+
+  const std::string json_text = ToChromeTraceJson(rec);
+  std::string err;
+  size_t checked = 0;
+  size_t counters = 0;
+  ASSERT_TRUE(ValidateChromeTraceJson(json_text, &err, &checked, &counters))
+      << err;
+  EXPECT_EQ(checked, 1u);
+  EXPECT_EQ(counters, 3u);
+
+  json::Value doc;
+  ASSERT_TRUE(json::Parse(json_text, &doc, &err)) << err;
+  int world_samples = 0;
+  bool found_window = false;
+  for (const auto& e : doc.Find("traceEvents")->AsArray()) {
+    if (e.Find("ph")->AsString() != "C") continue;
+    const std::string name = e.Find("name")->AsString();
+    if (name == "world_size") {
+      ++world_samples;
+      EXPECT_DOUBLE_EQ(e.Find("pid")->AsNumber(), 0.0);
+      const double v = e.Find("args")->Find("world_size")->AsNumber();
+      EXPECT_TRUE(v == 63.0 || v == 62.0) << v;
+    } else if (name == "in_flight_window") {
+      found_window = true;
+      EXPECT_DOUBLE_EQ(e.Find("pid")->AsNumber(), 2.0);
+      EXPECT_DOUBLE_EQ(e.Find("ts")->AsNumber(), 0.75e6);
+      EXPECT_DOUBLE_EQ(e.Find("args")->Find("in_flight_window")->AsNumber(),
+                       4.0);
+    }
+  }
+  EXPECT_EQ(world_samples, 2);
+  EXPECT_TRUE(found_window);
+}
+
 TEST(TraceJson, ValidatorRejectsBrokenDocuments) {
   std::string err;
   EXPECT_FALSE(ValidateChromeTraceJson("not json", &err));
@@ -254,6 +327,24 @@ TEST(TraceJson, ValidatorRejectsBrokenDocuments) {
       R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":5,"pid":0,"tid":0}]})",
       &err))
       << err;
+  // A counter event without a numeric series value must fail.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":5,"pid":0,"tid":0},)"
+      R"({"name":"c","ph":"C","ts":1,"pid":0,"args":{"c":"not a number"}}]})",
+      &err));
+  // A counter event missing args must fail.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":5,"pid":0,"tid":0},)"
+      R"({"name":"c","ph":"C","ts":1,"pid":0}]})",
+      &err));
+  // A well-formed counter event passes alongside the complete event.
+  size_t counters = 0;
+  EXPECT_TRUE(ValidateChromeTraceJson(
+      R"({"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":5,"pid":0,"tid":0},)"
+      R"({"name":"c","ph":"C","ts":1,"pid":0,"args":{"c":7}}]})",
+      &err, nullptr, &counters))
+      << err;
+  EXPECT_EQ(counters, 1u);
 }
 
 // Spans must feed both the recorder (trace export) and the phase

@@ -1,0 +1,318 @@
+// Cross-rank post-mortem forensics, end to end: the two acceptance
+// scenarios (a deterministic mid-allreduce kill and a planted stall)
+// plus unit coverage of the analysis rules on synthetic dumps.
+//
+// Scenario (a) additionally checks the phase-sum == metric-delta
+// contract: the revoke/agree/shrink/rebuild/replay durations summed
+// from the flight dumps must equal the rcc_recovery_phase_seconds
+// histogram deltas, because both are fed the identical double at the
+// recording site. When RCC_POSTMORTEM_TOOL points at the built CLI
+// (ctest sets it), the real binary is executed on the dumps and its
+// ROOT-CAUSE line asserted.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/resilient.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/postmortem.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "sim/failure_event.h"
+
+namespace rcc::obs::postmortem {
+namespace {
+
+flight::Event Ev(flight::Ev kind, double t, int64_t a = 0, int64_t b = 0,
+                 double c = 0.0) {
+  flight::Event e;
+  e.t = t;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  return e;
+}
+
+RankDump Dump(int pid, std::vector<flight::Event> events) {
+  RankDump d;
+  d.pid = pid;
+  d.reason = "test";
+  d.ring = 4096;
+  d.recorded = events.size();
+  for (size_t i = 0; i < events.size(); ++i) events[i].index = i;
+  d.events = std::move(events);
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// Analysis rules on synthetic dumps
+// ---------------------------------------------------------------------
+
+TEST(PostmortemAnalysis, SelfAbortWinsOverFailureDetection) {
+  Report rep = Analyze({
+      Dump(0, {Ev(flight::Ev::kFailureDetected, 2.0, /*victim=*/3)}),
+      Dump(1, {Ev(flight::Ev::kSelfAbort, 1.0)}),
+  });
+  EXPECT_EQ(rep.root_cause.kind, "self_abort");
+  EXPECT_EQ(rep.root_cause.rank, 1);
+}
+
+TEST(PostmortemAnalysis, FirstFailureNamesTheVictim) {
+  Report rep = Analyze({
+      Dump(0, {Ev(flight::Ev::kFailureDetected, 2.0, /*victim=*/3)}),
+      Dump(1, {Ev(flight::Ev::kFailureDetected, 1.5, /*victim=*/3)}),
+  });
+  EXPECT_EQ(rep.root_cause.kind, "first_failure");
+  EXPECT_EQ(rep.root_cause.rank, 3);
+}
+
+TEST(PostmortemAnalysis, StragglerIsTheRankThatNeverPosted) {
+  // Op 7 posted by ranks 0 and 2, completed by nobody; rank 1 went
+  // quiet (its last event is earliest and it never posted op 7).
+  Report rep = Analyze({
+      Dump(0, {Ev(flight::Ev::kCollPost, 1.0, 7),
+               Ev(flight::Ev::kKvWaitBegin, 1.5, 99)}),
+      Dump(1, {Ev(flight::Ev::kCollComplete, 0.5, 6)}),
+      Dump(2, {Ev(flight::Ev::kCollPost, 1.1, 7)}),
+  });
+  ASSERT_TRUE(rep.ops.count(7));
+  EXPECT_TRUE(rep.ops.at(7).stalled);
+  EXPECT_EQ(rep.root_cause.kind, "straggler");
+  EXPECT_EQ(rep.root_cause.rank, 1);
+}
+
+TEST(PostmortemAnalysis, TimelineMergesSortedByTimeThenOp) {
+  Report rep = Analyze({
+      Dump(0, {Ev(flight::Ev::kCollPost, 2.0, 5),
+               Ev(flight::Ev::kCollComplete, 3.0, 5)}),
+      Dump(1, {Ev(flight::Ev::kCollPost, 1.0, 4)}),
+  });
+  ASSERT_EQ(rep.timeline.size(), 3u);
+  EXPECT_DOUBLE_EQ(rep.timeline[0].t, 1.0);
+  EXPECT_EQ(rep.timeline[0].pid, 1);
+  EXPECT_DOUBLE_EQ(rep.timeline[2].t, 3.0);
+  // Lifecycles: op 5 completed, op 4 stalled.
+  EXPECT_FALSE(rep.ops.at(5).stalled);
+  EXPECT_TRUE(rep.ops.at(4).stalled);
+}
+
+TEST(PostmortemAnalysis, RepairBreakdownCriticalAndTotals) {
+  const auto phase = [](flight::Phase p, int64_t repair, double dur,
+                        double t) {
+    return Ev(flight::Ev::kRecoveryPhase, t, static_cast<int64_t>(p),
+              repair, dur);
+  };
+  Report rep = Analyze({
+      Dump(0, {phase(flight::Phase::kRevoke, 1, 0.010, 1.0),
+               phase(flight::Phase::kShrink, 1, 0.200, 1.3)}),
+      Dump(1, {phase(flight::Phase::kRevoke, 1, 0.030, 1.0),
+               phase(flight::Phase::kShrink, 1, 0.100, 1.3)}),
+  });
+  ASSERT_EQ(rep.repairs.size(), 1u);
+  const RepairBreakdown& rb = rep.repairs.at(1);
+  EXPECT_EQ(rb.ranks, 2);
+  const int rev = static_cast<int>(flight::Phase::kRevoke);
+  const int shr = static_cast<int>(flight::Phase::kShrink);
+  EXPECT_DOUBLE_EQ(rb.critical[rev], 0.030);  // slowest rank
+  EXPECT_DOUBLE_EQ(rb.total[rev], 0.040);     // rank-seconds
+  EXPECT_DOUBLE_EQ(rb.critical[shr], 0.200);
+  EXPECT_DOUBLE_EQ(rb.total[shr], 0.300);
+}
+
+TEST(PostmortemAnalysis, FormatReportLeadsWithRootCause) {
+  Report rep = Analyze({
+      Dump(0, {Ev(flight::Ev::kFailureDetected, 1.0, 2)}),
+  });
+  const std::string text = FormatReport(rep);
+  EXPECT_EQ(text.rfind("ROOT-CAUSE rank=2 kind=first_failure", 0), 0u)
+      << text;
+}
+
+// ---------------------------------------------------------------------
+// Acceptance (a): deterministic mid-allreduce kill
+// ---------------------------------------------------------------------
+
+constexpr const char* kKillDumpDir = "postmortem_kill_dumps";
+
+TEST(PostmortemEndToEnd, MidAllreduceKillNamesVictimAndPhaseSumsMatch) {
+  ASSERT_TRUE(flight::Enabled());
+  flight::ResetAll();
+  ::mkdir(kKillDumpDir, 0755);
+  for (const std::string& old : ListDumpFiles(kKillDumpDir)) {
+    std::remove(old.c_str());
+  }
+
+  auto& reg = Registry::Global();
+  const char* phases[] = {"", "revoke", "agree", "shrink", "rebuild",
+                          "replay"};
+  double sum0[6] = {};
+  for (int p = 1; p <= 5; ++p) {
+    sum0[p] = reg.HistogramSnapshot("rcc_recovery_phase_seconds",
+                                    {{"phase", phases[p]}})
+                  .sum;
+  }
+
+  constexpr int kWorld = 4;
+  constexpr int kVictim = 2;
+  sim::Cluster cluster;
+  // Mid-run process kill in virtual time: the victim dies inside one of
+  // the step allreduces, not at a collective boundary.
+  cluster.AddPendingFailure(
+      sim::FailureEvent{sim::FailScope::kProcess, kVictim, 0.02});
+
+  std::atomic<int> survivors{0};
+  std::vector<int> pids{0, 1, 2, 3};
+  cluster.Spawn(kWorld, [&](sim::Endpoint& ep) {
+    core::ResilientComm rc(ep, pids, horovod::DropPolicy::kProcess,
+                           nullptr);
+    std::vector<float> in(512, 1.0f), out(512);
+    for (int i = 0; i < 20; ++i) {
+      if (!rc.Allreduce(in.data(), out.data(), in.size()).ok()) {
+        return;  // the victim, dead mid-op
+      }
+    }
+    EXPECT_EQ(rc.repairs(), 1);
+    survivors++;
+  });
+  cluster.Join();
+  ASSERT_EQ(survivors.load(), kWorld - 1);
+
+  // Every surviving rank dumps its ring (the victim's ring holds what
+  // it recorded before dying and rides along).
+  const std::vector<std::string> paths =
+      flight::DumpAll("test: mid-allreduce kill", kKillDumpDir);
+  ASSERT_EQ(paths.size(), static_cast<size_t>(kWorld));
+
+  std::vector<RankDump> dumps;
+  for (const std::string& p : ListDumpFiles(kKillDumpDir)) {
+    RankDump d;
+    std::string err;
+    ASSERT_TRUE(ParseDumpFile(p, &d, &err)) << p << ": " << err;
+    dumps.push_back(std::move(d));
+  }
+  ASSERT_EQ(dumps.size(), static_cast<size_t>(kWorld));
+
+  Report rep = Analyze(std::move(dumps));
+  EXPECT_EQ(rep.root_cause.kind, "first_failure");
+  EXPECT_EQ(rep.root_cause.rank, kVictim);
+  ASSERT_EQ(rep.repairs.size(), 1u);
+  const RepairBreakdown& rb = rep.repairs.begin()->second;
+  EXPECT_EQ(rb.ranks, kWorld - 1);
+
+  // Phase-sum == metric-delta: the dumps' per-phase rank-second totals
+  // must equal the histogram deltas (identical doubles at the recording
+  // site; only summation order differs).
+  for (int p = 1; p <= 5; ++p) {
+    double dump_sum = 0.0;
+    for (const auto& [repair, breakdown] : rep.repairs) {
+      dump_sum += breakdown.total[p];
+    }
+    const double metric_delta =
+        reg.HistogramSnapshot("rcc_recovery_phase_seconds",
+                              {{"phase", phases[p]}})
+            .sum -
+        sum0[p];
+    EXPECT_NEAR(dump_sum, metric_delta,
+                1e-12 * std::max(1.0, std::abs(metric_delta)))
+        << "phase " << phases[p];
+  }
+  // The repair actually spent time somewhere.
+  double critical = 0.0;
+  for (int p = 1; p <= 5; ++p) critical += rb.critical[p];
+  EXPECT_GT(critical, 0.0);
+
+  // Run the real CLI on the dumps when ctest tells us where it is.
+  if (const char* tool = std::getenv("RCC_POSTMORTEM_TOOL")) {
+    const std::string out_path = std::string(kKillDumpDir) + "/report.txt";
+    const std::string cmd = std::string(tool) + " --dir " + kKillDumpDir +
+                            " > " + out_path;
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    std::ifstream in(out_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("ROOT-CAUSE rank=2 kind=first_failure"),
+              std::string::npos)
+        << ss.str();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Acceptance (b): planted stall (a rank goes quiet without dying)
+// ---------------------------------------------------------------------
+
+constexpr const char* kStallDumpDir = "postmortem_stall_dumps";
+
+// Child body for the death test: rank 1 silently never enters the
+// collective while staying alive; on the fibers engine the scheduler
+// proves quiescence, the flight stall observer dumps every ring, and
+// the stall handler exits 3.
+void RunPlantedStall() {
+  ::setenv("RCC_FLIGHT_DIR", kStallDumpDir, 1);
+  sim::SetStallHandler([](const std::string&) { std::_Exit(3); });
+  sim::SimConfig cfg;
+  cfg.engine = sim::EngineKind::kFibers;
+  sim::Cluster cluster(cfg);
+  std::vector<int> pids{0, 1, 2};
+  cluster.Spawn(3, [&](sim::Endpoint& ep) {
+    core::ResilientComm rc(ep, pids, horovod::DropPolicy::kProcess,
+                           nullptr);
+    if (rc.rank() == 1) return;  // planted stall: alive but gone quiet
+    std::vector<float> in(64, 1.0f), out(64);
+    (void)rc.Allreduce(in.data(), out.data(), in.size());
+  });
+  cluster.Join();
+  std::_Exit(0);  // not reached: the stall fires first
+}
+
+TEST(PostmortemEndToEnd, PlantedStallDumpsAndNamesTheStraggler) {
+  ASSERT_TRUE(flight::Enabled());
+  ::mkdir(kStallDumpDir, 0755);
+  for (const std::string& old : ListDumpFiles(kStallDumpDir)) {
+    std::remove(old.c_str());
+  }
+
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(RunPlantedStall(), ::testing::ExitedWithCode(3), "");
+
+  std::vector<RankDump> dumps;
+  for (const std::string& p : ListDumpFiles(kStallDumpDir)) {
+    RankDump d;
+    std::string err;
+    ASSERT_TRUE(ParseDumpFile(p, &d, &err)) << p << ": " << err;
+    EXPECT_EQ(d.reason.rfind("stall", 0), 0u) << d.reason;
+    dumps.push_back(std::move(d));
+  }
+  ASSERT_EQ(dumps.size(), 3u);
+
+  Report rep = Analyze(std::move(dumps));
+  EXPECT_EQ(rep.root_cause.kind, "straggler");
+  EXPECT_EQ(rep.root_cause.rank, 1);
+
+  if (const char* tool = std::getenv("RCC_POSTMORTEM_TOOL")) {
+    const std::string out_path = std::string(kStallDumpDir) + "/report.txt";
+    const std::string cmd = std::string(tool) + " --dir " + kStallDumpDir +
+                            " > " + out_path;
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    std::ifstream in(out_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("ROOT-CAUSE rank=1 kind=straggler"),
+              std::string::npos)
+        << ss.str();
+  }
+}
+
+}  // namespace
+}  // namespace rcc::obs::postmortem

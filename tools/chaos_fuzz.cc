@@ -31,6 +31,7 @@
 #include "chaos/runner.h"
 #include "chaos/shrink.h"
 #include "core/resilient.h"
+#include "obs/flight.h"
 
 namespace {
 
@@ -181,6 +182,17 @@ int main(int argc, char** argv) {
                              std::to_string(seed) + ".json";
     if (WriteFile(path, repro.ToJson()) != 0) return 2;
     std::printf("  reproducer: %s (replay with --replay)\n", path.c_str());
+
+    // Re-run the minimized reproducer once and park its flight-recorder
+    // rings next to the schedule JSON: seed<N>_flight_rank<P>.json, ready
+    // for tools/postmortem without re-running anything.
+    if (rcc::obs::flight::Enabled()) {
+      (void)RunSchedule(repro);
+      rcc::obs::flight::DumpAll("oracle violation seed=" +
+                                    std::to_string(seed),
+                                out_dir,
+                                "seed" + std::to_string(seed) + "_");
+    }
   }
 
   std::printf("%d/%d campaigns violated an oracle\n", violated, campaigns);

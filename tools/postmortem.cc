@@ -1,0 +1,64 @@
+// Merges per-rank flight-recorder dumps into one causal timeline and
+// prints the forensic report: root-cause rank, collective lifecycles,
+// and the per-repair recovery critical path. See obs/postmortem.h for
+// the analysis rules.
+//
+//   ./tools/postmortem [--dir D] [--json] [dump.json ...]
+//
+// With --dir (or no arguments: current directory), every
+// *flight_rank*.json in the directory is read. Exit codes: 0 = report
+// produced with a named root cause, 2 = no dumps / parse failure /
+// no root cause identifiable.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/postmortem.h"
+
+using namespace rcc::obs;
+
+int main(int argc, char** argv) {
+  std::string dir;
+  bool as_json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: postmortem [--dir D] [--json] [dump.json ...]\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    files = postmortem::ListDumpFiles(dir.empty() ? "." : dir);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "postmortem: no flight_rank*.json dumps found\n");
+    return 2;
+  }
+
+  std::vector<postmortem::RankDump> dumps;
+  for (const std::string& path : files) {
+    postmortem::RankDump d;
+    std::string error;
+    if (!postmortem::ParseDumpFile(path, &d, &error)) {
+      std::fprintf(stderr, "postmortem: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    dumps.push_back(std::move(d));
+  }
+
+  const postmortem::Report rep = postmortem::Analyze(std::move(dumps));
+  if (as_json) {
+    std::fputs(postmortem::ReportToJson(rep).c_str(), stdout);
+  } else {
+    std::fputs(postmortem::FormatReport(rep).c_str(), stdout);
+  }
+  return rep.root_cause.rank >= 0 ? 0 : 2;
+}

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/resilient.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
 #include "sim/cluster.h"
@@ -155,6 +156,16 @@ int main(int argc, char** argv) {
           : "threads",
       requests, finished.size(), aborted, repaired, p999, p999_ms,
       verified && slo_ok ? "PASS" : "FAIL");
-  if (!verified) return 2;
-  return slo_ok ? 0 : 4;
+  // Failure classes 2 (verification) and 4 (SLO breach) leave the black
+  // box behind: one flight dump per rank in RCC_FLIGHT_DIR, for
+  // tools/postmortem and the CI artifact upload.
+  if (!verified) {
+    obs::flight::DumpAll("serving verification failed");
+    return 2;
+  }
+  if (!slo_ok) {
+    obs::flight::DumpAll("SLO breach: ttft_p999_ms=" + std::to_string(p999));
+    return 4;
+  }
+  return 0;
 }

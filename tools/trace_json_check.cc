@@ -1,7 +1,8 @@
 // Validates a Chrome trace-event JSON file (as written via
 // RCC_TRACE_JSON) against the schema Perfetto needs: a traceEvents
 // array whose complete events carry name/ph/ts/dur/pid/tid with finite
-// values and non-negative durations. Exits 0 when the file validates.
+// values and non-negative durations, and whose counter events (ph:"C")
+// carry a finite numeric series. Exits 0 when the file validates.
 // The overlap_trace_check ctest runs this on the bench's emitted trace.
 #include <cstdio>
 #include <fstream>
@@ -24,10 +25,13 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
   std::string err;
   size_t checked = 0;
-  if (!rcc::obs::ValidateChromeTraceJson(buf.str(), &err, &checked)) {
+  size_t counters = 0;
+  if (!rcc::obs::ValidateChromeTraceJson(buf.str(), &err, &checked,
+                                         &counters)) {
     std::fprintf(stderr, "%s: %s\n", argv[1], err.c_str());
     return 1;
   }
-  std::printf("%s: %zu complete events OK\n", argv[1], checked);
+  std::printf("%s: %zu complete events, %zu counter samples OK\n", argv[1],
+              checked, counters);
   return 0;
 }
