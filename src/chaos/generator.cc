@@ -84,6 +84,11 @@ GenConfig GenConfig::FromEnv() {
   cfg.allow_async = EnvInt("RCC_CHAOS_ASYNC", cfg.allow_async ? 1 : 0) != 0;
   cfg.allow_serving =
       EnvInt("RCC_CHAOS_SERVE", cfg.allow_serving ? 1 : 0) != 0;
+  cfg.allow_policy =
+      EnvInt("RCC_CHAOS_POLICY", cfg.allow_policy ? 1 : 0) != 0;
+  if (const char* m = std::getenv("RCC_POLICY"); m != nullptr && *m != '\0') {
+    cfg.policy_mode = m;
+  }
   cfg.format =
       sim::ResolveEngineKind(sim::EngineKind::kAuto) == sim::EngineKind::kFibers
           ? 2
@@ -224,6 +229,26 @@ Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
     const double serve_horizon = EstimateHorizon(s);
     if (horizon > 0 && serve_horizon > 0) {
       for (TimedKill& k : s.timed) k.at *= serve_horizon / horizon;
+    }
+  }
+
+  // Adaptive-policy campaigns (opt-in). Drawn strictly after every
+  // pre-existing draw — including the async and serving blocks — so
+  // with allow_policy off the rng stream and every old seed's schedule
+  // stay byte-identical. The regime draw varies the background failure
+  // pressure per seed (quiet / moderate / hostile) so one campaign
+  // batch exercises the controller across distinct observed MTBFs; the
+  // liveness trim below still guarantees two untouchable founders.
+  if (cfg.allow_policy && !sh.serving) {
+    sh.policy_mode = cfg.policy_mode;
+    sh.replacements = 1 + static_cast<int>(rng.NextBelow(2));  // 1..2
+    const int regime = static_cast<int>(rng.NextBelow(3));     // 0..2
+    for (int i = 0; i < regime && horizon > 0; ++i) {
+      TimedKill k;
+      k.scope = sim::FailScope::kProcess;
+      k.target = static_cast<int>(rng.NextBelow(sh.world));
+      k.at = 0.05 * horizon + rng.NextDouble() * 0.9 * horizon;
+      s.timed.push_back(k);
     }
   }
 

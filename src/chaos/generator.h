@@ -33,15 +33,27 @@ struct GenConfig {
   // schedules — the serving draws happen strictly after every other
   // draw.
   bool allow_serving = false;
+  // Opt-in: trainer campaigns run under the online adaptive recovery
+  // policy (src/policy) with a small replacement pool, across a drawn
+  // failure-rate regime (quiet / moderate / hostile) so the decision
+  // controller is exercised over distinct MTBF conditions. Off by
+  // default so pre-policy seeds keep generating byte-identical
+  // schedules — the policy draws happen strictly after every other
+  // draw.
+  bool allow_policy = false;
+  // Mode stamped on policy campaigns ("adaptive"/"shrink"/"wait"/
+  // "async"/"restore"); benches sweep this to compare the controller
+  // against each forced static strategy on identical schedules.
+  std::string policy_mode = "adaptive";
   // Seed format stamped on generated schedules (1 = threads replay,
   // 2 = fibers replay; see chaos/schedule.h). Does not consume RNG
   // draws, so format-1 generation stays byte-identical to older builds.
   int format = 1;
 
   // Reads the RCC_CHAOS_* knobs (MIN_WORLD, MAX_WORLD, MAX_TIMED,
-  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC, SERVE) over the defaults
-  // above, and stamps `format` 2 when RCC_SIM_ENGINE resolves to
-  // fibers.
+  // MAX_PHASED, RATE, NODE_SCOPE, ASYNC, SERVE, POLICY — the last also
+  // honoring RCC_POLICY for the mode) over the defaults above, and
+  // stamps `format` 2 when RCC_SIM_ENGINE resolves to fibers.
   static GenConfig FromEnv();
 };
 

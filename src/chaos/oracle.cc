@@ -1,8 +1,11 @@
 #include "chaos/oracle.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <sstream>
+
+#include "policy/policy.h"
 
 namespace rcc::chaos {
 
@@ -174,7 +177,10 @@ std::vector<Violation> CheckOracles(const Schedule& schedule,
     return out;
   }
 
-  int expected_workers = sh.world;
+  // Policy campaigns add the provisioned replacement pool to the
+  // expected worker count; replacements whose slot was never consumed
+  // finish idle and are skipped like aborted workers below.
+  int expected_workers = sh.world + sh.replacements;
   for (const auto& [epoch, count] : sh.joins) expected_workers += count;
   if (static_cast<int>(o.results.size()) != expected_workers) {
     std::ostringstream os;
@@ -187,7 +193,7 @@ std::vector<Violation> CheckOracles(const Schedule& schedule,
   int finishers = 0;
   int max_worker_repairs = 0;
   for (const WorkerResult& r : o.results) {
-    if (r.report.aborted) continue;
+    if (r.report.aborted || r.idle_replacement) continue;
     ++finishers;
     max_worker_repairs = std::max(max_worker_repairs, r.report.repairs);
     if (ref == nullptr && r.join_epoch < 0) ref = &r;
@@ -198,16 +204,19 @@ std::vector<Violation> CheckOracles(const Schedule& schedule,
   }
 
   for (const WorkerResult& r : o.results) {
-    if (r.report.aborted) continue;
+    if (r.report.aborted || r.idle_replacement) continue;
     const bool joiner = r.join_epoch >= 0;
 
     // P1: exactly-once optimizer steps, planned from the cursor the
     // worker actually started at. Blocking joiners start at
     // {join_epoch, 0}; async joiners at the (possibly mid-epoch) step
-    // boundary their splice landed on.
+    // boundary their splice landed on. Restore decisions re-execute the
+    // rolled-back steps, which the report accounts explicitly — the
+    // guarantee stays exact, not approximate.
     const int planned =
         sh.epochs * sh.steps_per_epoch -
-        (r.start_epoch * sh.steps_per_epoch + r.start_step);
+        (r.start_epoch * sh.steps_per_epoch + r.start_step) +
+        r.report.rollback_steps;
     if (r.report.steps_run != planned) {
       std::ostringstream os;
       os << "pid " << r.pid << (joiner ? " (joiner)" : "") << " ran "
@@ -298,6 +307,60 @@ std::vector<Violation> CheckOracles(const Schedule& schedule,
     }
     if (static_cast<size_t>(o.replayed_metric) != o.replay_events.size()) {
       violate("P7", "replayed counter != replay events (" + ctx + ")");
+    }
+  }
+
+  // P9: decision-oracle soundness (policy campaigns only). Every logged
+  // decision must (a) re-derive bitwise-identically from its own
+  // broadcast inputs — the controller is a pure function of what it
+  // observed, (b) choose a strategy whose modeled cost is within
+  // tolerance of the best applicable alternative under the campaign's
+  // mode, and (c) agree byte-for-byte across every member that took
+  // part in the same decision seq.
+  if (!sh.policy_mode.empty()) {
+    policy::Mode mode = policy::Mode::kAdaptive;
+    policy::ModeFromName(sh.policy_mode, &mode);
+    std::map<int64_t, std::pair<int, std::string>> canon;  // seq -> pid,fmt
+    for (const WorkerResult& r : o.results) {
+      if (r.report.aborted || r.idle_replacement) continue;
+      for (const policy::Decision& d : r.report.decisions) {
+        const policy::Decision rd = policy::Decide(mode, d.in);
+        if (rd.chosen != d.chosen ||
+            std::memcmp(rd.cost, d.cost, sizeof(rd.cost)) != 0) {
+          std::ostringstream os;
+          os << "pid " << r.pid << " decision seq " << d.in.seq
+             << " does not re-derive from its inputs (logged "
+             << policy::StrategyName(d.chosen) << ", re-derived "
+             << policy::StrategyName(rd.chosen) << ")";
+          violate("P9", os.str());
+          continue;
+        }
+        double best = -1.0;
+        for (int si = 0; si < policy::kStrategyCount; ++si) {
+          const auto s = static_cast<policy::Strategy>(si);
+          if (!policy::Applicable(s, d.in)) continue;
+          if (best < 0 || d.cost[si] < best) best = d.cost[si];
+        }
+        const double chosen_cost = d.cost[static_cast<int>(d.chosen)];
+        const double tol = 1e-9 + 1e-9 * (best < 0 ? 0.0 : best);
+        if (mode == policy::Mode::kAdaptive && best >= 0 &&
+            chosen_cost > best + tol) {
+          std::ostringstream os;
+          os << "pid " << r.pid << " decision seq " << d.in.seq << " chose "
+             << policy::StrategyName(d.chosen) << " at cost " << chosen_cost
+             << " but best applicable alternative costs " << best;
+          violate("P9", os.str());
+        }
+        const std::string fmt = policy::FormatDecision(d);
+        auto [it, inserted] =
+            canon.emplace(d.in.seq, std::make_pair(r.pid, fmt));
+        if (!inserted && it->second.second != fmt) {
+          std::ostringstream os;
+          os << "decision seq " << d.in.seq << " differs between pid "
+             << it->second.first << " and pid " << r.pid;
+          violate("P9", os.str());
+        }
+      }
     }
   }
 

@@ -28,6 +28,14 @@
 //       exactly once, and the replicated-state digests agree bit for
 //       bit. Serving campaigns check P0/P3/P6/P7/P8; the
 //       trainer-specific P1/P2/P4/P5 don't apply.
+//   P9. Decision-oracle soundness (policy campaigns): every logged
+//       recovery decision re-derives bitwise-identically from its own
+//       broadcast inputs, the chosen strategy's modeled cost is within
+//       tolerance of the best applicable alternative for the campaign's
+//       mode, and members that shared a decision seq agree on its
+//       formatted record byte for byte. Under the adaptive policy P1's
+//       exactly-once guarantee generalizes to steps_run == planned +
+//       rollback_steps (restore decisions re-execute accounted steps).
 #pragma once
 
 #include <string>
@@ -39,7 +47,7 @@
 namespace rcc::chaos {
 
 struct Violation {
-  std::string oracle;  // "P0" .. "P8"
+  std::string oracle;  // "P0" .. "P9"
   std::string detail;
 };
 

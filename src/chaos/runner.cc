@@ -55,8 +55,13 @@ serve::ServeOptions ServeOptionsFromSchedule(const Schedule& s) {
 
 CampaignOutcome RunSchedule(const Schedule& schedule) {
   // Fresh flight rings per schedule: a post-abort dump then holds only
-  // this reproducer's history, not the whole campaign's.
+  // this reproducer's history, not the whole campaign's. The metrics
+  // registry is reset with them: the policy inputs read the failure
+  // counter and the recovery-phase maxima, and those must be
+  // campaign-local for a schedule to replay to a byte-identical
+  // decision log in a process that already ran other campaigns.
   obs::flight::ResetAll();
+  obs::Registry::Global().ResetAll();
   const Shape& sh = schedule.shape;
   sim::SimConfig cfg;
   cfg.gpus_per_node = sh.gpus_per_node;
@@ -69,6 +74,9 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
   // protocol's background staging, not a full framework cold boot, so a
   // standby can realistically splice inside a serving campaign horizon.
   if (sh.serving) cfg.costs.worker_coldstart = 0.25;
+  // Virtual-time compute inflation (policy bench): slows the simulated
+  // GPU so step time matches paper-scale models; real time is unchanged.
+  if (sh.compute_scale > 1.0) cfg.net.gpu_flops /= sh.compute_scale;
   sim::Cluster cluster(cfg);
   dnn::ClusterDataset data(8, 3, 512, 7);
 
@@ -83,6 +91,21 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
   if (sh.async_admission) {
     opts.async_admission = true;
     opts.admission_store = &store;
+  }
+  // Adaptive recovery policy: thread the mode + rendezvous store +
+  // replacement pool into every trainer (founders, joiners and
+  // replacements all tick collectively).
+  policy::Mode pmode = policy::Mode::kLegacy;
+  if (!sh.policy_mode.empty()) {
+    if (!policy::ModeFromName(sh.policy_mode, &pmode)) {
+      pmode = policy::Mode::kAdaptive;
+    }
+  }
+  const bool policy_on = pmode != policy::Mode::kLegacy && !sh.serving;
+  if (policy_on) {
+    opts.policy_mode = pmode;
+    opts.policy_store = &store;
+    opts.replacement_pool = sh.replacements;
   }
 
   std::vector<std::atomic<bool>> flags(0);  // no scripted failures
@@ -219,7 +242,22 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
           checkpoint::TrainingCursor cursor;
           std::unique_ptr<core::ResilientComm> rc;
           Status synced;
-          if (sh.async_admission) {
+          bool async_path = sh.async_admission;
+          if (policy_on) {
+            // The members decide wait-vs-async at the boundary and
+            // publish the path; a provisioned joiner reads it before
+            // picking its admission protocol.
+            // Blocking kv wait, NOT a poll: the joiner's virtual clock
+            // merges with the members' publication time, so the
+            // rendezvous stays deterministic under the threads engine
+            // (a poll loop would race its own clock ahead in real time).
+            auto path = store.Wait(&ep, "policy/join/" + std::to_string(epoch));
+            if (path.ok()) {
+              async_path = std::string(path.value().begin(),
+                                       path.value().end()) == "async";
+            }
+          }
+          if (async_path) {
             // Nonblocking path: stage the published snapshot through the
             // kvstore while the survivors train, then park for the
             // splice and run the catch-up delta sync.
@@ -264,6 +302,88 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
           results.push_back(std::move(r));
         },
         /*start_time=*/0.0);
+  }
+
+  // Replacement pool: one parked worker per policy slot. Each polls its
+  // slot key until the controller consumes the slot (wait/async
+  // admission), the run releases it ("done"), or the deadline passes.
+  if (policy_on) {
+    for (int slot = 0; slot < sh.replacements; ++slot) {
+      cluster.SpawnOnFreshNodes(
+          1,
+          [&, slot](sim::Endpoint& ep) {
+            WorkerResult r;
+            r.pid = ep.pid();
+            r.join_epoch = 0;  // a (potential) joiner worker
+            // Park on the slot key with a blocking kv wait (same
+            // deterministic-rendezvous reasoning as the joiner path;
+            // the serving standbys park the same way). The run always
+            // publishes a terminal value: a consumption ("wait:"/
+            // "async:") or the end-of-run "done" release.
+            std::string val;
+            auto res =
+                store.Wait(&ep, "policy/replace/" + std::to_string(slot));
+            if (res.ok()) {
+              val.assign(res.value().begin(), res.value().end());
+            }
+            if (val.empty() || val == "done") {
+              r.idle_replacement = true;
+            } else {
+              const bool async_path = val.rfind("async:", 0) == 0;
+              const std::string session =
+                  val.substr(val.find(':') + 1);
+              dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
+              dnn::Sgd opt(model.Params(), opts.sgd);
+              checkpoint::TrainingCursor cursor;
+              std::unique_ptr<core::ResilientComm> rc;
+              Status synced;
+              if (async_path) {
+                rc = core::ResilientComm::JoinAsync(
+                    ep, &store, session, opts.drop_policy, &rec,
+                    [&](const std::vector<uint8_t>& blob) -> Status {
+                      checkpoint::Snapshot snap;
+                      snap.blob = blob;
+                      return checkpoint::Restore(snap, &model, &opt,
+                                                 &cursor);
+                    });
+                if (rc != nullptr) {
+                  synced = core::ElasticTrainer::DeltaSync(
+                      rc.get(), &model, &opt, &cursor, /*receiver=*/true,
+                      /*steps_behind=*/0);
+                }
+              } else {
+                rc = core::ResilientComm::JoinExisting(
+                    ep, session, 1, opts.drop_policy, &rec);
+                if (rc != nullptr) {
+                  synced = core::ElasticTrainer::SyncState(
+                      rc.get(), &model, &opt, &cursor, /*receiver=*/true);
+                }
+              }
+              r.joined_ok = rc != nullptr;
+              if (rc == nullptr || !synced.ok()) {
+                r.report.aborted = true;
+              } else {
+                r.start_epoch = cursor.epoch;
+                r.start_step = cursor.step;
+                core::ElasticTrainer trainer(rc.get(), &model, &opt,
+                                             &data, opts, &flags);
+                // joined_at_epoch -1 (not cursor.epoch): a replacement
+                // spliced exactly at an epoch boundary must participate
+                // in that boundary's scheduled-join collectives, unlike
+                // a scheduled joiner admitted there.
+                r.report = trainer.Run(cursor, /*joined_at_epoch=*/-1);
+              }
+              if (r.report.aborted) obs::flight::DumpOnAbort();
+              if (r.report.aborted && ep.alive()) {
+                ep.fabric().Kill(ep.pid());
+              }
+            }
+            r.end_time = ep.now();
+            std::lock_guard<std::mutex> lock(mu);
+            results.push_back(std::move(r));
+          },
+          /*start_time=*/0.0);
+    }
   }
 
   return finalize();

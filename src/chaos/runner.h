@@ -27,6 +27,12 @@ struct WorkerResult {
   // steps from here, not from join_epoch.
   int start_epoch = 0;
   int start_step = 0;
+  // Policy campaigns: a provisioned replacement whose slot was never
+  // consumed (released with "done" or deadline-expired). Idle
+  // replacements finish cleanly but hold no training state, so the
+  // trainer oracles skip them like the serving oracles skip idle
+  // standbys.
+  bool idle_replacement = false;
   core::TrainerReport report;
   // Serving campaigns (shape.serving) fill this instead of `report`;
   // report.aborted mirrors serve.aborted so shared bookkeeping (the

@@ -57,7 +57,9 @@ bool operator==(const Shape& a, const Shape& b) {
          a.serving == b.serving && a.serve_requests == b.serve_requests &&
          a.serve_rps == b.serve_rps &&
          a.serve_max_batch == b.serve_max_batch &&
-         a.serve_standbys == b.serve_standbys;
+         a.serve_standbys == b.serve_standbys &&
+         a.policy_mode == b.policy_mode && a.replacements == b.replacements &&
+         a.compute_scale == b.compute_scale;
 }
 
 bool operator==(const TimedKill& a, const TimedKill& b) {
@@ -102,6 +104,17 @@ std::string Schedule::ToJson() const {
        << ", \"serve_rps\": " << Num(shape.serve_rps)
        << ", \"serve_max_batch\": " << shape.serve_max_batch
        << ", \"serve_standbys\": " << shape.serve_standbys;
+  }
+  // Policy fields only appear on policy campaigns, so every pre-policy
+  // reproducer still serializes byte-identically.
+  if (!shape.policy_mode.empty()) {
+    os << ", \"policy_mode\": " << Quote(shape.policy_mode)
+       << ", \"replacements\": " << shape.replacements;
+  }
+  // Compute inflation only appears when set, so every earlier
+  // reproducer still serializes byte-identically.
+  if (shape.compute_scale != 1.0) {
+    os << ", \"compute_scale\": " << Num(shape.compute_scale);
   }
   os << ", \"joins\": [";
   bool first = true;
@@ -202,6 +215,26 @@ bool Schedule::FromJson(const std::string& text, Schedule* out,
           static_cast<int>(GetNum(*shape, "serve_max_batch", &ok));
       s.shape.serve_standbys =
           static_cast<int>(GetNum(*shape, "serve_standbys", &ok));
+    }
+  }
+  // Optional: absent in reproducers recorded before the adaptive policy.
+  const obs::json::Value* pmode = shape->Find("policy_mode");
+  if (pmode != nullptr) {
+    if (pmode->is_string()) {
+      s.shape.policy_mode = pmode->AsString();
+      s.shape.replacements =
+          static_cast<int>(GetNum(*shape, "replacements", &ok));
+    } else {
+      ok = false;
+    }
+  }
+  // Optional: absent unless a campaign inflates per-step compute.
+  const obs::json::Value* cscale = shape->Find("compute_scale");
+  if (cscale != nullptr) {
+    if (cscale->is_number()) {
+      s.shape.compute_scale = cscale->AsNumber();
+    } else {
+      ok = false;
     }
   }
   const obs::json::Value* joins = shape->Find("joins");

@@ -65,6 +65,21 @@ struct Shape {
   double serve_rps = 0.0;
   int serve_max_batch = 0;
   int serve_standbys = 0;
+  // Adaptive recovery policy campaign (opt-in via RCC_CHAOS_POLICY):
+  // the trainer runs under this policy mode ("adaptive"/"shrink"/
+  // "wait"/"async"/"restore"; empty = legacy, policy off) with
+  // `replacements` provisioned replacement workers parked on the
+  // policy slot keys. Absent in pre-policy reproducer JSON; defaults
+  // keep it off.
+  std::string policy_mode;
+  int replacements = 0;
+  // Per-step compute inflation: divides the simulated GPU flop rate so
+  // a campaign's virtual step time matches paper-scale models instead
+  // of the micro MLP the runner trains. Purely a virtual-time knob
+  // (free in real time); the policy bench uses it to make recovery
+  // economics meaningful within one campaign. Absent in older
+  // reproducer JSON; defaults to 1 (no inflation).
+  double compute_scale = 1.0;
 };
 
 // Background failure: the target self-kills when its clock reaches `at`.

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "dnn/layers.h"
 #include "dnn/optimizer.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace rcc::core {
@@ -20,7 +21,8 @@ ElasticTrainer::ElasticTrainer(ResilientComm* rc, dnn::Model* model,
       data_(data),
       opts_(std::move(opts)),
       failure_flags_(failure_flags),
-      base_workers_(rc->size()) {}
+      base_workers_(rc->size()),
+      policy_(opts_.policy_mode) {}
 
 Status ElasticTrainer::SyncState(ResilientComm* rc, dnn::Model* model,
                                  dnn::Sgd* opt,
@@ -179,7 +181,8 @@ Status ElasticTrainer::DeltaSync(ResilientComm* rc, dnn::Model* model,
 }
 
 bool ElasticTrainer::PollAdmission(bool finalize, int epoch, int step,
-                                   int64_t* admit_begin_gstep) {
+                                   int64_t* admit_begin_gstep,
+                                   bool* spliced) {
   const auto pr = rc_->ExpandPoll(finalize);
   if (pr == ResilientComm::PollResult::kNone ||
       pr == ResilientComm::PollResult::kPending) {
@@ -191,6 +194,7 @@ bool ElasticTrainer::PollAdmission(bool finalize, int epoch, int step,
     *admit_begin_gstep = -1;
     return rc_->endpoint().alive();
   }
+  if (spliced != nullptr) *spliced = true;
   // Spliced: the joiners are in; run the catch-up delta sync at this
   // step boundary.
   const int64_t gstep =
@@ -206,6 +210,238 @@ bool ElasticTrainer::PollAdmission(bool finalize, int epoch, int step,
   return ds.ok();
 }
 
+namespace {
+
+// Modeled rendezvous overhead of a blocking replacement admission on
+// top of the state sync: the parked replacement's slot-key poll
+// interval (~2ms in the chaos runner) plus the announce round. A fixed
+// model constant so the decision function stays pure (P9 re-derives it
+// from the inputs).
+constexpr double kPolicyGraceSeconds = 0.005;
+
+}  // namespace
+
+policy::PolicyInputs ElasticTrainer::ComposeInputs(policy::EventKind ev,
+                                                   int lost, int64_t gstep) {
+  auto& reg = obs::Registry::Global();
+  policy::PolicyInputs in;
+  in.event = static_cast<int32_t>(ev);
+  in.seq = policy_.next_seq();
+  in.world = rc_->size();
+  in.lost = lost;
+  // Slots admittable *now*: a still-pending async expand blocks a new
+  // admission, so wait/async are reported inapplicable until it
+  // resolves.
+  in.slots_used = policy_slots_used_;
+  in.replacements = rc_->expand_pending()
+                        ? 0
+                        : opts_.replacement_pool - policy_slots_used_;
+  if (opts_.policy_store != nullptr) in.flags |= policy::kFlagStoreOk;
+  if (policy_snap_valid_ && !rc_->expand_pending()) {
+    in.flags |= policy::kFlagRestoreOk;
+  }
+  in.gstep = gstep;
+  in.remaining_steps =
+      static_cast<int64_t>(opts_.epochs) * opts_.steps_per_epoch - gstep;
+  in.rollback_steps =
+      policy_snap_valid_ ? gstep - policy_snap_gstep_ : 0;
+  in.now = rc_->endpoint().now();
+  in.step_seconds = policy_step_ewma_;
+  // Estimate as of the previous tick: OnTick feeds the current event
+  // into every member's estimator only after the broadcast, so rank 0
+  // must not observe it early.
+  in.mtbf_seconds = policy_.estimator().Estimate();
+  in.failures_observed = reg.CounterValue("rcc_failures_observed_total");
+  in.snapshot_bytes =
+      policy_snap_valid_ ? static_cast<double>(policy_snap_.blob.size()) : 0;
+  // Staging = snapshot transfer plus the fixed admission critical path
+  // a splice pays regardless of bytes: the store announce/fetch round
+  // trips and the expanded communicator's NCCL-style rebuild (base +
+  // per-rank ring build). Transfer alone underprices small models so
+  // badly that adaptive would admit into remainders the splice cannot
+  // land in before the run ends.
+  const sim::SimConfig& scfg = rc_->endpoint().fabric().config();
+  in.staging_seconds =
+      checkpoint::Store::CopyCost(scfg, in.snapshot_bytes) +
+      2.0 * scfg.costs.kv_roundtrip + scfg.costs.nccl_init_base +
+      scfg.costs.nccl_init_per_rank * (rc_->size() + 1);
+  // Measured recovery critical path: per-phase histogram maxima are
+  // order-independent, so the value replays identically under both
+  // engines (means would depend on cross-rank summation order).
+  double rebuild = 0.0;
+  for (int p = 1; p <= 5; ++p) {
+    rebuild += reg.HistogramSnapshot(
+                      "rcc_recovery_phase_seconds",
+                      {{"phase", obs::flight::PhaseName(
+                                     static_cast<obs::flight::Phase>(p))}})
+                   .max;
+  }
+  in.rebuild_seconds = rebuild;
+  in.grace_seconds = kPolicyGraceSeconds;
+  return in;
+}
+
+bool ElasticTrainer::PolicyExchange(const policy::PolicyInputs& rank0_in,
+                                    policy::Decision* out) {
+  std::vector<uint8_t> blob;
+  if (rc_->rank() == 0) blob = policy::EncodeInputs(rank0_in);
+  Status st = rc_->BcastBlob(&blob, /*root=*/0, /*cost_scale=*/1.0);
+  if (!st.ok()) return false;
+  policy::PolicyInputs in;
+  if (!policy::DecodeInputs(blob, &in)) return false;
+  // Rank-0 authoritative slot counter: a member admitted mid-run picks
+  // up the slots consumed before it joined.
+  policy_slots_used_ = in.slots_used;
+  policy_last_world_ = in.world;
+  *out = policy_.OnTick(in);
+  return true;
+}
+
+void ElasticTrainer::RecordDecision(const policy::Decision& d,
+                                    double t_start) {
+  const int pid = rc_->endpoint().pid();
+  const double now = rc_->endpoint().now();
+  if (obs::flight::Enabled()) {
+    obs::flight::Ring* ring = obs::flight::ForRank(pid);
+    // Recorded back-to-back: the postmortem pairs them by adjacency.
+    ring->Record(obs::flight::Ev::kPolicyInputs, now, d.in.world, d.in.event,
+                 d.in.mtbf_seconds);
+    ring->Record(obs::flight::Ev::kPolicyDecision, now,
+                 static_cast<int64_t>(d.chosen), d.in.seq,
+                 d.cost[static_cast<int>(d.chosen)]);
+  }
+  if (trace::Recorder* rec = rc_->recorder(); rec != nullptr) {
+    rec->Record(pid, "policy/decide", t_start, now);
+  }
+}
+
+bool ElasticTrainer::PolicyTick(int* epoch, int* step, TrainerReport* report,
+                                int64_t* admit_begin_gstep) {
+  const int64_t gstep =
+      static_cast<int64_t>(*epoch) * opts_.steps_per_epoch + *step;
+  policy::PolicyInputs in;
+  if (rc_->rank() == 0) {
+    // Event detection against the previous tick's membership. Growth
+    // (a splice or admission) is not a decision event, but it does
+    // invalidate the boundary snapshot until every member captures the
+    // next one.
+    const int world = rc_->size();
+    policy::EventKind ev = policy::EventKind::kNone;
+    int lost = 0;
+    if (world < policy_last_world_) {
+      ev = policy::EventKind::kFailure;
+      lost = policy_last_world_ - world;
+    } else if (world > policy_last_world_) {
+      policy_snap_valid_ = false;
+    }
+    in = ComposeInputs(ev, lost, gstep);
+  }
+  const double t0 = rc_->endpoint().now();
+  const int world_before = policy_last_world_;
+  policy::Decision d;
+  if (!PolicyExchange(in, &d)) return false;
+  if (d.in.world > world_before && world_before > 0) {
+    // New members spliced in since the last tick lack the boundary
+    // snapshot; restore stays off until the next epoch-boundary
+    // capture (every rank tracks this identically from the tick).
+    policy_snap_valid_ = false;
+  }
+  if (static_cast<policy::EventKind>(d.in.event) == policy::EventKind::kNone) {
+    return true;
+  }
+  RecordDecision(d, t0);
+  report->decisions = policy_.log();
+  switch (d.chosen) {
+    case policy::Strategy::kShrink:
+      // Forward recovery already ran inside the failed collective;
+      // continue degraded.
+      break;
+    case policy::Strategy::kRestore: {
+      // Roll every member back to the shared epoch-boundary snapshot;
+      // the rolled-back steps are re-executed (P1 accounts them via
+      // rollback_steps).
+      checkpoint::TrainingCursor cur;
+      Status st = checkpoint::Restore(policy_snap_, model_, opt_, &cur);
+      if (!st.ok()) return false;
+      report->rollback_steps +=
+          static_cast<int>(gstep - policy_snap_gstep_);
+      *epoch = cur.epoch;
+      *step = cur.step;
+      break;
+    }
+    case policy::Strategy::kWait: {
+      // Blocking replacement admission: publish the slot's path, expand
+      // with the parked replacement, full state sync.
+      const int slot = d.in.slots_used;
+      const std::string session = "policy-replace-" + std::to_string(slot);
+      if (rc_->rank() == 0 && opts_.policy_store != nullptr) {
+        opts_.policy_store->SetString(&rc_->endpoint(),
+                                      "policy/replace/" + std::to_string(slot),
+                                      "wait:" + session);
+      }
+      ++policy_slots_used_;
+      Status st = rc_->Expand(session, 1);
+      if (st.code() == Code::kTimeout) {
+        RCC_LOG(kDebug) << "pid " << rc_->endpoint().pid()
+                        << " policy wait admission timed out; degraded";
+        break;
+      }
+      if (!st.ok()) return false;
+      checkpoint::TrainingCursor cursor{*epoch, *step, 0};
+      st = SyncState(rc_, model_, opt_, &cursor, /*receiver=*/false);
+      if (!st.ok()) return false;
+      policy_snap_valid_ = false;
+      break;
+    }
+    case policy::Strategy::kAsync: {
+      // Overlapped replacement admission through the async expand; the
+      // regular PollAdmission path splices it at a later boundary.
+      const int slot = d.in.slots_used;
+      const std::string session = "policy-replace-" + std::to_string(slot);
+      if (rc_->rank() == 0 && opts_.policy_store != nullptr) {
+        opts_.policy_store->SetString(&rc_->endpoint(),
+                                      "policy/replace/" + std::to_string(slot),
+                                      "async:" + session);
+      }
+      ++policy_slots_used_;
+      std::vector<uint8_t> snapshot;
+      if (rc_->rank() == 0) {
+        checkpoint::TrainingCursor cursor{*epoch, *step, 0};
+        snapshot = checkpoint::Capture(*model_, *opt_, cursor).blob;
+      }
+      Status st = rc_->ExpandAsyncBegin(
+          opts_.policy_store, session, 1, snapshot,
+          static_cast<double>(snapshot.size()));
+      if (!st.ok()) return false;
+      *admit_begin_gstep = gstep;
+      break;
+    }
+  }
+  return true;
+}
+
+bool ElasticTrainer::PolicyJoinDecision(int epoch, int joiner_count,
+                                        policy::Strategy* chosen) {
+  const int64_t gstep = static_cast<int64_t>(epoch) * opts_.steps_per_epoch;
+  policy::PolicyInputs in;
+  if (rc_->rank() == 0) {
+    in = ComposeInputs(policy::EventKind::kJoin, joiner_count, gstep);
+  }
+  const double t0 = rc_->endpoint().now();
+  policy::Decision d;
+  if (!PolicyExchange(in, &d)) return false;
+  RecordDecision(d, t0);
+  *chosen = d.chosen;
+  if (rc_->rank() == 0 && opts_.policy_store != nullptr) {
+    // The provisioned joiners read the decided admission path here
+    // before calling JoinExisting vs JoinAsync.
+    opts_.policy_store->SetString(
+        &rc_->endpoint(), "policy/join/" + std::to_string(epoch),
+        d.chosen == policy::Strategy::kAsync ? "async" : "wait");
+  }
+  return true;
+}
+
 TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
                                   int joined_at_epoch) {
   TrainerReport report;
@@ -213,6 +449,7 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
   int step = start.step;
   bool first = true;
   int64_t admit_begin_gstep = -1;  // global step the pending expand opened
+  if (policy_active()) policy_last_world_ = rc_->size();
   while (epoch < opts_.epochs) {
     // Epoch-boundary reconfiguration. The only boundaries that skip a
     // scheduled join are epoch 0 (the founding world already contains
@@ -225,7 +462,35 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
         epoch != joined_at_epoch) {
       RCC_LOG(kDebug)
           << "pid " << rc_->endpoint().pid() << " expand e" << epoch;
-      if (opts_.async_admission && opts_.admission_store != nullptr) {
+      // A replacement admission still in flight is forced to a decision
+      // before the scheduled join opens its own window. This must go
+      // through the trainer-level finalize: ExpandAsyncBegin would
+      // self-finalize at the resilient layer, splicing the replacement
+      // without the DeltaSync it is parked on and deadlocking the next
+      // collective. A boundary splice lands the replacement at
+      // {epoch, 0}, where it re-enters this loop and participates in
+      // the join-block collectives below (joined_at_epoch == -1).
+      if (rc_->expand_pending() &&
+          !PollAdmission(/*finalize=*/true, epoch, step,
+                         &admit_begin_gstep)) {
+        report.aborted = true;
+        return report;
+      }
+      // Adaptive join admission: the controller picks blocking (wait)
+      // vs overlapped (async) and the path is published for the
+      // provisioned joiners on policy/join/<epoch>.
+      bool async_join = opts_.async_admission && opts_.admission_store;
+      kv::Store* join_store = opts_.admission_store;
+      if (policy_active() && opts_.policy_store != nullptr) {
+        policy::Strategy chosen = policy::Strategy::kWait;
+        if (!PolicyJoinDecision(epoch, join_it->second, &chosen)) {
+          report.aborted = true;
+          return report;
+        }
+        async_join = chosen == policy::Strategy::kAsync;
+        join_store = opts_.policy_store;
+      }
+      if (async_join && join_store != nullptr) {
         // Nonblocking admission: publish the snapshot, open the window,
         // keep training; PollAdmission splices at a step boundary once
         // the joiners have staged.
@@ -235,7 +500,7 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
           snapshot = checkpoint::Capture(*model_, *opt_, cursor).blob;
         }
         Status st = rc_->ExpandAsyncBegin(
-            opts_.admission_store, "trainer-epoch" + std::to_string(epoch),
+            join_store, "trainer-epoch" + std::to_string(epoch),
             join_it->second, snapshot,
             static_cast<double>(snapshot.size()));
         if (!st.ok()) {
@@ -266,15 +531,41 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
         }
       }
     }
+    if (policy_active() && step == 0) {
+      // Epoch-boundary restore point: every member captures the same
+      // post-admission state locally (SPMD - the blobs are identical),
+      // so a later restore decision is a local rewind on each rank.
+      checkpoint::TrainingCursor snap_cur{
+          epoch, 0, epoch * opts_.steps_per_epoch};
+      policy_snap_ = checkpoint::Capture(*model_, *opt_, snap_cur);
+      policy_snap_gstep_ =
+          static_cast<int64_t>(epoch) * opts_.steps_per_epoch;
+      policy_snap_valid_ = true;
+    }
     while (step < opts_.steps_per_epoch) {
       float loss = 0;
       RCC_LOG(kDebug)
           << "pid " << rc_->endpoint().pid() << " step e" << epoch << " s"
           << step;
+      const double step_t0 = rc_->endpoint().now();
       Status st = TrainStep(epoch, step, &loss);
       if (!st.ok()) {
         report.aborted = true;
         return report;
+      }
+      if (policy_active()) {
+        // Measured per-step wall (virtual time) feeding the cost
+        // model's remaining-horizon term. Steps that absorbed a
+        // recovery stall are excluded: rebuild_seconds already prices
+        // recovery, and folding the stall in here would double-count
+        // it and inflate t_rem exactly at the tick that follows a
+        // repair.
+        const double wall = rc_->endpoint().now() - step_t0;
+        if (policy_step_ewma_ <= 0.0) {
+          policy_step_ewma_ = wall;
+        } else if (wall < 3.0 * policy_step_ewma_) {
+          policy_step_ewma_ = 0.8 * policy_step_ewma_ + 0.2 * wall;
+        }
       }
       if (first) {
         report.first_loss = loss;
@@ -283,11 +574,25 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
       report.last_loss = loss;
       ++report.steps_run;
       ++step;
+      bool spliced_now = false;
       if (rc_->expand_pending() &&
           !PollAdmission(/*finalize=*/false, epoch, step,
-                         &admit_begin_gstep)) {
+                         &admit_begin_gstep, &spliced_now)) {
         report.aborted = true;
         return report;
+      }
+      if (policy_active()) {
+        if (spliced_now) {
+          // The freshly spliced joiners start their loop past this
+          // boundary and would miss the tick collective - every
+          // survivor skips it too, and drops the restore point the
+          // joiners do not hold.
+          policy_snap_valid_ = false;
+        } else if (!PolicyTick(&epoch, &step, &report,
+                               &admit_begin_gstep)) {
+          report.aborted = true;
+          return report;
+        }
       }
     }
     step = 0;
@@ -301,8 +606,23 @@ TrainerReport ElasticTrainer::Run(checkpoint::TrainingCursor start,
     report.aborted = true;
     return report;
   }
+  if (policy_active() && opts_.policy_store != nullptr) {
+    // Release the unconsumed replacement slots so parked workers
+    // unblock instead of waiting out their deadline. Every finisher
+    // publishes (rank 0 alone could have died earlier in the run and a
+    // re-ranked survivor must still release); the existence check keeps
+    // the write idempotent and never clobbers a consumed slot's
+    // "wait:"/"async:" value.
+    for (int s = 0; s < opts_.replacement_pool; ++s) {
+      const std::string key = "policy/replace/" + std::to_string(s);
+      if (!opts_.policy_store->GetString(&rc_->endpoint(), key).ok()) {
+        opts_.policy_store->SetString(&rc_->endpoint(), key, "done");
+      }
+    }
+  }
   report.final_world = rc_->size();
   report.repairs = rc_->repairs();
+  report.decisions = policy_.log();
   model_->CopyParamsTo(&report.final_params);
   return report;
 }

@@ -20,6 +20,7 @@
 #include "dnn/model.h"
 #include "dnn/optimizer.h"
 #include "horovod/plan.h"
+#include "policy/policy.h"
 
 namespace rcc::core {
 
@@ -53,6 +54,23 @@ struct TrainerOptions {
   // instead of the blocking Expand + full SyncState stall.
   bool async_admission = false;
   kv::Store* admission_store = nullptr;
+  // --- online adaptive recovery policy (src/policy, RCC_POLICY) ---
+  // kLegacy (the default) keeps the pre-policy behavior byte-identical:
+  // no per-step policy tick, no decisions, no extra collectives. Any
+  // other mode runs one tick per step boundary: rank 0 composes
+  // policy::PolicyInputs, broadcasts the serialized bytes through the
+  // resilient BcastBlob, and every member runs the same pure decision
+  // and the same (collective) actuation. See DESIGN.md §11.
+  policy::Mode policy_mode = policy::Mode::kLegacy;
+  // Rendezvous store for policy-driven admissions: replacement slots
+  // park on policy/replace/<slot>, scheduled joiners read the decided
+  // admission path from policy/join/<epoch>. Without a store the
+  // wait/async strategies are inapplicable and decisions fall back to
+  // shrink (failures) / the legacy join path (joins).
+  kv::Store* policy_store = nullptr;
+  // Provisioned replacement workers parked on the slot keys; one slot
+  // is consumed per wait/async failure decision.
+  int replacement_pool = 0;
 };
 
 struct TrainerReport {
@@ -62,6 +80,13 @@ struct TrainerReport {
   float last_loss = 0;
   int final_world = 0;
   int repairs = 0;
+  // Steps re-executed because of checkpoint-restore decisions: the
+  // exactly-once accounting becomes steps_run == planned + rollback.
+  int rollback_steps = 0;
+  // Structured decision log (one entry per policy decision this worker
+  // was a member for); identical bytes across members for shared
+  // decisions. Empty in legacy mode.
+  std::vector<policy::Decision> decisions;
   std::vector<float> final_params;  // for cross-rank consistency checks
 };
 
@@ -99,9 +124,36 @@ class ElasticTrainer {
   bool MaybeDie(int epoch, int step, int bucket);
   Status TrainStep(int epoch, int step, float* loss_out);
   // Polls the pending async expand at a step boundary; runs the delta
-  // sync when it splices. Returns false when this worker must abort.
+  // sync when it splices (reported via `spliced` so the policy tick can
+  // skip a boundary the fresh joiners never saw). Returns false when
+  // this worker must abort.
   bool PollAdmission(bool finalize, int epoch, int step,
-                     int64_t* admit_begin_gstep);
+                     int64_t* admit_begin_gstep, bool* spliced = nullptr);
+
+  // --- adaptive-policy machinery (all no-ops in kLegacy mode) ---
+  bool policy_active() const {
+    return opts_.policy_mode != policy::Mode::kLegacy;
+  }
+  // Composes (rank 0) / receives one PolicyInputs tick through the
+  // resilient broadcast and runs the shared controller on it. Returns
+  // false when this worker must abort; *out holds the decoded decision.
+  bool PolicyExchange(const policy::PolicyInputs& rank0_in,
+                      policy::Decision* out);
+  // One per-step policy tick: event detection, decision, actuation.
+  // May rewind *epoch/*step (restore) or admit a replacement
+  // (wait/async). Returns false when this worker must abort.
+  bool PolicyTick(int* epoch, int* step, TrainerReport* report,
+                  int64_t* admit_begin_gstep);
+  // Join-boundary decision: picks wait vs async for the scheduled
+  // joiners at `epoch` and publishes the path on policy/join/<epoch>.
+  bool PolicyJoinDecision(int epoch, int joiner_count,
+                          policy::Strategy* chosen);
+  // Emits the flight-recorder pair + the policy/decide trace span.
+  void RecordDecision(const policy::Decision& d, double t_start);
+  // Rank-0 input composition shared by the step tick and the join
+  // decision.
+  policy::PolicyInputs ComposeInputs(policy::EventKind ev, int lost,
+                                     int64_t gstep);
 
   ResilientComm* rc_;
   dnn::Model* model_;
@@ -110,6 +162,14 @@ class ElasticTrainer {
   TrainerOptions opts_;
   std::vector<std::atomic<bool>>* failure_flags_;
   int base_workers_;
+
+  policy::PolicyController policy_;
+  checkpoint::Snapshot policy_snap_;   // last epoch-boundary snapshot
+  int64_t policy_snap_gstep_ = -1;
+  bool policy_snap_valid_ = false;     // every member holds the snapshot
+  int policy_last_world_ = 0;          // membership at the previous tick
+  int policy_slots_used_ = 0;          // replacement slots consumed
+  double policy_step_ewma_ = 0.0;      // measured per-step wall (virtual)
 };
 
 }  // namespace rcc::core

@@ -77,6 +77,9 @@ class ResilientComm {
   mpi::Comm& host() { return *comm_; }
   sim::Endpoint& endpoint() { return ep_; }
   int repairs() const { return repairs_; }
+  // The recorder this comm traces into (may be null). The elastic
+  // trainer records its policy/decide spans through it.
+  trace::Recorder* recorder() const { return rec_; }
 
   // Resilient allreduce (sum) over the GPU communicator. Re-executes on
   // the shrunk communicator after failures; `sendbuf` is preserved

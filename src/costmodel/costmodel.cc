@@ -42,4 +42,23 @@ int OptimalCheckpointIntervalSteps(const sim::SimConfig& cfg,
   return std::max(1, static_cast<int>(std::lround(optimal)));
 }
 
+RecoveryBreakdown EvaluateRestoreDecision(const sim::SimConfig& cfg,
+                                          double checkpoint_bytes,
+                                          double steps_per_second,
+                                          long long rollback_steps) {
+  RecoveryParams p;
+  p.checkpoint_bytes = checkpoint_bytes;
+  p.steps_per_second = std::max(1e-9, steps_per_second);
+  const long long interval = 2 * std::max(0ll, rollback_steps);
+  p.checkpoint_interval_steps =
+      static_cast<int>(std::min<long long>(interval, 1 << 30));
+  p.reconfiguration_cost = 0.0;
+  p.new_worker_init_cost = 0.0;
+  p.fault_rate_per_hour = 1.0;
+  p.horizon_hours = 1.0;
+  RecoveryBreakdown out = Evaluate(cfg, p);
+  out.saving = 0.0;
+  return out;
+}
+
 }  // namespace rcc::costmodel

@@ -47,4 +47,17 @@ RecoveryBreakdown Evaluate(const sim::SimConfig& cfg,
 int OptimalCheckpointIntervalSteps(const sim::SimConfig& cfg,
                                    const RecoveryParams& params);
 
+// One-fault Eq.1 instantiation for the adaptive recovery policy's
+// checkpoint-restore branch: at decision time the rollback distance to
+// the last boundary snapshot is known exactly, so the interval is set
+// to 2 * rollback_steps (making Eq.1's expected half-interval recompute
+// equal the known distance) and rate * horizon is pinned to exactly one
+// fault. `saving` is zeroed in the result: boundary snapshots are
+// captured under every strategy, so their cost is not part of the
+// decision margin.
+RecoveryBreakdown EvaluateRestoreDecision(const sim::SimConfig& cfg,
+                                          double checkpoint_bytes,
+                                          double steps_per_second,
+                                          long long rollback_steps);
+
 }  // namespace rcc::costmodel

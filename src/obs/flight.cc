@@ -95,6 +95,8 @@ const char* EvName(Ev kind) {
     case Ev::kServeComplete: return "serve_complete";
     case Ev::kKvWaitBegin: return "kv_wait_begin";
     case Ev::kKvWaitEnd: return "kv_wait_end";
+    case Ev::kPolicyInputs: return "policy_inputs";
+    case Ev::kPolicyDecision: return "policy_decision";
   }
   return "unknown";
 }

@@ -59,6 +59,16 @@ namespace rcc::obs::flight {
 //   kServeComplete  a=request id     b=tokens          c=done-admit (s)
 //   kKvWaitBegin    a=FNV-1a key hash (low 53 bits: double-exact)
 //   kKvWaitEnd      a=FNV-1a key hash                  c=wait time (s)
+//   kPolicyInputs   a=world after     b=event kind     c=MTBF estimate
+//                     the event         (policy::        (s, 0 unknown)
+//                                        EventKind)
+//   kPolicyDecision a=chosen strategy b=decision seq   c=chosen modeled
+//                     (policy::                          cost (worker-s)
+//                      Strategy)
+//
+// kPolicyInputs/kPolicyDecision are recorded back-to-back by the same
+// rank for every policy decision; tools/postmortem pairs them by
+// adjacency to print the POLICY attribution lines.
 enum class Ev : uint16_t {
   kCollPost = 1,
   kCollComplete,
@@ -86,6 +96,8 @@ enum class Ev : uint16_t {
   kServeComplete,
   kKvWaitBegin,
   kKvWaitEnd,
+  kPolicyInputs,
+  kPolicyDecision,
 };
 
 const char* EvName(Ev kind);

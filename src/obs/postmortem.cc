@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "obs/json_lite.h"
+#include "policy/policy.h"
 
 namespace rcc::obs::postmortem {
 namespace {
@@ -20,8 +21,8 @@ namespace {
 flight::Ev EvFromName(const std::string& name) {
   static const std::unordered_map<std::string, flight::Ev>* map = [] {
     auto* m = new std::unordered_map<std::string, flight::Ev>();
-    for (uint16_t k = 1; k <= static_cast<uint16_t>(flight::Ev::kKvWaitEnd);
-         ++k) {
+    for (uint16_t k = 1;
+         k <= static_cast<uint16_t>(flight::Ev::kPolicyDecision); ++k) {
       const auto ev = static_cast<flight::Ev>(k);
       (*m)[flight::EvName(ev)] = ev;
     }
@@ -206,6 +207,38 @@ Report Analyze(std::vector<RankDump> dumps) {
     rb.ranks = ranks;
   }
 
+  // Policy-decision attribution: the controller records kPolicyInputs
+  // and kPolicyDecision back-to-back on the deciding rank's ring, so
+  // pairing is by adjacency within each rank's own event stream.
+  for (const RankDump& d : rep.dumps) {
+    const flight::Event* pending = nullptr;
+    for (const flight::Event& e : d.events) {
+      if (e.kind == flight::Ev::kPolicyInputs) {
+        pending = &e;
+        continue;
+      }
+      if (e.kind == flight::Ev::kPolicyDecision && pending != nullptr) {
+        PolicyNote n;
+        n.pid = d.pid;
+        n.t = e.t;
+        n.seq = e.b;
+        n.event = static_cast<int>(pending->b);
+        n.world = static_cast<int>(pending->a);
+        n.mtbf = pending->c;
+        n.strategy = static_cast<int>(e.a);
+        n.cost = e.c;
+        rep.policy.push_back(n);
+      }
+      pending = nullptr;
+    }
+  }
+  std::sort(rep.policy.begin(), rep.policy.end(),
+            [](const PolicyNote& x, const PolicyNote& y) {
+              if (x.t != y.t) return x.t < y.t;
+              if (x.pid != y.pid) return x.pid < y.pid;
+              return x.seq < y.seq;
+            });
+
   // Root cause.
   const TimelineEntry* first_abort = nullptr;
   const TimelineEntry* first_detect = nullptr;
@@ -328,6 +361,20 @@ std::string FormatReport(const Report& rep) {
     }
   }
 
+  for (const PolicyNote& n : rep.policy) {
+    std::snprintf(line, sizeof(line),
+                  "POLICY rank=%d t=%.9g seq=%lld event=%s world=%d "
+                  "mtbf=%.9g chosen=%s cost=%.9g\n",
+                  n.pid, n.t, static_cast<long long>(n.seq),
+                  policy::EventKindName(static_cast<policy::EventKind>(
+                      n.event)),
+                  n.world, n.mtbf,
+                  policy::StrategyName(static_cast<policy::Strategy>(
+                      n.strategy)),
+                  n.cost);
+    out.append(line);
+  }
+
   for (const auto& [op, l] : rep.ops) {
     if (!l.stalled) continue;
     std::string posted;
@@ -372,6 +419,31 @@ std::string ReportToJson(const Report& rep) {
       AppendDouble(&out, rb.total[p]);
       out.push_back('}');
     }
+    out.push_back('}');
+  }
+  out.append("],\"policy\":[");
+  first = true;
+  for (const PolicyNote& n : rep.policy) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"rank\":");
+    out.append(std::to_string(n.pid));
+    out.append(",\"t\":");
+    AppendDouble(&out, n.t);
+    out.append(",\"seq\":");
+    out.append(std::to_string(n.seq));
+    out.append(",\"event\":\"");
+    out.append(policy::EventKindName(static_cast<policy::EventKind>(
+        n.event)));
+    out.append("\",\"world\":");
+    out.append(std::to_string(n.world));
+    out.append(",\"mtbf\":");
+    AppendDouble(&out, n.mtbf);
+    out.append(",\"chosen\":\"");
+    out.append(policy::StrategyName(static_cast<policy::Strategy>(
+        n.strategy)));
+    out.append("\",\"cost\":");
+    AppendDouble(&out, n.cost);
     out.push_back('}');
   }
   out.append("],\"stalled_ops\":[");

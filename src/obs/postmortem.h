@@ -81,11 +81,27 @@ struct RootCause {
   std::string detail;
 };
 
+// One recovery-policy decision reconstructed from a rank's adjacent
+// kPolicyInputs + kPolicyDecision flight events (the controller records
+// them back-to-back on the deciding rank's ring).
+struct PolicyNote {
+  int pid = -1;
+  double t = 0.0;      // decision event time
+  int64_t seq = 0;     // global decision ordinal
+  int event = 0;       // policy::EventKind value from the inputs event
+  int world = 0;       // membership after the event
+  double mtbf = 0.0;   // live MTBF estimate fed to the decision (s)
+  int strategy = 0;    // policy::Strategy value chosen
+  double cost = 0.0;   // chosen strategy's modeled cost (worker-seconds)
+};
+
 struct Report {
   std::vector<RankDump> dumps;
   std::vector<TimelineEntry> timeline;  // sorted (t, op id, pid, index)
   std::map<int64_t, OpLifecycle> ops;
   std::map<int64_t, RepairBreakdown> repairs;
+  // Sorted (t, pid, seq); one entry per rank per decision.
+  std::vector<PolicyNote> policy;
   RootCause root_cause;
 };
 

@@ -1,0 +1,382 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "costmodel/costmodel.h"
+#include "sim/params.h"
+
+namespace rcc::policy {
+
+namespace {
+
+// Fraction of the full snapshot transfer the survivors are exposed to
+// through the post-splice delta sync (a joiner staged over a handful of
+// steps is priced at a sliver of the full state, matching the measured
+// async-admission stall being ~2 orders below the blocking one in
+// bench_admission_stall). Fixed model constant so the decision function
+// stays pure.
+constexpr double kAsyncDeltaFrac = 0.05;
+// Cap on the expected-readmission multiplier: with an MTBF far below
+// the remaining horizon a readmitted worker is modeled to fail again
+// and again, but an unbounded multiplier would swamp every other term.
+constexpr double kMaxReadmit = 8.0;
+
+double Inf() { return std::numeric_limits<double>::infinity(); }
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>((static_cast<uint32_t>(v) >> (8 * i)) &
+                                        0xff));
+  }
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>((static_cast<uint64_t>(v) >> (8 * i)) &
+                                        0xff));
+  }
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutI64(out, static_cast<int64_t>(bits));
+}
+
+int32_t GetI32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return static_cast<int32_t>(v);
+}
+
+int64_t GetI64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return static_cast<int64_t>(v);
+}
+
+double GetF64(const uint8_t* p) {
+  const uint64_t bits = static_cast<uint64_t>(GetI64(p));
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kShrink: return "shrink";
+    case Strategy::kWait: return "wait";
+    case Strategy::kAsync: return "async";
+    case Strategy::kRestore: return "restore";
+  }
+  return "?";
+}
+
+const char* ModeName(Mode m) {
+  switch (m) {
+    case Mode::kLegacy: return "legacy";
+    case Mode::kAdaptive: return "adaptive";
+    case Mode::kShrinkOnly: return "shrink";
+    case Mode::kWaitOnly: return "wait";
+    case Mode::kAsyncOnly: return "async";
+    case Mode::kRestoreOnly: return "restore";
+  }
+  return "?";
+}
+
+bool ModeFromName(const std::string& name, Mode* out) {
+  if (name.empty()) { *out = Mode::kLegacy; return true; }
+  if (name == "adaptive") { *out = Mode::kAdaptive; return true; }
+  if (name == "shrink") { *out = Mode::kShrinkOnly; return true; }
+  if (name == "wait") { *out = Mode::kWaitOnly; return true; }
+  if (name == "async") { *out = Mode::kAsyncOnly; return true; }
+  if (name == "restore") { *out = Mode::kRestoreOnly; return true; }
+  return false;
+}
+
+Mode ModeFromEnv() {
+  const char* v = std::getenv("RCC_POLICY");
+  Mode m = Mode::kLegacy;
+  if (v != nullptr) ModeFromName(v, &m);
+  return m;
+}
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kNone: return "none";
+    case EventKind::kFailure: return "failure";
+    case EventKind::kJoin: return "join";
+  }
+  return "?";
+}
+
+void MtbfEstimator::ObserveFailure(double t, int world_after) {
+  world_ = world_after;
+  if (n_ == 0) {
+    first_t_ = t;
+    last_t_ = t;
+  } else {
+    first_t_ = std::min(first_t_, t);
+    last_t_ = std::max(last_t_, t);
+  }
+  ++n_;
+}
+
+void MtbfEstimator::OnWorldChange(int world, double t) {
+  if (world == world_) return;
+  world_ = world;
+  window_start_ = t;
+  first_t_ = last_t_ = 0.0;
+  n_ = 0;
+}
+
+double MtbfEstimator::Estimate() const {
+  if (n_ < 2) return 0.0;
+  return (last_t_ - first_t_) / static_cast<double>(n_ - 1);
+}
+
+std::vector<uint8_t> EncodeInputs(const PolicyInputs& in) {
+  std::vector<uint8_t> out;
+  out.reserve(kPolicyInputsBytes);
+  PutI32(&out, in.event);
+  PutI32(&out, in.seq);
+  PutI32(&out, in.world);
+  PutI32(&out, in.lost);
+  PutI32(&out, in.replacements);
+  PutI32(&out, in.slots_used);
+  PutI32(&out, in.flags);
+  PutI32(&out, in.pad);
+  PutI64(&out, in.gstep);
+  PutI64(&out, in.remaining_steps);
+  PutI64(&out, in.rollback_steps);
+  PutF64(&out, in.now);
+  PutF64(&out, in.step_seconds);
+  PutF64(&out, in.mtbf_seconds);
+  PutF64(&out, in.failures_observed);
+  PutF64(&out, in.snapshot_bytes);
+  PutF64(&out, in.staging_seconds);
+  PutF64(&out, in.rebuild_seconds);
+  PutF64(&out, in.grace_seconds);
+  return out;
+}
+
+bool DecodeInputs(const std::vector<uint8_t>& blob, PolicyInputs* out) {
+  if (blob.size() != kPolicyInputsBytes) return false;
+  const uint8_t* p = blob.data();
+  out->event = GetI32(p); p += 4;
+  out->seq = GetI32(p); p += 4;
+  out->world = GetI32(p); p += 4;
+  out->lost = GetI32(p); p += 4;
+  out->replacements = GetI32(p); p += 4;
+  out->slots_used = GetI32(p); p += 4;
+  out->flags = GetI32(p); p += 4;
+  out->pad = GetI32(p); p += 4;
+  out->gstep = GetI64(p); p += 8;
+  out->remaining_steps = GetI64(p); p += 8;
+  out->rollback_steps = GetI64(p); p += 8;
+  out->now = GetF64(p); p += 8;
+  out->step_seconds = GetF64(p); p += 8;
+  out->mtbf_seconds = GetF64(p); p += 8;
+  out->failures_observed = GetF64(p); p += 8;
+  out->snapshot_bytes = GetF64(p); p += 8;
+  out->staging_seconds = GetF64(p); p += 8;
+  out->rebuild_seconds = GetF64(p); p += 8;
+  out->grace_seconds = GetF64(p); p += 8;
+  return true;
+}
+
+bool Applicable(Strategy s, const PolicyInputs& in) {
+  const auto ev = static_cast<EventKind>(in.event);
+  if (ev == EventKind::kFailure) {
+    switch (s) {
+      case Strategy::kShrink: return true;
+      case Strategy::kWait: return in.replacements > 0;
+      case Strategy::kAsync:
+        return in.replacements > 0 && (in.flags & kFlagStoreOk) != 0;
+      case Strategy::kRestore: return (in.flags & kFlagRestoreOk) != 0;
+    }
+  }
+  if (ev == EventKind::kJoin) {
+    switch (s) {
+      case Strategy::kShrink: return false;
+      case Strategy::kWait: return true;
+      case Strategy::kAsync: return (in.flags & kFlagStoreOk) != 0;
+      case Strategy::kRestore: return false;
+    }
+  }
+  return false;
+}
+
+void ModelCosts(const PolicyInputs& in, double cost[kStrategyCount]) {
+  for (int i = 0; i < kStrategyCount; ++i) cost[i] = Inf();
+  const auto ev = static_cast<EventKind>(in.event);
+  const double w = static_cast<double>(in.world);
+  const double step_s = in.step_seconds > 0 ? in.step_seconds : 1e-6;
+  const double t_rem = static_cast<double>(in.remaining_steps) * step_s;
+  if (ev == EventKind::kFailure) {
+    const double f = static_cast<double>(in.lost < 1 ? 1 : in.lost);
+    // Expected admissions of a replacement over the remaining horizon:
+    // the cluster-wide MTBF is spread over `world` workers, so the
+    // admitted replacement itself re-fails (and pays the admission
+    // overhead again) at 1/world of the cluster rate.
+    const double readmit =
+        1.0 + (in.mtbf_seconds > 0 && w > 0
+                   ? std::min(kMaxReadmit, t_rem / (in.mtbf_seconds * w))
+                   : 0.0);
+    // One replacement slot is admitted per decision; any excess lost
+    // capacity stays lost either way.
+    const double recovered = std::min(f, 1.0);
+    const double residual = (f - recovered) * t_rem;
+    if (Applicable(Strategy::kShrink, in)) {
+      // Degraded mode: the lost capacity is gone for the rest of the
+      // run; the forward-recovery critical path stalls everyone once.
+      cost[0] = f * t_rem + w * in.rebuild_seconds;
+    }
+    if (Applicable(Strategy::kWait, in)) {
+      // Blocking admission: every survivor stalls for the announce
+      // grace + full state sync, per expected admission.
+      cost[1] = w * (in.staging_seconds + in.grace_seconds) * readmit +
+                residual + w * in.rebuild_seconds;
+    }
+    if (Applicable(Strategy::kAsync, in)) {
+      if (in.staging_seconds >= t_rem) {
+        // The splice cannot land inside the remaining horizon: the run
+        // stays degraded exactly like shrink and still pays the wasted
+        // finalize delta at the end.
+        cost[2] = f * t_rem + w * kAsyncDeltaFrac * in.staging_seconds +
+                  w * in.rebuild_seconds;
+      } else {
+        // Overlapped admission: the lost capacity is only missing while
+        // the joiner stages in the background; survivors are exposed to
+        // the delta sync at splice.
+        cost[2] = (recovered * in.staging_seconds +
+                   w * kAsyncDeltaFrac * in.staging_seconds) *
+                      readmit +
+                  residual + w * in.rebuild_seconds;
+      }
+    }
+    if (Applicable(Strategy::kRestore, in)) {
+      // Eq.1 (src/costmodel) with the rollback distance known exactly:
+      // loading + recompute per member. The bytes are re-derived from
+      // staging_seconds against the canonical bandwidth so the branch
+      // stays a pure function of the broadcast inputs. The capacity
+      // loss matches shrink (restore does not replace workers).
+      const sim::SimConfig cfg;
+      const costmodel::RecoveryBreakdown bd =
+          costmodel::EvaluateRestoreDecision(
+              cfg, in.staging_seconds * cfg.net.host_mem_bandwidth,
+              1.0 / step_s, in.rollback_steps);
+      // Restore does not bypass the forward-recovery repair: the
+      // membership still shrinks through the same ULFM critical path,
+      // and the rollback's load + recompute comes on top of it.
+      cost[3] = f * t_rem + w * (in.rebuild_seconds + bd.total());
+    }
+    return;
+  }
+  if (ev == EventKind::kJoin) {
+    const double j = static_cast<double>(in.lost < 1 ? 1 : in.lost);
+    if (Applicable(Strategy::kWait, in)) {
+      // Everyone (including the arrivals) stalls for the blocking
+      // rendezvous + full state sync.
+      cost[1] = (w + j) * (in.staging_seconds + in.grace_seconds);
+    }
+    if (Applicable(Strategy::kAsync, in)) {
+      // Staging overlaps training; the survivors only pay the splice
+      // delta sync.
+      cost[2] = w * kAsyncDeltaFrac * in.staging_seconds;
+    }
+  }
+}
+
+Decision Decide(Mode mode, const PolicyInputs& in) {
+  Decision d;
+  d.mode = mode;
+  d.in = in;
+  ModelCosts(in, d.cost);
+  const auto ev = static_cast<EventKind>(in.event);
+  const Strategy fallback =
+      ev == EventKind::kJoin ? Strategy::kWait : Strategy::kShrink;
+  Strategy forced = fallback;
+  bool is_static = true;
+  switch (mode) {
+    case Mode::kShrinkOnly: forced = Strategy::kShrink; break;
+    case Mode::kWaitOnly: forced = Strategy::kWait; break;
+    case Mode::kAsyncOnly: forced = Strategy::kAsync; break;
+    case Mode::kRestoreOnly: forced = Strategy::kRestore; break;
+    default: is_static = false; break;
+  }
+  if (is_static) {
+    d.chosen = Applicable(forced, in) ? forced : fallback;
+    return d;
+  }
+  // Adaptive: applicable argmin, ties toward the lowest strategy index.
+  Strategy best = fallback;
+  double best_cost = Inf();
+  for (int i = 0; i < kStrategyCount; ++i) {
+    const auto s = static_cast<Strategy>(i);
+    if (!Applicable(s, in)) continue;
+    if (d.cost[i] < best_cost) {
+      best_cost = d.cost[i];
+      best = s;
+    }
+  }
+  d.chosen = best;
+  return d;
+}
+
+std::string FormatDecision(const Decision& d) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "seq=%d event=%s world=%d lost=%d repl=%d used=%d flags=%d "
+      "gstep=%lld rem=%lld rb=%lld now=%.17g step_s=%.17g mtbf=%.17g "
+      "fails=%.17g bytes=%.17g stage=%.17g rebuild=%.17g grace=%.17g "
+      "cost_shrink=%.17g cost_wait=%.17g cost_async=%.17g "
+      "cost_restore=%.17g mode=%s chosen=%s",
+      d.in.seq, EventKindName(static_cast<EventKind>(d.in.event)), d.in.world,
+      d.in.lost, d.in.replacements, d.in.slots_used, d.in.flags,
+      static_cast<long long>(d.in.gstep),
+      static_cast<long long>(d.in.remaining_steps),
+      static_cast<long long>(d.in.rollback_steps), d.in.now, d.in.step_seconds,
+      d.in.mtbf_seconds, d.in.failures_observed, d.in.snapshot_bytes,
+      d.in.staging_seconds, d.in.rebuild_seconds, d.in.grace_seconds,
+      d.cost[0], d.cost[1], d.cost[2], d.cost[3], ModeName(d.mode),
+      StrategyName(d.chosen));
+  return buf;
+}
+
+std::string FormatDecisionLog(const std::vector<Decision>& log) {
+  std::string out;
+  for (const Decision& d : log) {
+    out += FormatDecision(d);
+    out += '\n';
+  }
+  return out;
+}
+
+Decision PolicyController::OnTick(const PolicyInputs& in) {
+  // Feed the estimator from the tick (identical bytes on every member,
+  // so every member's estimator evolves identically from its join on).
+  const auto ev = static_cast<EventKind>(in.event);
+  failures_seen_ = in.failures_observed;
+  if (ev == EventKind::kFailure) {
+    est_.ObserveFailure(in.now, in.world);
+  } else {
+    est_.OnWorldChange(in.world, in.now);
+  }
+  slots_used_ = in.slots_used;
+  if (ev == EventKind::kNone) return Decision{};
+  Decision d = Decide(mode_, in);
+  next_seq_ = in.seq + 1;
+  log_.push_back(d);
+  return d;
+}
+
+}  // namespace rcc::policy

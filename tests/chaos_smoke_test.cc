@@ -14,6 +14,7 @@
 #include "chaos/schedule.h"
 #include "chaos/shrink.h"
 #include "core/resilient.h"
+#include "policy/policy.h"
 
 namespace rcc::chaos {
 namespace {
@@ -355,6 +356,114 @@ TEST(ChaosSmoke, ServingKillMidDecodeKeepsEveryAdmittedRequest) {
   }
   EXPECT_EQ(x.horizon, y.horizon);
   EXPECT_EQ(x.repairs_metric, y.repairs_metric);
+}
+
+TEST(ChaosSmoke, PolicyCampaignsViolateNoOracleIncludingP9) {
+  // Pinned multi-seed batch with the adaptive-policy draws enabled:
+  // every decision the controller takes must re-derive bitwise from its
+  // broadcast inputs and beat every applicable static alternative (the
+  // P9 decision oracle), alongside the standard trainer oracles. Seed
+  // 108 is the regression pin for the replacement-splice-at-join-
+  // boundary deadlock.
+  GenConfig cfg;
+  cfg.allow_policy = true;
+  int policy_campaigns = 0;
+  int replacements_drawn = 0;
+  int decisions_total = 0;
+  for (uint64_t seed = 100; seed <= 108; ++seed) {
+    Schedule s = GenerateSchedule(seed, cfg);
+    if (!s.shape.policy_mode.empty()) ++policy_campaigns;
+    replacements_drawn += s.shape.replacements;
+    CampaignOutcome outcome = RunSchedule(s);
+    for (const auto& r : outcome.results) {
+      decisions_total += static_cast<int>(r.report.decisions.size());
+    }
+    auto violations = CheckOracles(s, outcome);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << s.seed << ":\n" << FormatViolations(violations);
+  }
+  // The pinned range must actually exercise the controller: adaptive
+  // campaigns with provisioned replacement slots and logged decisions.
+  EXPECT_GE(policy_campaigns, 8);
+  EXPECT_GE(replacements_drawn, 8);
+  EXPECT_GE(decisions_total, 8);
+}
+
+TEST(ChaosSmoke, PolicyDrawsAreGatedAndSchedulesRoundTrip) {
+  // Old seeds keep generating byte-identical schedules with the policy
+  // draws off (the default): pre-policy reproducers stay valid.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Schedule s = GenerateSchedule(seed);
+    EXPECT_TRUE(s.shape.policy_mode.empty());
+    EXPECT_EQ(s.shape.replacements, 0);
+    EXPECT_EQ(s.ToJson().find("policy_mode"), std::string::npos);
+  }
+  // The policy draws are appended after every existing draw, so turning
+  // them on never perturbs the pre-existing fields — only the policy
+  // fields and the extra failure-regime kills appended to `timed`.
+  GenConfig cfg;
+  cfg.allow_policy = true;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Schedule legacy = GenerateSchedule(seed);
+    Schedule pol = GenerateSchedule(seed, cfg);
+    EXPECT_EQ(pol.shape.world, legacy.shape.world);
+    EXPECT_EQ(pol.shape.epochs, legacy.shape.epochs);
+    EXPECT_EQ(pol.shape.steps_per_epoch, legacy.shape.steps_per_epoch);
+    EXPECT_EQ(pol.shape.inflight_window, legacy.shape.inflight_window);
+    EXPECT_EQ(pol.shape.async_admission, legacy.shape.async_admission);
+    EXPECT_TRUE(pol.shape.joins == legacy.shape.joins);
+    // The events are NOT asserted identical: the appended regime kills
+    // feed the liveness trim, which may drop tail events it kept in the
+    // legacy schedule. The draw order still guarantees the pre-policy
+    // prefix of the rng stream (everything above) is untouched.
+  }
+  // The new shape fields survive the JSON round-trip...
+  Schedule s = GenerateSchedule(3);
+  s.shape.policy_mode = "adaptive";
+  s.shape.replacements = 2;
+  Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(Schedule::FromJson(s.ToJson(), &parsed, &error)) << error;
+  EXPECT_TRUE(parsed == s);
+  // ...and JSON recorded before the fields existed parses with them off.
+  ASSERT_TRUE(
+      Schedule::FromJson(GenerateSchedule(3).ToJson(), &parsed, &error))
+      << error;
+  EXPECT_TRUE(parsed.shape.policy_mode.empty());
+  EXPECT_EQ(parsed.shape.replacements, 0);
+}
+
+TEST(ChaosSmoke, PolicyDecisionLogIsByteDeterministicOnFibers) {
+  // Format 2 pins the campaign to the fibers engine; the decision log —
+  // the canonical %.17g rendering included — must replay byte for byte,
+  // which is what makes shrunk policy reproducers trustworthy.
+  GenConfig cfg;
+  cfg.allow_policy = true;
+  cfg.format = 2;
+  Schedule s = GenerateSchedule(302, cfg);
+  ASSERT_EQ(s.format, 2);
+  ASSERT_FALSE(s.shape.policy_mode.empty());
+  CampaignOutcome x = RunSchedule(s);
+  CampaignOutcome y = RunSchedule(s);
+  auto violations = CheckOracles(s, x);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  ASSERT_EQ(x.results.size(), y.results.size());
+  int logged = 0;
+  for (size_t i = 0; i < x.results.size(); ++i) {
+    const WorkerResult& wx = x.results[i];
+    const WorkerResult& wy = y.results[i];
+    EXPECT_EQ(wx.pid, wy.pid);
+    EXPECT_EQ(wx.report.aborted, wy.report.aborted);
+    EXPECT_EQ(wx.report.steps_run, wy.report.steps_run);
+    EXPECT_EQ(wx.report.rollback_steps, wy.report.rollback_steps);
+    EXPECT_EQ(wx.report.final_params, wy.report.final_params);
+    EXPECT_EQ(wx.end_time, wy.end_time);
+    EXPECT_EQ(policy::FormatDecisionLog(wx.report.decisions),
+              policy::FormatDecisionLog(wy.report.decisions));
+    if (!wx.report.aborted && !wx.report.decisions.empty()) ++logged;
+  }
+  EXPECT_GE(logged, 1);
+  EXPECT_EQ(x.horizon, y.horizon);
 }
 
 TEST(ChaosSmoke, PlantedReplayBugIsCaughtAndShrunk) {

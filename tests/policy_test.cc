@@ -1,0 +1,323 @@
+// Adaptive recovery policy unit tests: MTBF estimator convergence on
+// planted exponential failure traces, window reset semantics on
+// non-failure membership changes, the PolicyInputs wire round-trip, the
+// pinned decision boundaries of every mode (static forcing + fallback,
+// adaptive argmin + lowest-index tie break), and the controller's
+// tick/log bookkeeping that oracle P9 replays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "policy/policy.h"
+
+namespace rcc::policy {
+namespace {
+
+// A representative failure tick: two replacement slots left, kvstore up,
+// boundary snapshot held, mid-run with real measured costs.
+PolicyInputs FailureInputs() {
+  PolicyInputs in;
+  in.event = static_cast<int32_t>(EventKind::kFailure);
+  in.seq = 3;
+  in.world = 7;
+  in.lost = 1;
+  in.replacements = 2;
+  in.slots_used = 1;
+  in.flags = kFlagStoreOk | kFlagRestoreOk;
+  in.gstep = 40;
+  in.remaining_steps = 60;
+  in.rollback_steps = 4;
+  in.now = 1.25;
+  in.step_seconds = 0.015;
+  in.mtbf_seconds = 0.8;
+  in.failures_observed = 3.0;
+  in.snapshot_bytes = 4096.0;
+  in.staging_seconds = 0.002;
+  in.rebuild_seconds = 0.03;
+  in.grace_seconds = 0.005;
+  return in;
+}
+
+PolicyInputs JoinInputs() {
+  PolicyInputs in = FailureInputs();
+  in.event = static_cast<int32_t>(EventKind::kJoin);
+  in.lost = 2;  // joiners due
+  in.flags = kFlagStoreOk;
+  in.rollback_steps = 0;
+  return in;
+}
+
+TEST(MtbfEstimator, ConvergesOnPlantedExponentialTrace) {
+  // Failures planted by a Poisson process with rate 2/s (mean gap 0.5s
+  // of virtual time): the windowed mean inter-failure time must settle
+  // near the true MTBF.
+  Rng rng(/*seed=*/17);
+  MtbfEstimator est;
+  const double rate = 2.0;
+  double t = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    t += rng.NextExponential(rate);
+    est.ObserveFailure(t, /*world_after=*/8 - (i % 3));
+  }
+  EXPECT_EQ(est.window_failures(), 600);
+  EXPECT_NEAR(est.Estimate(), 1.0 / rate, 0.1 / rate);
+}
+
+TEST(MtbfEstimator, NoEstimateBeforeTwoObservations) {
+  MtbfEstimator est;
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  est.ObserveFailure(1.0, 4);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  est.ObserveFailure(1.5, 3);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.5);
+}
+
+TEST(MtbfEstimator, WindowResetsOnNonFailureWorldChange) {
+  MtbfEstimator est;
+  est.ObserveFailure(1.0, 5);
+  est.ObserveFailure(2.0, 4);
+  ASSERT_GT(est.Estimate(), 0.0);
+  // A failure-driven shrink keeps the window (the shrink IS the
+  // observation)...
+  est.ObserveFailure(3.0, 3);
+  EXPECT_EQ(est.window_failures(), 3);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 1.0);
+  // ...but an admission growing the world invalidates it: the aggregate
+  // failure rate scales with the worker count.
+  est.OnWorldChange(4, 3.5);
+  EXPECT_EQ(est.window_failures(), 0);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(est.window_start(), 3.5);
+  // A world report matching the current membership is not a change.
+  est.ObserveFailure(4.0, 3);
+  est.OnWorldChange(3, 4.25);
+  EXPECT_EQ(est.window_failures(), 1);
+}
+
+TEST(PolicyInputs, EncodeDecodeRoundTripIsExact) {
+  PolicyInputs in = FailureInputs();
+  in.now = 0.1 + 1e-17;  // not representable tidily: bit-exactness check
+  in.mtbf_seconds = -0.0;
+  const std::vector<uint8_t> blob = EncodeInputs(in);
+  ASSERT_EQ(blob.size(), kPolicyInputsBytes);
+  PolicyInputs out;
+  ASSERT_TRUE(DecodeInputs(blob, &out));
+  EXPECT_EQ(EncodeInputs(out), blob);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.world, in.world);
+  EXPECT_EQ(out.flags, in.flags);
+  EXPECT_EQ(out.gstep, in.gstep);
+  EXPECT_DOUBLE_EQ(out.now, in.now);
+  EXPECT_TRUE(std::signbit(out.mtbf_seconds));
+  // Truncated or padded blobs are rejected, never partially decoded.
+  std::vector<uint8_t> bad(blob.begin(), blob.end() - 1);
+  EXPECT_FALSE(DecodeInputs(bad, &out));
+  bad = blob;
+  bad.push_back(0);
+  EXPECT_FALSE(DecodeInputs(bad, &out));
+}
+
+TEST(Applicability, MatrixMatchesEventAndFlags) {
+  PolicyInputs in = FailureInputs();
+  EXPECT_TRUE(Applicable(Strategy::kShrink, in));
+  EXPECT_TRUE(Applicable(Strategy::kWait, in));
+  EXPECT_TRUE(Applicable(Strategy::kAsync, in));
+  EXPECT_TRUE(Applicable(Strategy::kRestore, in));
+  in.replacements = 0;
+  EXPECT_FALSE(Applicable(Strategy::kWait, in));
+  EXPECT_FALSE(Applicable(Strategy::kAsync, in));
+  in.flags = 0;
+  EXPECT_FALSE(Applicable(Strategy::kRestore, in));
+  PolicyInputs join = JoinInputs();
+  EXPECT_FALSE(Applicable(Strategy::kShrink, join));
+  EXPECT_FALSE(Applicable(Strategy::kRestore, join));
+  EXPECT_TRUE(Applicable(Strategy::kWait, join));
+  EXPECT_TRUE(Applicable(Strategy::kAsync, join));
+  join.flags = 0;
+  EXPECT_FALSE(Applicable(Strategy::kAsync, join));
+}
+
+TEST(Decide, StaticModesForceTheirStrategyWhenApplicable) {
+  const PolicyInputs in = FailureInputs();
+  EXPECT_EQ(Decide(Mode::kShrinkOnly, in).chosen, Strategy::kShrink);
+  EXPECT_EQ(Decide(Mode::kWaitOnly, in).chosen, Strategy::kWait);
+  EXPECT_EQ(Decide(Mode::kAsyncOnly, in).chosen, Strategy::kAsync);
+  EXPECT_EQ(Decide(Mode::kRestoreOnly, in).chosen, Strategy::kRestore);
+}
+
+TEST(Decide, StaticModesFallBackWhenInapplicable) {
+  PolicyInputs in = FailureInputs();
+  in.replacements = 0;  // no slot: wait/async impossible
+  in.flags = 0;         // no store, no snapshot: restore impossible
+  EXPECT_EQ(Decide(Mode::kWaitOnly, in).chosen, Strategy::kShrink);
+  EXPECT_EQ(Decide(Mode::kAsyncOnly, in).chosen, Strategy::kShrink);
+  EXPECT_EQ(Decide(Mode::kRestoreOnly, in).chosen, Strategy::kShrink);
+  // Joins never shrink or restore: the fallback is the blocking expand.
+  PolicyInputs join = JoinInputs();
+  join.flags = 0;
+  EXPECT_EQ(Decide(Mode::kShrinkOnly, join).chosen, Strategy::kWait);
+  EXPECT_EQ(Decide(Mode::kRestoreOnly, join).chosen, Strategy::kWait);
+  EXPECT_EQ(Decide(Mode::kAsyncOnly, join).chosen, Strategy::kWait);
+}
+
+TEST(Decide, AdaptivePicksOnlyApplicableStrategy) {
+  PolicyInputs in = FailureInputs();
+  in.replacements = 0;
+  in.flags = 0;
+  const Decision d = Decide(Mode::kAdaptive, in);
+  EXPECT_EQ(d.chosen, Strategy::kShrink);
+  EXPECT_TRUE(std::isinf(d.cost[1]));
+  EXPECT_TRUE(std::isinf(d.cost[2]));
+  EXPECT_TRUE(std::isinf(d.cost[3]));
+}
+
+TEST(Decide, AdaptivePrefersAsyncOverStallingAlternatives) {
+  // Long remaining horizon, cheap staging: shrink forfeits a worker for
+  // the rest of the run, wait stalls the whole world on the rendezvous
+  // grace; the overlapped admission must win.
+  PolicyInputs in = FailureInputs();
+  in.remaining_steps = 500;
+  const Decision d = Decide(Mode::kAdaptive, in);
+  EXPECT_EQ(d.chosen, Strategy::kAsync);
+  EXPECT_LT(d.cost[2], d.cost[0]);
+  EXPECT_LT(d.cost[2], d.cost[1]);
+}
+
+TEST(Decide, AdaptiveShrinksWhenNoHorizonRemains) {
+  // With nothing left to run, every admission is pure overhead: the
+  // degraded continue is free.
+  PolicyInputs in = FailureInputs();
+  in.remaining_steps = 0;
+  in.rebuild_seconds = 0.0;
+  const Decision d = Decide(Mode::kAdaptive, in);
+  EXPECT_EQ(d.chosen, Strategy::kShrink);
+  EXPECT_DOUBLE_EQ(d.cost[0], 0.0);
+}
+
+TEST(Decide, RestorePricesTheRepairPlusRollbackOnFailures) {
+  // Rolling back does not bypass the forward-recovery repair: the
+  // membership shrinks through the same ULFM critical path either way,
+  // and the Eq.1 load + recompute comes on top. On failures restore is
+  // therefore never strictly cheaper than shrink — with zero rollback
+  // and zero snapshot the two tie exactly and the tie breaks toward
+  // shrink; any rollback distance strictly separates them.
+  PolicyInputs in = FailureInputs();
+  in.replacements = 0;  // isolate the shrink-vs-restore boundary
+  in.rebuild_seconds = 5.0;
+  in.rollback_steps = 0;
+  in.snapshot_bytes = 0.0;
+  in.staging_seconds = 0.0;
+  const Decision tie = Decide(Mode::kAdaptive, in);
+  EXPECT_EQ(tie.chosen, Strategy::kShrink);
+  EXPECT_DOUBLE_EQ(tie.cost[3], tie.cost[0]);
+
+  in.rollback_steps = 40;
+  const Decision rolled = Decide(Mode::kAdaptive, in);
+  EXPECT_EQ(rolled.chosen, Strategy::kShrink);
+  EXPECT_GT(rolled.cost[3], rolled.cost[0]);
+  // The static mode still forces the strategy it names.
+  EXPECT_EQ(Decide(Mode::kRestoreOnly, in).chosen, Strategy::kRestore);
+}
+
+TEST(Decide, AdaptiveTieBreaksTowardLowestIndex) {
+  // Zero rebuild, zero snapshot, zero rollback: shrink and restore cost
+  // exactly the same lost capacity; the tie must break toward shrink
+  // (lowest strategy index) on every rank identically.
+  PolicyInputs in = FailureInputs();
+  in.replacements = 0;
+  in.rebuild_seconds = 0.0;
+  in.rollback_steps = 0;
+  in.snapshot_bytes = 0.0;
+  in.staging_seconds = 0.0;
+  const Decision d = Decide(Mode::kAdaptive, in);
+  ASSERT_DOUBLE_EQ(d.cost[0], d.cost[3]);
+  EXPECT_EQ(d.chosen, Strategy::kShrink);
+}
+
+TEST(Decide, JoinPrefersAsyncWithStoreElseWait) {
+  PolicyInputs join = JoinInputs();
+  EXPECT_EQ(Decide(Mode::kAdaptive, join).chosen, Strategy::kAsync);
+  join.flags = 0;
+  EXPECT_EQ(Decide(Mode::kAdaptive, join).chosen, Strategy::kWait);
+}
+
+TEST(Decide, IsPureOverTheWire) {
+  // The broadcast bytes ARE the decision input: decode must reproduce
+  // the identical Decision, including every modeled cost bit.
+  const PolicyInputs in = FailureInputs();
+  PolicyInputs decoded;
+  ASSERT_TRUE(DecodeInputs(EncodeInputs(in), &decoded));
+  const Decision a = Decide(Mode::kAdaptive, in);
+  const Decision b = Decide(Mode::kAdaptive, decoded);
+  EXPECT_EQ(FormatDecision(a), FormatDecision(b));
+}
+
+TEST(ModeParsing, NamesRoundTripAndUnknownsAreRejected) {
+  const char* names[] = {"adaptive", "shrink", "wait", "async", "restore"};
+  for (const char* n : names) {
+    Mode m = Mode::kLegacy;
+    ASSERT_TRUE(ModeFromName(n, &m)) << n;
+    EXPECT_STREQ(ModeName(m), n);
+  }
+  Mode m = Mode::kAdaptive;
+  ASSERT_TRUE(ModeFromName("", &m));
+  EXPECT_EQ(m, Mode::kLegacy);
+  EXPECT_FALSE(ModeFromName("chameleon", &m));
+}
+
+TEST(PolicyController, LogsOnlyEventTicksAndTracksSeq) {
+  PolicyController ctl(Mode::kAdaptive);
+  PolicyInputs none;
+  none.event = static_cast<int32_t>(EventKind::kNone);
+  none.world = 4;
+  none.slots_used = 2;
+  none.now = 0.5;
+  ctl.OnTick(none);
+  EXPECT_TRUE(ctl.log().empty());
+  EXPECT_EQ(ctl.slots_used(), 2);
+  EXPECT_EQ(ctl.next_seq(), 0);
+
+  PolicyInputs fail = FailureInputs();
+  fail.seq = 0;
+  const Decision d = ctl.OnTick(fail);
+  ASSERT_EQ(ctl.log().size(), 1u);
+  EXPECT_EQ(ctl.next_seq(), 1);
+  EXPECT_EQ(FormatDecision(ctl.log().front()), FormatDecision(d));
+}
+
+TEST(PolicyController, FeedsEstimatorFromTicksDeterministically) {
+  // Two controllers fed the same tick bytes evolve identically: same
+  // estimator window, same decisions, byte-identical logs. This is the
+  // SPMD property the cross-rank half of oracle P9 audits.
+  PolicyController a(Mode::kAdaptive);
+  PolicyController b(Mode::kAdaptive);
+  double t = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    PolicyInputs in = FailureInputs();
+    in.seq = i;
+    t += 0.4;
+    in.now = t;
+    in.world = 7 - i;
+    in.mtbf_seconds = a.estimator().Estimate();
+    a.OnTick(in);
+    b.OnTick(in);
+  }
+  EXPECT_EQ(a.estimator().window_failures(), 5);
+  EXPECT_NEAR(a.estimator().Estimate(), 0.4, 1e-12);
+  ASSERT_EQ(a.log().size(), 5u);
+  EXPECT_EQ(FormatDecisionLog(a.log()), FormatDecisionLog(b.log()));
+  // A join tick growing the world resets the shared window.
+  PolicyInputs join = JoinInputs();
+  join.seq = 5;
+  join.world = 9;
+  join.now = t + 0.1;
+  a.OnTick(join);
+  EXPECT_EQ(a.estimator().window_failures(), 0);
+  EXPECT_DOUBLE_EQ(a.estimator().Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace rcc::policy

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/elastic_trainer.h"
 #include "core/resilient.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
@@ -311,6 +313,105 @@ TEST(PostmortemEndToEnd, PlantedStallDumpsAndNamesTheStraggler) {
     EXPECT_NE(ss.str().find("ROOT-CAUSE rank=1 kind=straggler"),
               std::string::npos)
         << ss.str();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Policy-decision attribution: the causal timeline names the recovery
+// decision the controller took at the failure boundary
+// ---------------------------------------------------------------------
+
+constexpr const char* kPolicyDumpDir = "postmortem_policy_dumps";
+
+TEST(PostmortemEndToEnd, PolicyDecisionLineMatchesFlightEvent) {
+  ASSERT_TRUE(flight::Enabled());
+  flight::ResetAll();
+  ::mkdir(kPolicyDumpDir, 0755);
+  for (const std::string& old : ListDumpFiles(kPolicyDumpDir)) {
+    std::remove(old.c_str());
+  }
+
+  // Adaptive trainer with a scripted mid-epoch failure: the surviving
+  // members tick the controller at the next step boundary and record
+  // the kPolicyInputs/kPolicyDecision pair on their rings.
+  constexpr int kWorld = 3;
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  core::TrainerOptions opts;
+  opts.epochs = 2;
+  opts.steps_per_epoch = 3;
+  opts.policy_mode = policy::Mode::kAdaptive;
+  opts.failures.push_back({0, 1, 0, 1, sim::FailScope::kProcess});
+  std::vector<std::atomic<bool>> flags(1);
+  flags[0] = false;
+  std::vector<int> pids{0, 1, 2};
+  std::mutex mu;
+  std::vector<core::TrainerReport> reports;
+  cluster.Spawn(kWorld, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    core::ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    core::ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.Join();
+
+  const core::TrainerReport* survivor = nullptr;
+  for (const auto& r : reports) {
+    if (!r.aborted) survivor = &r;
+  }
+  ASSERT_NE(survivor, nullptr);
+  ASSERT_FALSE(survivor->decisions.empty());
+  const policy::Decision& d = survivor->decisions.front();
+
+  // At least one ring per member: earlier tests in this binary may have
+  // registered additional pids whose (reset, empty) rings dump too.
+  const std::vector<std::string> paths =
+      flight::DumpAll("test: policy decision", kPolicyDumpDir);
+  ASSERT_GE(paths.size(), static_cast<size_t>(kWorld));
+  std::vector<RankDump> dumps;
+  for (const std::string& p : ListDumpFiles(kPolicyDumpDir)) {
+    RankDump dmp;
+    std::string err;
+    ASSERT_TRUE(ParseDumpFile(p, &dmp, &err)) << p << ": " << err;
+    dumps.push_back(std::move(dmp));
+  }
+
+  Report rep = Analyze(std::move(dumps));
+  // Every surviving member recorded the same decision; the notes must
+  // agree with the trainer's own decision log on every attributed field.
+  ASSERT_GE(rep.policy.size(), static_cast<size_t>(kWorld - 1));
+  for (const PolicyNote& n : rep.policy) {
+    EXPECT_EQ(n.seq, d.in.seq);
+    EXPECT_EQ(n.event, d.in.event);
+    EXPECT_EQ(n.world, d.in.world);
+    EXPECT_EQ(n.strategy, static_cast<int>(d.chosen));
+    EXPECT_DOUBLE_EQ(n.mtbf, d.in.mtbf_seconds);
+    EXPECT_DOUBLE_EQ(n.cost, d.cost[static_cast<int>(d.chosen)]);
+  }
+
+  // The grep-able POLICY line in the rendered report names the chosen
+  // strategy the flight events carry.
+  const std::string text = FormatReport(rep);
+  std::ostringstream want;
+  want << "POLICY rank=";
+  EXPECT_NE(text.find(want.str()), std::string::npos) << text;
+  std::ostringstream chosen;
+  chosen << "chosen=" << policy::StrategyName(d.chosen);
+  EXPECT_NE(text.find(chosen.str()), std::string::npos) << text;
+
+  // And through the real CLI when ctest points at it.
+  if (const char* tool = std::getenv("RCC_POSTMORTEM_TOOL")) {
+    const std::string out_path = std::string(kPolicyDumpDir) + "/report.txt";
+    const std::string cmd = std::string(tool) + " --dir " + kPolicyDumpDir +
+                            " > " + out_path;
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+    std::ifstream in(out_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find(chosen.str()), std::string::npos) << ss.str();
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/elastic_trainer.h"
 #include "core/resilient.h"
+#include "ulfm/ulfm.h"
 
 namespace rcc::core {
 namespace {
@@ -356,6 +357,76 @@ TEST(FailurePlusJoin, ReplacementKeepsTrainingEquivalent) {
     EXPECT_EQ(r.final_world, 4);
   }
   EXPECT_EQ(finishers, 4);
+}
+
+TEST(VoluntaryShrink, GracefulLeaveThenFailureStillConsistent) {
+  // Scale-down via ulfm::LeaveGracefully (the serving plane's voluntary
+  // departure) followed by a failure-driven shrink in the same run: the
+  // survivors must treat both as ordinary repairs. P1 steps exact, P2
+  // bitwise replicas, P3 exact final world, P4 loss decrease.
+  sim::Cluster cluster;
+  dnn::ClusterDataset data(8, 3, 512, 7);
+  TrainerOptions opts;
+  opts.epochs = 3;
+  opts.steps_per_epoch = 4;
+  // Failure-driven shrink well after the voluntary one: rank 2 dies at
+  // (2, 1) while the leaver departs at the end of epoch 0.
+  opts.failures.push_back({2, 1, 0, 2, sim::FailScope::kProcess});
+  std::vector<std::atomic<bool>> flags(1);
+  flags[0] = false;
+  const int world = 5;
+  const int leaver = world - 1;  // highest rank, like the serving plane
+  std::vector<int> pids(world);
+  std::iota(pids.begin(), pids.end(), 0);
+  std::mutex mu;
+  std::vector<TrainerReport> reports;
+  int leaver_steps = -1;
+  cluster.Spawn(world, [&](sim::Endpoint& ep) {
+    dnn::Model model = dnn::BuildMlp(8, {12}, 3, 99);
+    dnn::Sgd opt(model.Params(), opts.sgd);
+    ResilientComm rc(ep, pids, opts.drop_policy, nullptr);
+    if (ep.pid() == leaver) {
+      // Train one epoch in lockstep, then revoke-and-depart; the
+      // survivors observe the leave at their next blocking collective.
+      TrainerOptions mine = opts;
+      mine.epochs = 1;
+      ElasticTrainer trainer(&rc, &model, &opt, &data, mine, &flags);
+      auto report = trainer.Run();
+      ulfm::LeaveGracefully(ep, rc.host());
+      std::lock_guard<std::mutex> lock(mu);
+      leaver_steps = report.aborted ? -1 : report.steps_run;
+      return;
+    }
+    ElasticTrainer trainer(&rc, &model, &opt, &data, opts, &flags);
+    auto report = trainer.Run();
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(std::move(report));
+  });
+  cluster.Join();
+  // The leaver completed its single epoch cleanly before departing.
+  EXPECT_EQ(leaver_steps, opts.steps_per_epoch);
+  ASSERT_EQ(reports.size(), static_cast<size_t>(world - 1));
+  int survivors = 0;
+  const TrainerReport* ref = nullptr;
+  for (const auto& r : reports) {
+    if (r.aborted) continue;  // the scripted victim
+    ++survivors;
+    EXPECT_EQ(r.steps_run, opts.epochs * opts.steps_per_epoch);  // P1
+    EXPECT_EQ(r.final_world, world - 2);                         // P3
+    // Both departures surface as repairs: the graceful leave is an
+    // acked failure at the next blocking point, not a special path.
+    EXPECT_EQ(r.repairs, 2);
+    EXPECT_LT(r.last_loss, r.first_loss);  // P4
+    if (ref == nullptr) {
+      ref = &r;
+    } else {  // P2
+      ASSERT_EQ(r.final_params.size(), ref->final_params.size());
+      for (size_t i = 0; i < r.final_params.size(); ++i) {
+        ASSERT_EQ(r.final_params[i], ref->final_params[i]) << "param " << i;
+      }
+    }
+  }
+  EXPECT_EQ(survivors, world - 2);
 }
 
 }  // namespace
