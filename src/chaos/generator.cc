@@ -6,6 +6,7 @@
 #include <string>
 
 #include "chaos/runner.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/sampling.h"
 #include "sim/engine.h"
@@ -14,15 +15,8 @@ namespace rcc::chaos {
 
 namespace {
 
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
-}
-
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
-}
+using common::EnvDouble;
+using common::EnvInt;
 
 // Protocol spans a victim can be caught inside. Founding bootstrap
 // (init/) always runs; the recovery/ spans fire only on campaigns whose
@@ -86,6 +80,7 @@ GenConfig GenConfig::FromEnv() {
       EnvInt("RCC_CHAOS_SERVE", cfg.allow_serving ? 1 : 0) != 0;
   cfg.allow_policy =
       EnvInt("RCC_CHAOS_POLICY", cfg.allow_policy ? 1 : 0) != 0;
+  cfg.allow_pp = EnvInt("RCC_CHAOS_PP", cfg.allow_pp ? 1 : 0) != 0;
   if (const char* m = std::getenv("RCC_POLICY"); m != nullptr && *m != '\0') {
     cfg.policy_mode = m;
   }
@@ -252,12 +247,43 @@ Schedule GenerateSchedule(uint64_t seed, const GenConfig& cfg) {
     }
   }
 
-  // Liveness: keep >= 2 founders no event can reach. Drop events from
-  // the back (phase injections first — background kills carry more of
-  // the campaign's value) until the guarantee holds.
+  // Pipeline campaigns (opt-in). Drawn strictly after every
+  // pre-existing draw — including the async, serving, and policy
+  // blocks — so with allow_pp off the rng stream and every old seed's
+  // schedule stay byte-identical. A pipeline campaign runs the hybrid
+  // DP x PP x TP PipelineTrainer; the scheduled joins and the serving
+  // plane don't apply to it.
+  if (cfg.allow_pp && !sh.serving) {
+    sh.pipeline = true;
+    sh.pp_stages = 2 + static_cast<int>(rng.NextBelow(2));        // 2..3
+    sh.tp_size = 1 + static_cast<int>(rng.NextBelow(2));          // 1..2
+    sh.pp_microbatches = 4 + static_cast<int>(rng.NextBelow(5));  // 4..8
+    // Found with dp >= 2 so single-replica failures are re-routable.
+    const int cell = sh.pp_stages * sh.tp_size;
+    if (sh.world < 2 * cell) sh.world = 2 * cell;
+    if (sh.policy_mode.empty()) sh.policy_mode = "adaptive";
+    sh.joins.clear();
+    sh.async_admission = false;
+    // Background kills were placed inside the data-parallel trainer's
+    // horizon; rescale them into the pipeline horizon so they still
+    // land mid-schedule (no draws, deterministic).
+    const double pp_horizon = EstimateHorizon(s);
+    if (horizon > 0 && pp_horizon > 0) {
+      for (TimedKill& k : s.timed) k.at *= pp_horizon / horizon;
+    }
+  }
+
+  // Liveness: keep enough founders no event can reach — 2 for the
+  // data-parallel trainer, a full pp*tp cell for pipeline campaigns
+  // (the smallest world that can still hold every stage). Drop events
+  // from the back (phase injections first — background kills carry
+  // more of the campaign's value) until the guarantee holds. Trimming
+  // consumes no rng draws, so raising the floor is replay-safe.
+  const int survivor_floor =
+      sh.pipeline ? std::max(2, sh.pp_stages * sh.tp_size) : 2;
   for (;;) {
     const int undoomed = sh.world - static_cast<int>(DoomedFounders(s).size());
-    if (undoomed >= 2) break;
+    if (undoomed >= survivor_floor) break;
     if (!s.phased.empty()) {
       s.phased.pop_back();
     } else if (!s.timed.empty()) {

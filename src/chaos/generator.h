@@ -45,6 +45,12 @@ struct GenConfig {
   // "async"/"restore"); benches sweep this to compare the controller
   // against each forced static strategy on identical schedules.
   std::string policy_mode = "adaptive";
+  // Opt-in: campaigns run the hybrid-parallel PipelineTrainer
+  // (DP x PP x TP grid, 1F1B schedule, ReCycle-style re-routing)
+  // instead of the data-parallel trainer. Off by default so
+  // pre-pipeline seeds keep generating byte-identical schedules — the
+  // pipeline draws happen strictly after every other draw.
+  bool allow_pp = false;
   // Seed format stamped on generated schedules (1 = threads replay,
   // 2 = fibers replay; see chaos/schedule.h). Does not consume RNG
   // draws, so format-1 generation stays byte-identical to older builds.
@@ -52,8 +58,9 @@ struct GenConfig {
 
   // Reads the RCC_CHAOS_* knobs (MIN_WORLD, MAX_WORLD, MAX_TIMED,
   // MAX_PHASED, RATE, NODE_SCOPE, ASYNC, SERVE, POLICY — the last also
-  // honoring RCC_POLICY for the mode) over the defaults above, and
-  // stamps `format` 2 when RCC_SIM_ENGINE resolves to fibers.
+  // honoring RCC_POLICY for the mode — and PP) over the defaults
+  // above, and stamps `format` 2 when RCC_SIM_ENGINE resolves to
+  // fibers.
   static GenConfig FromEnv();
 };
 

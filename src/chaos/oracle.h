@@ -36,6 +36,15 @@
 //       formatted record byte for byte. Under the adaptive policy P1's
 //       exactly-once guarantee generalizes to steps_run == planned +
 //       rollback_steps (restore decisions re-execute accounted steps).
+//  P10. Pipeline exactly-once (pipeline-shape campaigns): across every
+//       re-route, shrink, and restore, no microbatch of any committed
+//       step is lost or double-applied in any process group — every
+//       finisher holds the identical commit ledger, every committed
+//       (stage, microbatch) names a live owner replica, and each
+//       rank's executed set is exactly what the agreed grid mapping
+//       assigned to the slot it held at commit time. Pipeline
+//       campaigns check P0/P1/P3/P6/P7/P9/P10; the data-parallel
+//       trainer's P2/P4/P5 (real-numerics replicas) don't apply.
 #pragma once
 
 #include <string>

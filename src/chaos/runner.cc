@@ -212,6 +212,35 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
     return finalize();
   }
 
+  if (sh.pipeline) {
+    // Hybrid-parallel pipeline campaign: every founder runs the
+    // PipelineTrainer over the DP x PP x TP grid. All recovery
+    // (re-route / shrink / restore) happens inside the world — no
+    // joiner or replacement workers apply here.
+    core::PipelineOptions po;
+    po.dims.dp = 0;  // derive dp from the founding world
+    po.dims.pp = sh.pp_stages > 0 ? sh.pp_stages : 2;
+    po.dims.tp = sh.tp_size > 0 ? sh.tp_size : 1;
+    po.microbatches = sh.pp_microbatches > 0 ? sh.pp_microbatches : 8;
+    po.steps = sh.epochs * sh.steps_per_epoch;
+    po.checkpoint_interval = std::max(1, sh.steps_per_epoch);
+    po.policy_mode = policy_on ? pmode : policy::Mode::kAdaptive;
+    cluster.Spawn(sh.world, [&, po](sim::Endpoint& ep) {
+      core::ResilientComm rc(ep, pids, sh.policy, &rec);
+      core::PipelineTrainer trainer(&rc, po);
+      WorkerResult r;
+      r.pid = ep.pid();
+      r.pipe = trainer.Run();
+      r.report.aborted = r.pipe.aborted;
+      if (r.pipe.aborted) obs::flight::DumpOnAbort();
+      if (r.pipe.aborted && ep.alive()) ep.fabric().Kill(ep.pid());
+      r.end_time = ep.now();
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(std::move(r));
+    });
+    return finalize();
+  }
+
   cluster.Spawn(sh.world, [&](sim::Endpoint& ep) {
     dnn::Model model = dnn::BuildMlp(8, {12}, 3, /*seed=*/99);
     dnn::Sgd opt(model.Params(), opts.sgd);
@@ -270,9 +299,13 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
                   return checkpoint::Restore(snap, &model, &opt, &cursor);
                 });
             if (rc != nullptr) {
+              // Contribute the staged snapshot's global-step position
+              // (NOT zero: the agreed spread against the survivors'
+              // positions prices the catch-up delta).
               synced = core::ElasticTrainer::DeltaSync(
                   rc.get(), &model, &opt, &cursor, /*receiver=*/true,
-                  /*steps_behind=*/0);
+                  static_cast<uint64_t>(cursor.epoch) * opts.steps_per_epoch +
+                      cursor.step);
             }
           } else {
             rc = core::ResilientComm::JoinExisting(
@@ -347,9 +380,13 @@ CampaignOutcome RunSchedule(const Schedule& schedule) {
                                                  &cursor);
                     });
                 if (rc != nullptr) {
+                  // Snapshot position, not zero — see the scheduled-join
+                  // site above.
                   synced = core::ElasticTrainer::DeltaSync(
                       rc.get(), &model, &opt, &cursor, /*receiver=*/true,
-                      /*steps_behind=*/0);
+                      static_cast<uint64_t>(cursor.epoch) *
+                              opts.steps_per_epoch +
+                          cursor.step);
                 }
               } else {
                 rc = core::ResilientComm::JoinExisting(

@@ -9,6 +9,7 @@
 
 #include "chaos/schedule.h"
 #include "core/elastic_trainer.h"
+#include "core/pipeline_trainer.h"
 #include "serve/server.h"
 #include "trace/trace.h"
 
@@ -38,6 +39,9 @@ struct WorkerResult {
   // report.aborted mirrors serve.aborted so shared bookkeeping (the
   // exit-is-a-failure rule, result counting) stays uniform.
   serve::ServeReport serve;
+  // Pipeline campaigns (shape.pipeline) fill this instead of `report`;
+  // report.aborted mirrors pipe.aborted for the same reason.
+  core::PipelineReport pipe;
   double end_time = 0.0;  // virtual clock when the worker finished/died
 };
 

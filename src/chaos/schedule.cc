@@ -59,6 +59,8 @@ bool operator==(const Shape& a, const Shape& b) {
          a.serve_max_batch == b.serve_max_batch &&
          a.serve_standbys == b.serve_standbys &&
          a.policy_mode == b.policy_mode && a.replacements == b.replacements &&
+         a.pipeline == b.pipeline && a.pp_stages == b.pp_stages &&
+         a.tp_size == b.tp_size && a.pp_microbatches == b.pp_microbatches &&
          a.compute_scale == b.compute_scale;
 }
 
@@ -110,6 +112,14 @@ std::string Schedule::ToJson() const {
   if (!shape.policy_mode.empty()) {
     os << ", \"policy_mode\": " << Quote(shape.policy_mode)
        << ", \"replacements\": " << shape.replacements;
+  }
+  // Pipeline fields only appear on pipeline campaigns, so every
+  // pre-pipeline reproducer still serializes byte-identically.
+  if (shape.pipeline) {
+    os << ", \"pipeline\": true"
+       << ", \"pp_stages\": " << shape.pp_stages
+       << ", \"tp_size\": " << shape.tp_size
+       << ", \"pp_microbatches\": " << shape.pp_microbatches;
   }
   // Compute inflation only appears when set, so every earlier
   // reproducer still serializes byte-identically.
@@ -226,6 +236,21 @@ bool Schedule::FromJson(const std::string& text, Schedule* out,
           static_cast<int>(GetNum(*shape, "replacements", &ok));
     } else {
       ok = false;
+    }
+  }
+  // Optional: absent in reproducers recorded before pipeline campaigns.
+  const obs::json::Value* pipeline = shape->Find("pipeline");
+  if (pipeline != nullptr) {
+    if (pipeline->is_bool()) {
+      s.shape.pipeline = pipeline->AsBool();
+    } else {
+      ok = false;
+    }
+    if (s.shape.pipeline) {
+      s.shape.pp_stages = static_cast<int>(GetNum(*shape, "pp_stages", &ok));
+      s.shape.tp_size = static_cast<int>(GetNum(*shape, "tp_size", &ok));
+      s.shape.pp_microbatches =
+          static_cast<int>(GetNum(*shape, "pp_microbatches", &ok));
     }
   }
   // Optional: absent unless a campaign inflates per-step compute.

@@ -73,6 +73,17 @@ struct Shape {
   // keep it off.
   std::string policy_mode;
   int replacements = 0;
+  // Hybrid-parallel pipeline campaign (opt-in via RCC_CHAOS_PP): the
+  // run drives the PipelineTrainer (DP x PP x TP grid + 1F1B schedule)
+  // instead of the data-parallel elastic trainer. `pp_stages`/`tp_size`
+  // fix the pipeline and tensor dimensions (dp derives from the world),
+  // `pp_microbatches` the per-step microbatch count. Joins/async/serving
+  // are cleared on pipeline campaigns. Absent in pre-pipeline
+  // reproducer JSON; defaults keep it off.
+  bool pipeline = false;
+  int pp_stages = 0;
+  int tp_size = 0;
+  int pp_microbatches = 0;
   // Per-step compute inflation: divides the simulated GPU flop rate so
   // a campaign's virtual step time matches paper-scale models instead
   // of the micro MLP the runner trains. Purely a virtual-time knob

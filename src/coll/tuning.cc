@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
+
 namespace rcc::coll {
 
 namespace {
@@ -78,12 +80,10 @@ const char* AllreduceAlgoName(AllreduceAlgo algo) {
 }
 
 void ApplyAllreduceEnv(AllreduceTuning* t) {
-  if (const char* cutoff = std::getenv("RCC_ALLREDUCE_CUTOFF_BYTES")) {
-    char* end = nullptr;
-    const double v = std::strtod(cutoff, &end);
-    if (end != cutoff && v >= 0.0) {
-      for (auto& row : t->rows) row.cutoff_bytes = v;
-    }
+  // -1 sentinel: unset/invalid leaves the backend's tuned table alone.
+  const double v = common::EnvDouble("RCC_ALLREDUCE_CUTOFF_BYTES", -1.0);
+  if (v >= 0.0) {
+    for (auto& row : t->rows) row.cutoff_bytes = v;
   }
   if (const char* small = std::getenv("RCC_ALLREDUCE_SMALL_ALGO")) {
     const AllreduceAlgo a = ParseAllreduceAlgo(small);

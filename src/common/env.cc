@@ -1,0 +1,86 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+
+namespace rcc::common {
+
+namespace {
+
+// One warning per (knob, value): campaigns re-read knobs per step and a
+// single typo should not produce megabytes of log.
+void WarnOnce(const char* name, const char* value, const char* kind) {
+  static std::mutex mu;
+  static std::set<std::pair<std::string, std::string>> seen;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seen.emplace(name, value).second) return;
+  }
+  RCC_LOG(kWarn) << name << "=\"" << value << "\" is not a valid " << kind
+                 << "; using the documented default";
+}
+
+const char* SkipWs(const char* p) {
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  return p;
+}
+
+bool AllWs(const char* p) { return *SkipWs(p) == '\0'; }
+
+}  // namespace
+
+bool ParseInt64(const char* value, int64_t* out) {
+  if (value == nullptr || AllWs(value)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (errno == ERANGE || end == value || !AllWs(end)) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const char* value, double* out) {
+  if (value == nullptr || AllWs(value)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (errno == ERANGE || end == value || !AllWs(end)) return false;
+  *out = v;
+  return true;
+}
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  int64_t out = 0;
+  if (!ParseInt64(v, &out)) {
+    WarnOnce(name, v, "integer");
+    return fallback;
+  }
+  return out;
+}
+
+int EnvInt(const char* name, int fallback) {
+  return static_cast<int>(EnvInt64(name, fallback));
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  double out = 0;
+  if (!ParseDouble(v, &out)) {
+    WarnOnce(name, v, "number");
+    return fallback;
+  }
+  return out;
+}
+
+}  // namespace rcc::common

@@ -1,0 +1,33 @@
+// Checked parsing for numeric RCC_* environment knobs.
+//
+// Every knob used to be read with bare atoi/atof/strtod, which accept
+// trailing garbage ("0.05x" parses as 0.05) or silently return 0 for
+// full garbage ("five" parses as 0) — a typo'd knob then changes
+// behavior without any signal. These helpers require the WHOLE value to
+// parse (modulo surrounding whitespace); anything else logs one warning
+// naming the knob and falls back to the documented default.
+//
+// The warning is logged once per (knob, value) so hot paths that
+// re-read a knob per call don't spam the log.
+#pragma once
+
+#include <cstdint>
+
+namespace rcc::common {
+
+// Integer knob. Accepts decimal with optional sign; rejects partial
+// parses, overflow, and empty values. Unset or empty -> fallback
+// (silently: absence is not a typo).
+int64_t EnvInt64(const char* name, int64_t fallback);
+int EnvInt(const char* name, int fallback);
+
+// Floating-point knob, same contract (strtod grammar, full consume).
+double EnvDouble(const char* name, double fallback);
+
+// Exposed for tests: parse a raw value string with the same rules the
+// env readers apply. Returns false (and leaves *out untouched) on any
+// malformed input.
+bool ParseInt64(const char* value, int64_t* out);
+bool ParseDouble(const char* value, double* out);
+
+}  // namespace rcc::common

@@ -157,13 +157,26 @@ Status ElasticTrainer::TrainStep(int epoch, int step, float* loss_out) {
 Status ElasticTrainer::DeltaSync(ResilientComm* rc, dnn::Model* model,
                                  dnn::Sgd* opt,
                                  checkpoint::TrainingCursor* cursor,
-                                 bool receiver, uint64_t steps_behind) {
-  // Agree on the catch-up distance first (joiners contribute 0): the
-  // broadcast pricing must be identical on every member.
+                                 bool receiver, uint64_t gstep_position) {
+  // Agree on the catch-up distance first: every member contributes its
+  // ABSOLUTE global-step position (survivors their current step, joiners
+  // their staged snapshot's step) and the distance is the spread. The
+  // old scheme had survivors contribute a precomputed gap and joiners a
+  // hardcoded 0, which collapsed to "joiners are 0 behind" whenever the
+  // survivor-side bookkeeping lost the admission base — positions make
+  // the gap structural. The broadcast pricing must be identical on
+  // every member, which max-minus-min of an allgathered vector is.
   std::vector<uint64_t> all;
-  RCC_RETURN_IF_ERROR(rc->AllgatherU64(steps_behind, &all));
-  uint64_t behind = 1;
-  for (uint64_t v : all) behind = std::max(behind, v);
+  RCC_RETURN_IF_ERROR(rc->AllgatherU64(gstep_position, &all));
+  uint64_t lo = ~0ULL, hi = 0;
+  for (uint64_t v : all) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const uint64_t behind = std::max<uint64_t>(1, hi - lo);
+  obs::Registry::Global()
+      .GetHistogram("rcc_delta_sync_steps_behind")
+      ->Observe(static_cast<double>(hi - lo));
   const double scale =
       std::min(1.0, ExpandDeltaFrac() * static_cast<double>(behind));
   std::vector<uint8_t> blob;
@@ -196,17 +209,15 @@ bool ElasticTrainer::PollAdmission(bool finalize, int epoch, int step,
   }
   if (spliced != nullptr) *spliced = true;
   // Spliced: the joiners are in; run the catch-up delta sync at this
-  // step boundary.
+  // step boundary. Survivors contribute their current global-step
+  // position; the joiners' staged snapshots carry the admission-begin
+  // position, so the agreed spread IS the catch-up distance.
   const int64_t gstep =
       static_cast<int64_t>(epoch) * opts_.steps_per_epoch + step;
-  const uint64_t behind =
-      *admit_begin_gstep >= 0 && gstep > *admit_begin_gstep
-          ? static_cast<uint64_t>(gstep - *admit_begin_gstep)
-          : 1;
   *admit_begin_gstep = -1;
   checkpoint::TrainingCursor cursor{epoch, step, 0};
-  Status ds =
-      DeltaSync(rc_, model_, opt_, &cursor, /*receiver=*/false, behind);
+  Status ds = DeltaSync(rc_, model_, opt_, &cursor, /*receiver=*/false,
+                        static_cast<uint64_t>(gstep));
   return ds.ok();
 }
 

@@ -111,14 +111,16 @@ class ElasticTrainer {
                           dnn::Sgd* opt, checkpoint::TrainingCursor* cursor,
                           bool receiver);
 
-  // Post-splice catch-up sync: the members agree on how many steps the
-  // joiners are behind (joiners contribute 0), then rank 0 broadcasts
-  // the current state priced at min(1, RCC_EXPAND_DELTA_FRAC * behind)
-  // of the full snapshot — the joiner already staged a recent version,
-  // only the delta travels. Every member of rc must call this.
+  // Post-splice catch-up sync: every member contributes its absolute
+  // global-step position (survivors the current step, joiners their
+  // staged snapshot's step) and the agreed spread max-min (clamped to
+  // >= 1) is the catch-up distance; rank 0 then broadcasts the current
+  // state priced at min(1, RCC_EXPAND_DELTA_FRAC * behind) of the full
+  // snapshot — the joiner already staged a recent version, only the
+  // delta travels. Every member of rc must call this.
   static Status DeltaSync(ResilientComm* rc, dnn::Model* model,
                           dnn::Sgd* opt, checkpoint::TrainingCursor* cursor,
-                          bool receiver, uint64_t steps_behind);
+                          bool receiver, uint64_t gstep_position);
 
  private:
   bool MaybeDie(int epoch, int step, int bucket);

@@ -1,0 +1,134 @@
+#include "core/grid.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/env.h"
+#include "common/log.h"
+
+namespace rcc::core {
+
+ProcessGroupGrid::ProcessGroupGrid(const GridDims& dims,
+                                   const std::vector<int>& pids)
+    : dims_(dims) {
+  RCC_CHECK(dims.dp >= 1 && dims.pp >= 1 && dims.tp >= 1);
+  slot_pid_.assign(static_cast<size_t>(dims.slots()), -1);
+  Update(pids);
+}
+
+void ProcessGroupGrid::Update(const std::vector<int>& alive_pids) {
+  std::set<int> alive(alive_pids.begin(), alive_pids.end());
+  // Surviving pids keep their slots; dead pids vacate them.
+  std::set<int> slotted;
+  for (int& pid : slot_pid_) {
+    if (pid >= 0 && alive.count(pid) == 0) pid = -1;
+    if (pid >= 0) slotted.insert(pid);
+  }
+  // Vacant slots refill from unslotted alive pids, both in ascending
+  // order: the adoption target of a given joiner/spare is a pure
+  // function of the agreed membership.
+  std::vector<int> pool;
+  for (int pid : alive) {
+    if (slotted.count(pid) == 0) pool.push_back(pid);
+  }
+  size_t next = 0;
+  for (int& pid : slot_pid_) {
+    if (pid == -1 && next < pool.size()) pid = pool[next++];
+  }
+  spares_.assign(pool.begin() + static_cast<long>(next), pool.end());
+}
+
+int ProcessGroupGrid::PidAt(int d, int p, int t) const {
+  if (d < 0 || d >= dims_.dp || p < 0 || p >= dims_.pp || t < 0 ||
+      t >= dims_.tp) {
+    return -1;
+  }
+  return slot_pid_[static_cast<size_t>((d * dims_.pp + p) * dims_.tp + t)];
+}
+
+GridCoord ProcessGroupGrid::CoordOf(int pid) const {
+  for (size_t s = 0; s < slot_pid_.size(); ++s) {
+    if (slot_pid_[s] != pid) continue;
+    const int si = static_cast<int>(s);
+    return GridCoord{si / (dims_.pp * dims_.tp), (si / dims_.tp) % dims_.pp,
+                     si % dims_.tp};
+  }
+  return GridCoord{};
+}
+
+std::vector<int> ProcessGroupGrid::TpGroupPids(int d, int p) const {
+  std::vector<int> out;
+  for (int t = 0; t < dims_.tp; ++t) {
+    const int pid = PidAt(d, p, t);
+    if (pid >= 0) out.push_back(pid);
+  }
+  return out;
+}
+
+std::vector<int> ProcessGroupGrid::DpGroupPids(int p, int t) const {
+  std::vector<int> out;
+  for (int d = 0; d < dims_.dp; ++d) {
+    const int pid = PidAt(d, p, t);
+    if (pid >= 0) out.push_back(pid);
+  }
+  return out;
+}
+
+bool ProcessGroupGrid::Functional(int d, int p) const {
+  for (int t = 0; t < dims_.tp; ++t) {
+    if (PidAt(d, p, t) < 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> ProcessGroupGrid::FunctionalReplicas(int p) const {
+  std::vector<int> out;
+  for (int d = 0; d < dims_.dp; ++d) {
+    if (Functional(d, p)) out.push_back(d);
+  }
+  return out;
+}
+
+bool ProcessGroupGrid::Routable() const {
+  for (int p = 0; p < dims_.pp; ++p) {
+    if (FunctionalReplicas(p).empty()) return false;
+  }
+  return true;
+}
+
+int ProcessGroupGrid::OwnerReplica(int p, int m) const {
+  const int home = m % dims_.dp;
+  if (Functional(home, p)) return home;
+  const std::vector<int> fn = FunctionalReplicas(p);
+  if (fn.empty()) return -1;
+  return fn[static_cast<size_t>(m) % fn.size()];
+}
+
+std::string ProcessGroupGrid::Format() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "grid %dx%dx%d:", dims_.dp, dims_.pp,
+                dims_.tp);
+  std::string out = buf;
+  for (size_t s = 0; s < slot_pid_.size(); ++s) {
+    std::snprintf(buf, sizeof(buf), " %d", slot_pid_[s]);
+    out += buf;
+  }
+  out += " spares:";
+  for (int pid : spares_) {
+    std::snprintf(buf, sizeof(buf), " %d", pid);
+    out += buf;
+  }
+  return out;
+}
+
+GridDims GridDimsFromEnv() {
+  GridDims dims;
+  dims.pp = common::EnvInt("RCC_PP_STAGES", 1);
+  dims.tp = common::EnvInt("RCC_TP_SIZE", 1);
+  if (dims.pp < 1) dims.pp = 1;
+  if (dims.tp < 1) dims.tp = 1;
+  return dims;
+}
+
+}  // namespace rcc::core

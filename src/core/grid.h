@@ -1,0 +1,102 @@
+// DP x PP x TP process-group grid over a ResilientComm world.
+//
+// The grid factors a flat pid list into a three-dimensional layout:
+//
+//   slot(d, p, t) = d * pp * tp + p * tp + t
+//
+//   d  data-parallel replica index   (which copy of the pipeline)
+//   p  pipeline stage index          (which slice of the model)
+//   t  tensor-parallel shard index   (which shard inside the stage)
+//
+// Pids fill slots in ascending order at founding; pids beyond dp*pp*tp
+// are SPARES (members of the world communicator that hold no slot and
+// run no microbatches until a slot frees up). The mapping is pure SPMD
+// state: every member applies Update() with the same agreed survivor
+// list at the same repair boundary, so every member derives the same
+// mapping with no extra communication — and a surviving pid NEVER moves
+// (only vacant slots are refilled, in ascending pid order), which is
+// what keeps per-dimension sub-communicators stable across a shrink in
+// an unrelated dimension.
+//
+// The grid itself holds no communicators; PipelineTrainer builds
+// nccl/mpi sub-comms from the pid lists this class derives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rcc::core {
+
+struct GridDims {
+  int dp = 1;
+  int pp = 1;
+  int tp = 1;
+  int slots() const { return dp * pp * tp; }
+};
+
+struct GridCoord {
+  int d = -1;
+  int p = -1;
+  int t = -1;
+};
+
+class ProcessGroupGrid {
+ public:
+  ProcessGroupGrid() = default;
+  // Founding layout: `pids` (ascending, as ResilientComm hands them
+  // out) fill slots in order; leftovers become spares.
+  ProcessGroupGrid(const GridDims& dims, const std::vector<int>& pids);
+
+  // Re-derives the mapping after a membership change. Surviving slotted
+  // pids keep their slots; slots whose pid is gone become vacant and
+  // are refilled from unslotted alive pids (spares first, then
+  // joiners) in ascending pid order. Deterministic: identical input
+  // produces identical mappings on every member.
+  void Update(const std::vector<int>& alive_pids);
+
+  const GridDims& dims() const { return dims_; }
+  // Pid holding a slot, -1 while vacant.
+  int PidAt(int d, int p, int t) const;
+  // Coord of a pid; {-1,-1,-1} for spares / unknown pids.
+  GridCoord CoordOf(int pid) const;
+  bool HasSlot(int pid) const { return CoordOf(pid).d >= 0; }
+  const std::vector<int>& spares() const { return spares_; }
+  // Raw slot -> pid table (the commit-ledger snapshot).
+  const std::vector<int>& slot_pids() const { return slot_pid_; }
+
+  // All slotted pids of the TP group of stage replica (d, p), ascending
+  // t; vacant slots are skipped.
+  std::vector<int> TpGroupPids(int d, int p) const;
+  // All slotted pids of the DP group at (p, t), ascending d.
+  std::vector<int> DpGroupPids(int p, int t) const;
+
+  // A stage replica is functional when every one of its tp slots is
+  // held: a TP shard cannot be half-present.
+  bool Functional(int d, int p) const;
+  // Functional replicas of stage p, ascending d.
+  std::vector<int> FunctionalReplicas(int p) const;
+  // True when every stage has at least one functional replica — the
+  // precondition for ReCycle-style re-routing (otherwise the model has
+  // a hole and only checkpoint restore / reform can proceed).
+  bool Routable() const;
+
+  // Which DP replica runs microbatch m of stage p: the home replica
+  // (m % dp) when functional, else the surviving functional replica
+  // m % |functional| adopts it. -1 when the stage is dead.
+  int OwnerReplica(int p, int m) const;
+
+  // Canonical byte-stable rendering of the whole mapping (used by the
+  // commit ledger and the determinism tests).
+  std::string Format() const;
+
+ private:
+  GridDims dims_;
+  std::vector<int> slot_pid_;  // slot -> pid, -1 vacant
+  std::vector<int> spares_;    // alive unslotted pids, ascending
+};
+
+// RCC_PP_STAGES / RCC_TP_SIZE (checked parse, defaults 1/1): the dp
+// extent is derived from the world size at the call site.
+GridDims GridDimsFromEnv();
+
+}  // namespace rcc::core

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "coll/algorithms.h"
+#include "common/env.h"
 #include "common/log.h"
 #include "common/serial.h"
 #include "obs/metrics.h"
@@ -641,11 +642,8 @@ Status ResilientComm::Expand(const std::string& session, int joiner_count) {
 // --- asynchronous admission ---
 
 double ExpandDeltaFrac() {
-  static const double frac = [] {
-    const char* env = std::getenv("RCC_EXPAND_DELTA_FRAC");
-    if (env == nullptr || *env == '\0') return 0.05;
-    return std::atof(env);
-  }();
+  static const double frac =
+      common::EnvDouble("RCC_EXPAND_DELTA_FRAC", 0.05);
   return frac;
 }
 

@@ -161,8 +161,15 @@ class UlfmWorker {
         });
     if (rc_ == nullptr) return;  // died, excluded, or survivors gone
     // Catch up to the survivors' current step (they run the matching
-    // sender-side DeltaSync right after the splice).
-    if (!DeltaSync(/*joiner=*/true, /*steps_behind=*/0).ok()) return;
+    // sender-side DeltaSync right after the splice); contribute the
+    // staged snapshot's step position so the agreed spread prices the
+    // real gap.
+    if (!DeltaSync(/*joiner=*/true,
+                   static_cast<uint64_t>(epoch_) * ss_->plan.steps_per_epoch +
+                       step_)
+             .ok()) {
+      return;
+    }
     Train(/*joined_at_epoch=*/epoch_);
     Finish();
   }
@@ -193,17 +200,26 @@ class UlfmWorker {
     return Status::Ok();
   }
 
-  // Post-splice catch-up: members agree on how many steps the joiners
-  // are behind (joiners contribute 0), then broadcast the cursor priced
-  // at min(1, RCC_EXPAND_DELTA_FRAC * behind) of the model bytes - the
+  // Post-splice catch-up: every member contributes its absolute
+  // global-step position (survivors the current step, joiners the
+  // staged snapshot's step) and the agreed spread max-min (clamped to
+  // >= 1) is the distance; the cursor broadcast is priced at
+  // min(1, RCC_EXPAND_DELTA_FRAC * behind) of the model bytes - the
   // joiner already staged a recent snapshot, only the delta travels.
-  Status DeltaSync(bool joiner, uint64_t steps_behind) {
+  Status DeltaSync(bool joiner, uint64_t gstep_position) {
     obs::Span scope(ss_->rec, ep_,
                     std::string("recovery/") + horovod::phase::kDeltaSync);
     std::vector<uint64_t> all;
-    RCC_RETURN_IF_ERROR(rc_->AllgatherU64(steps_behind, &all));
-    uint64_t behind = 1;
-    for (uint64_t v : all) behind = std::max(behind, v);
+    RCC_RETURN_IF_ERROR(rc_->AllgatherU64(gstep_position, &all));
+    uint64_t lo = ~0ULL, hi = 0;
+    for (uint64_t v : all) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const uint64_t behind = std::max<uint64_t>(1, hi - lo);
+    obs::Registry::Global()
+        .GetHistogram("rcc_delta_sync_steps_behind")
+        ->Observe(static_cast<double>(hi - lo));
     const double virtual_bytes =
         std::min(1.0, ExpandDeltaFrac() * static_cast<double>(behind)) *
         ss_->model_virtual_bytes;
@@ -241,12 +257,8 @@ class UlfmWorker {
     }
     const int64_t gstep =
         static_cast<int64_t>(epoch_) * ss_->plan.steps_per_epoch + step_;
-    const uint64_t behind =
-        admit_begin_gstep_ >= 0 && gstep > admit_begin_gstep_
-            ? static_cast<uint64_t>(gstep - admit_begin_gstep_)
-            : 1;
     admit_begin_gstep_ = -1;
-    return DeltaSync(/*joiner=*/false, behind).ok();
+    return DeltaSync(/*joiner=*/false, static_cast<uint64_t>(gstep)).ok();
   }
 
   void Train(int joined_at_epoch) {

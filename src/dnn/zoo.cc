@@ -85,4 +85,18 @@ double StepComputeSeconds(const ModelSpec& spec, int batch_per_worker,
   return 3.0 * spec.forward_flops_per_sample * batch_per_worker / gpu_flops;
 }
 
+double StageForwardFlops(const ModelSpec& spec, int pp_stages, int tp_size,
+                         int microbatch) {
+  return spec.forward_flops_per_sample * microbatch / (pp_stages * tp_size);
+}
+
+double StageActivationBytes(const ModelSpec& spec, int tp_size,
+                            int microbatch) {
+  return 4.0 * std::sqrt(spec.total_parameters) * microbatch / tp_size;
+}
+
+double StageParamBytes(const ModelSpec& spec, int pp_stages, int tp_size) {
+  return spec.size_mb * 1e6 / (pp_stages * tp_size);
+}
+
 }  // namespace rcc::dnn

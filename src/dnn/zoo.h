@@ -46,4 +46,24 @@ std::vector<size_t> FusionBucketBytes(const std::vector<size_t>& tensor_params,
 double StepComputeSeconds(const ModelSpec& spec, int batch_per_worker,
                           double gpu_flops);
 
+// --- pipeline-parallel stage costs ---
+// The pipeline trainer slices the model into `pp_stages` equal slices
+// and shards each slice `tp_size` ways; these are the synthetic
+// per-stage cost inputs for one microbatch of `microbatch` samples.
+
+// Forward FLOPs of one stage shard for one microbatch (backward is the
+// conventional 2x of this).
+double StageForwardFlops(const ModelSpec& spec, int pp_stages, int tp_size,
+                         int microbatch);
+// Bytes of the activation tensor handed between adjacent stages for one
+// microbatch (per TP shard): activation width is modeled as
+// 4*sqrt(total_parameters) bytes per sample (fp32, roughly the hidden
+// width of a square-ish network).
+double StageActivationBytes(const ModelSpec& spec, int tp_size,
+                            int microbatch);
+// Parameter bytes held by one stage shard (model bytes / (pp*tp)): the
+// unit of re-shard traffic when a spare adopts a slot or the grid
+// reforms.
+double StageParamBytes(const ModelSpec& spec, int pp_stages, int tp_size);
+
 }  // namespace rcc::dnn

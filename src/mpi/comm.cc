@@ -92,13 +92,14 @@ Status Comm::RawSend(int dst_rank, uint64_t channel, int tag,
 }
 
 Status Comm::RawRecv(int src_rank, uint64_t channel, int tag,
-                     sim::Message* out) {
+                     sim::Message* out, bool watch_members) {
   if (revoked()) return Status(Code::kRevoked, "communicator revoked");
   if (src_rank < 0 || src_rank >= size()) {
     return Status(Code::kInvalid, "recv from out-of-range rank");
   }
   Status s = ep_->Recv(group_->pids[src_rank], channel, tag, out,
-                       &group_->revoke);
+                       &group_->revoke,
+                       watch_members ? &group_->pids : nullptr);
   if (s.code() == Code::kProcFailed) NoteFailedPids(s.failed_pids());
   return s;
 }
@@ -112,6 +113,17 @@ Status Comm::Recv(int src_rank, int tag, void* data, size_t bytes) {
   sim::Message msg;
   RCC_RETURN_IF_ERROR(
       RawRecv(src_rank, sim::ChannelKey(group_->ctx_id, 0), tag, &msg));
+  if (msg.payload.size() != bytes) {
+    return Status(Code::kInternal, "p2p size mismatch");
+  }
+  std::memcpy(data, msg.payload.data(), bytes);
+  return Status::Ok();
+}
+
+Status Comm::RecvWatched(int src_rank, int tag, void* data, size_t bytes) {
+  sim::Message msg;
+  RCC_RETURN_IF_ERROR(RawRecv(src_rank, sim::ChannelKey(group_->ctx_id, 0),
+                              tag, &msg, /*watch_members=*/true));
   if (msg.payload.size() != bytes) {
     return Status(Code::kInternal, "p2p size mismatch");
   }

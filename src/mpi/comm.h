@@ -69,6 +69,12 @@ class Comm : public coll::Transport {
   // --- point-to-point (rank addressed, user tag space) ---
   Status Send(int dst_rank, int tag, const void* data, size_t bytes);
   Status Recv(int src_rank, int tag, void* data, size_t bytes);
+  // Recv that additionally watches every member of the communicator:
+  // returns kProcFailed as soon as ANY member dies, instead of blocking
+  // forever on a sender that can no longer send (pipeline p2p needs
+  // this — the peer that owes the activation may be three stages away
+  // from the rank that died).
+  Status RecvWatched(int src_rank, int tag, void* data, size_t bytes);
   Status RecvBlobFrom(int src_rank, int tag, std::vector<uint8_t>* out);
 
   // --- nonblocking collectives ---
@@ -218,8 +224,8 @@ class Comm : public coll::Transport {
 
   Status RawSend(int dst_rank, uint64_t channel, int tag, const void* data,
                  size_t bytes);
-  Status RawRecv(int src_rank, uint64_t channel, int tag,
-                 sim::Message* out);
+  Status RawRecv(int src_rank, uint64_t channel, int tag, sim::Message* out,
+                 bool watch_members = false);
 
   sim::Endpoint* ep_;
   std::shared_ptr<CommGroup> group_;

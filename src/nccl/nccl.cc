@@ -23,13 +23,15 @@ std::unique_ptr<Comm> Comm::InitRank(sim::Endpoint& ep,
                                      const std::vector<int>& pids,
                                      const std::string& unique_id,
                                      double cost_scale,
-                                     double init_cost_scale) {
+                                     double init_cost_scale,
+                                     const std::vector<int>* death_watch) {
   ep.Busy(InitCost(ep.fabric().config(), static_cast<int>(pids.size())) *
           init_cost_scale);
   auto group = mpi::GetOrCreateGroup(
       "nccl/f" + std::to_string(ep.fabric().id()) + "/" + unique_id, pids);
   auto comm =
       std::unique_ptr<Comm>(new Comm(&ep, group, cost_scale));
+  if (death_watch != nullptr) comm->set_death_watch(*death_watch);
   // Bootstrap synchronisation: the init is collective; a dissemination
   // barrier aligns the participants' clocks (and surfaces peers that died
   // mid-init as an init failure, matching ncclCommInitRank).
@@ -143,7 +145,8 @@ Status Comm::RecvFrom(int src_rank, int tag, void* data, size_t bytes) {
   // Async error handling: any member death is communicator-fatal.
   Status s = ep_->Recv(group_->pids[src_rank],
                        sim::ChannelKey(group_->ctx_id, current_phase_), tag,
-                       &msg, /*cancel=*/nullptr, &group_->pids);
+                       &msg, /*cancel=*/nullptr,
+                       watch_ext_ ? watch_ext_.get() : &group_->pids);
   if (!s.ok()) return s;
   if (msg.payload.size() != bytes) {
     return Status(Code::kInternal, "nccl step size mismatch");
@@ -156,7 +159,8 @@ Status Comm::RecvBlob(int src_rank, int tag, std::vector<uint8_t>* out) {
   sim::Message msg;
   Status s = ep_->Recv(group_->pids[src_rank],
                        sim::ChannelKey(group_->ctx_id, current_phase_), tag,
-                       &msg, /*cancel=*/nullptr, &group_->pids);
+                       &msg, /*cancel=*/nullptr,
+                       watch_ext_ ? watch_ext_.get() : &group_->pids);
   if (!s.ok()) return s;
   *out = std::move(msg.payload);
   return Status::Ok();

@@ -36,11 +36,17 @@ class Comm : public coll::Transport {
   // admission path pre-establishes the merged transports during joiner
   // staging and splices at scale 0; the synchronizing barrier still
   // runs, so mid-bootstrap deaths surface either way).
+  // `death_watch` (optional) widens the member-death watch beyond the
+  // communicator's own pids — see set_death_watch below; it applies to
+  // the bootstrap barrier too, so a mid-init death anywhere in the
+  // watched set surfaces as an init failure.
   static std::unique_ptr<Comm> InitRank(sim::Endpoint& ep,
                                         const std::vector<int>& pids,
                                         const std::string& unique_id,
                                         double cost_scale = 1.0,
-                                        double init_cost_scale = 1.0);
+                                        double init_cost_scale = 1.0,
+                                        const std::vector<int>* death_watch =
+                                            nullptr);
 
   // --- coll::Transport ---
   int rank() const override { return rank_; }
@@ -73,14 +79,16 @@ class Comm : public coll::Transport {
     const uint64_t channel =
         sim::ChannelKey(group_->ctx_id, 1 + (op_seq_ % 65534));
     auto group = group_;
+    auto watch = watch_ext_;
     auto* ep = ep_;
     const int rank = rank_;
     const double cs = cost_scale_;
-    return StartOp(info, [group, ep, rank, cs, channel, chosen, sendbuf,
+    return StartOp(info, [group, watch, ep, rank, cs, channel, chosen, sendbuf,
                           recvbuf, count](sim::Seconds* now) -> Status {
       // Async error handling: any member death is communicator-fatal.
       coll::FabricChannel ch(*ep, group->pids, rank, channel, cs, now,
-                             /*cancel=*/nullptr, &group->pids);
+                             /*cancel=*/nullptr,
+                             watch ? watch.get() : &group->pids);
       return coll::RunAllreduce<T>(chosen, ch, sendbuf, recvbuf, count);
     });
   }
@@ -98,13 +106,15 @@ class Comm : public coll::Transport {
     const uint64_t channel =
         sim::ChannelKey(group_->ctx_id, 1 + (op_seq_ % 65534));
     auto group = group_;
+    auto watch = watch_ext_;
     auto* ep = ep_;
     const int rank = rank_;
     const double cs = cost_scale_;
-    return StartOp(info, [group, ep, rank, cs, channel, buf, count,
+    return StartOp(info, [group, watch, ep, rank, cs, channel, buf, count,
                           root](sim::Seconds* now) -> Status {
       coll::FabricChannel ch(*ep, group->pids, rank, channel, cs, now,
-                             /*cancel=*/nullptr, &group->pids);
+                             /*cancel=*/nullptr,
+                             watch ? watch.get() : &group->pids);
       return coll::BinomialBcast<T>(ch, buf, count, root);
     });
   }
@@ -157,6 +167,19 @@ class Comm : public coll::Transport {
   bool broken() const { return broken_; }
   const std::vector<int>& pids() const { return group_->pids; }
   void set_cost_scale(double s) { cost_scale_ = s; }
+
+  // Death-watch override (per instance): by default every collective
+  // watches the communicator's OWN members and unblocks when one dies.
+  // A grid sub-communicator (DP/TP group of a hybrid-parallel job) must
+  // watch the whole world instead: a failure in another group makes a
+  // peer abandon the step before entering this group's collective, and
+  // without the wider watch the remaining members would block forever
+  // on a collective that will never start. Pass the CURRENT world pid
+  // list (stale lists containing already-dead pids fail collectives
+  // immediately).
+  void set_death_watch(std::vector<int> pids) {
+    watch_ext_ = std::make_shared<const std::vector<int>>(std::move(pids));
+  }
 
   // Drains and returns the accumulated per-op service seconds (engine
   // execution time of request-based ops observed at Wait, plus wall time
@@ -232,6 +255,7 @@ class Comm : public coll::Transport {
 
   sim::Endpoint* ep_;
   std::shared_ptr<mpi::CommGroup> group_;
+  std::shared_ptr<const std::vector<int>> watch_ext_;  // see set_death_watch
   int rank_;
   double cost_scale_;
   coll::AllreduceTuning tuning_ = coll::NcclAllreduceTuning();

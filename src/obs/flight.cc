@@ -9,6 +9,7 @@
 #include <mutex>
 #include <set>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "sim/engine.h"
@@ -28,11 +29,8 @@ std::atomic<bool> g_enabled{[] {
 
 uint64_t RingSlots() {
   static const uint64_t slots = [] {
-    if (const char* v = Env("RCC_FLIGHT_RING")) {
-      long long n = std::atoll(v);
-      if (n >= 16) return static_cast<uint64_t>(n);
-    }
-    return static_cast<uint64_t>(4096);
+    const int64_t n = common::EnvInt64("RCC_FLIGHT_RING", 4096);
+    return static_cast<uint64_t>(n >= 16 ? n : 4096);
   }();
   return slots;
 }

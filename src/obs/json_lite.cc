@@ -81,6 +81,21 @@ class Parser {
     return true;
   }
 
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else return Fail("invalid \\u escape");
+    }
+    *out = cp;
+    return true;
+  }
+
   bool ParseString(std::string* out) {
     ++pos_;  // opening quote
     out->clear();
@@ -103,24 +118,40 @@ class Parser {
         case 'r': out->push_back('\r'); break;
         case 't': out->push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
           unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-            else return Fail("invalid \\u escape");
+          if (!ParseHex4(&cp)) return false;
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone low surrogate in \\u escape");
           }
-          // UTF-8 encode the BMP code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape MUST follow, and
+            // the pair combines into one supplementary code point
+            // (emitting the halves separately would produce CESU-8).
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!ParseHex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Fail("high surrogate not followed by low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          // UTF-8 encode (1..4 bytes).
           if (cp < 0x80) {
             out->push_back(static_cast<char>(cp));
           } else if (cp < 0x800) {
             out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
             out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-          } else {
+          } else if (cp < 0x10000) {
             out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
           }

@@ -1,7 +1,9 @@
 // Minimal recursive-descent JSON parser, just enough to validate the
 // trace files this library writes (and for tests to round-trip them).
-// Not a general-purpose library: no \uXXXX surrogate pairs beyond the
-// BMP, numbers parsed via strtod, 256-deep nesting cap.
+// Not a general-purpose library: numbers parsed via strtod, 256-deep
+// nesting cap. \uXXXX escapes decode the full range: surrogate pairs
+// combine into one supplementary code point (4-byte UTF-8); a lone
+// surrogate is a parse error, never CESU-8 output.
 #pragma once
 
 #include <map>

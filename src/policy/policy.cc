@@ -25,6 +25,11 @@ constexpr double kAsyncDeltaFrac = 0.05;
 // the remaining horizon a readmitted worker is modeled to fail again
 // and again, but an unbounded multiplier would swamp every other term.
 constexpr double kMaxReadmit = 8.0;
+// Fraction of an adopted stage's work that is NOT absorbed by pipeline
+// bubbles under ReCycle-style re-routing (decoupled 1F1B schedules fill
+// roughly half the adopted load into existing bubbles). Fixed model
+// constant so the decision function stays pure.
+constexpr double kRerouteBubbleFrac = 0.5;
 
 double Inf() { return std::numeric_limits<double>::infinity(); }
 
@@ -75,6 +80,7 @@ const char* StrategyName(Strategy s) {
     case Strategy::kWait: return "wait";
     case Strategy::kAsync: return "async";
     case Strategy::kRestore: return "restore";
+    case Strategy::kReroute: return "reroute";
   }
   return "?";
 }
@@ -87,6 +93,7 @@ const char* ModeName(Mode m) {
     case Mode::kWaitOnly: return "wait";
     case Mode::kAsyncOnly: return "async";
     case Mode::kRestoreOnly: return "restore";
+    case Mode::kRerouteOnly: return "reroute";
   }
   return "?";
 }
@@ -98,6 +105,7 @@ bool ModeFromName(const std::string& name, Mode* out) {
   if (name == "wait") { *out = Mode::kWaitOnly; return true; }
   if (name == "async") { *out = Mode::kAsyncOnly; return true; }
   if (name == "restore") { *out = Mode::kRestoreOnly; return true; }
+  if (name == "reroute") { *out = Mode::kRerouteOnly; return true; }
   return false;
 }
 
@@ -152,7 +160,7 @@ std::vector<uint8_t> EncodeInputs(const PolicyInputs& in) {
   PutI32(&out, in.replacements);
   PutI32(&out, in.slots_used);
   PutI32(&out, in.flags);
-  PutI32(&out, in.pad);
+  PutI32(&out, in.replica_ranks);
   PutI64(&out, in.gstep);
   PutI64(&out, in.remaining_steps);
   PutI64(&out, in.rollback_steps);
@@ -177,7 +185,7 @@ bool DecodeInputs(const std::vector<uint8_t>& blob, PolicyInputs* out) {
   out->replacements = GetI32(p); p += 4;
   out->slots_used = GetI32(p); p += 4;
   out->flags = GetI32(p); p += 4;
-  out->pad = GetI32(p); p += 4;
+  out->replica_ranks = GetI32(p); p += 4;
   out->gstep = GetI64(p); p += 8;
   out->remaining_steps = GetI64(p); p += 8;
   out->rollback_steps = GetI64(p); p += 8;
@@ -201,6 +209,7 @@ bool Applicable(Strategy s, const PolicyInputs& in) {
       case Strategy::kAsync:
         return in.replacements > 0 && (in.flags & kFlagStoreOk) != 0;
       case Strategy::kRestore: return (in.flags & kFlagRestoreOk) != 0;
+      case Strategy::kReroute: return (in.flags & kFlagReroutable) != 0;
     }
   }
   if (ev == EventKind::kJoin) {
@@ -209,6 +218,7 @@ bool Applicable(Strategy s, const PolicyInputs& in) {
       case Strategy::kWait: return true;
       case Strategy::kAsync: return (in.flags & kFlagStoreOk) != 0;
       case Strategy::kRestore: return false;
+      case Strategy::kReroute: return false;
     }
   }
   return false;
@@ -237,7 +247,14 @@ void ModelCosts(const PolicyInputs& in, double cost[kStrategyCount]) {
     if (Applicable(Strategy::kShrink, in)) {
       // Degraded mode: the lost capacity is gone for the rest of the
       // run; the forward-recovery critical path stalls everyone once.
-      cost[0] = f * t_rem + w * in.rebuild_seconds;
+      // In a pipeline grid, shrinking retires the dead rank's WHOLE
+      // replica (its surviving pp*tp-1 peers have no stage to stream),
+      // not just the ranks that died.
+      const double retired =
+          in.replica_ranks > 0
+              ? std::max(f, static_cast<double>(in.replica_ranks))
+              : f;
+      cost[0] = retired * t_rem + w * in.rebuild_seconds;
     }
     if (Applicable(Strategy::kWait, in)) {
       // Blocking admission: every survivor stalls for the announce
@@ -278,6 +295,14 @@ void ModelCosts(const PolicyInputs& in, double cost[kStrategyCount]) {
       // and the rollback's load + recompute comes on top of it.
       cost[3] = f * t_rem + w * (in.rebuild_seconds + bd.total());
     }
+    if (Applicable(Strategy::kReroute, in)) {
+      // ReCycle-style adoption: surviving DP peers of the broken stage
+      // absorb its microbatches into their pipeline bubbles, so only
+      // part of the dead ranks' capacity is actually lost (the bubble
+      // slack soaks up the rest); the repair touches one dimension, so
+      // the stall is the advertised rebuild path alone.
+      cost[4] = kRerouteBubbleFrac * f * t_rem + w * in.rebuild_seconds;
+    }
     return;
   }
   if (ev == EventKind::kJoin) {
@@ -310,6 +335,7 @@ Decision Decide(Mode mode, const PolicyInputs& in) {
     case Mode::kWaitOnly: forced = Strategy::kWait; break;
     case Mode::kAsyncOnly: forced = Strategy::kAsync; break;
     case Mode::kRestoreOnly: forced = Strategy::kRestore; break;
+    case Mode::kRerouteOnly: forced = Strategy::kReroute; break;
     default: is_static = false; break;
   }
   if (is_static) {
@@ -335,19 +361,19 @@ std::string FormatDecision(const Decision& d) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "seq=%d event=%s world=%d lost=%d repl=%d used=%d flags=%d "
+      "seq=%d event=%s world=%d lost=%d repl=%d used=%d flags=%d rr=%d "
       "gstep=%lld rem=%lld rb=%lld now=%.17g step_s=%.17g mtbf=%.17g "
       "fails=%.17g bytes=%.17g stage=%.17g rebuild=%.17g grace=%.17g "
       "cost_shrink=%.17g cost_wait=%.17g cost_async=%.17g "
-      "cost_restore=%.17g mode=%s chosen=%s",
+      "cost_restore=%.17g cost_reroute=%.17g mode=%s chosen=%s",
       d.in.seq, EventKindName(static_cast<EventKind>(d.in.event)), d.in.world,
       d.in.lost, d.in.replacements, d.in.slots_used, d.in.flags,
-      static_cast<long long>(d.in.gstep),
+      d.in.replica_ranks, static_cast<long long>(d.in.gstep),
       static_cast<long long>(d.in.remaining_steps),
       static_cast<long long>(d.in.rollback_steps), d.in.now, d.in.step_seconds,
       d.in.mtbf_seconds, d.in.failures_observed, d.in.snapshot_bytes,
       d.in.staging_seconds, d.in.rebuild_seconds, d.in.grace_seconds,
-      d.cost[0], d.cost[1], d.cost[2], d.cost[3], ModeName(d.mode),
+      d.cost[0], d.cost[1], d.cost[2], d.cost[3], d.cost[4], ModeName(d.mode),
       StrategyName(d.chosen));
   return buf;
 }

@@ -1,6 +1,6 @@
 // Online adaptive recovery policy (the Chameleon loop): on every
-// failure / join event the controller chooses among the four recovery
-// strategies the resilient stack already implements —
+// failure / join event the controller chooses among the recovery
+// strategies the resilient stack implements —
 //
 //   shrink-and-continue   keep training degraded on the survivors
 //   wait-for-replacement  blocking Expand of a provisioned replacement
@@ -9,6 +9,9 @@
 //                         + step-boundary splice + delta sync
 //   checkpoint restore    roll every member back to the last epoch-
 //                         boundary snapshot (Eq.1 loading + recompute)
+//   pipeline re-route     hybrid-parallel only: surviving DP peers of a
+//                         broken stage adopt its microbatches (ReCycle)
+//                         while one grid dimension repairs
 //
 // — by comparing modeled costs (worker-seconds of lost goodput over the
 // remaining horizon) built from a live MTBF estimate, the current world
@@ -31,15 +34,19 @@
 
 namespace rcc::policy {
 
-// The four recovery strategies, in fixed order (ties in the adaptive
-// argmin break toward the lowest index).
+// The recovery strategies, in fixed order (ties in the adaptive argmin
+// break toward the lowest index). kReroute is the hybrid-parallel arm:
+// surviving DP peers of a broken pipeline stage adopt its microbatches
+// (ReCycle-style bubble filling) instead of retiring the whole replica;
+// it only applies when the trainer advertises kFlagReroutable.
 enum class Strategy : int32_t {
   kShrink = 0,
   kWait = 1,
   kAsync = 2,
   kRestore = 3,
+  kReroute = 4,
 };
-inline constexpr int kStrategyCount = 4;
+inline constexpr int kStrategyCount = 5;
 
 const char* StrategyName(Strategy s);
 
@@ -53,6 +60,7 @@ enum class Mode : int32_t {
   kWaitOnly = 3,
   kAsyncOnly = 4,
   kRestoreOnly = 5,
+  kRerouteOnly = 6,
 };
 
 const char* ModeName(Mode m);
@@ -106,6 +114,9 @@ class MtbfEstimator {
 inline constexpr int32_t kFlagStoreOk = 1;    // kvstore available (async)
 inline constexpr int32_t kFlagRestoreOk = 2;  // every member holds the
                                               // current boundary snapshot
+inline constexpr int32_t kFlagReroutable = 4;  // pipeline grid still routable
+                                               // (every stage has a live
+                                               // replica) after the failure
 
 // One policy tick, composed by rank 0 and broadcast verbatim. Fixed
 // width, little-endian serialization: the broadcast bytes ARE the
@@ -117,8 +128,11 @@ struct PolicyInputs {
   int32_t lost = 0;          // workers lost (failure) / joiners due (join)
   int32_t replacements = 0;  // provisioned replacement slots remaining
   int32_t slots_used = 0;    // replacement slots consumed so far
-  int32_t flags = 0;         // kFlagStoreOk | kFlagRestoreOk
-  int32_t pad = 0;           // keeps the layout 8-byte aligned
+  int32_t flags = 0;          // kFlagStoreOk | kFlagRestoreOk | kFlagReroutable
+  int32_t replica_ranks = 0;  // ranks per pipeline replica (pp*tp); 0 for
+                              // pure-DP trainers (was padding: legacy
+                              // encoders always wrote 0 here, so old
+                              // blobs decode unchanged)
   int64_t gstep = 0;         // global step at the tick
   int64_t remaining_steps = 0;
   int64_t rollback_steps = 0;  // steps re-run if restoring now
@@ -143,7 +157,7 @@ bool DecodeInputs(const std::vector<uint8_t>& blob, PolicyInputs* out);
 struct Decision {
   Mode mode = Mode::kLegacy;
   PolicyInputs in;
-  double cost[kStrategyCount] = {0, 0, 0, 0};
+  double cost[kStrategyCount] = {0, 0, 0, 0, 0};
   Strategy chosen = Strategy::kShrink;
 };
 

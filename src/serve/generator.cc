@@ -1,26 +1,14 @@
 #include "serve/generator.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/sampling.h"
 
 namespace rcc::serve {
 
-namespace {
-
-int EnvInt(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
-}
-
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
-}
-
-}  // namespace
+using common::EnvDouble;
+using common::EnvInt;
 
 TrafficConfig TrafficFromEnv(TrafficConfig d) {
   d.seed = static_cast<uint64_t>(EnvInt("RCC_SERVE_SEED",

@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/env.h"
 #include "common/log.h"
 
 // TSan needs to be told about stack switches or it reports false races
@@ -43,11 +44,8 @@ size_t PageSize() {
 // mmap'd MAP_NORESERVE so 10k ranks only commit the pages they touch.
 size_t FiberStackBytes() {
   static const size_t bytes = [] {
-    double kb = 256.0;
-    if (const char* e = std::getenv("RCC_SIM_FIBER_STACK_KB")) {
-      const double v = std::atof(e);
-      if (v > 0) kb = v;
-    }
+    double kb = common::EnvDouble("RCC_SIM_FIBER_STACK_KB", 256.0);
+    if (kb <= 0) kb = 256.0;
     size_t b = static_cast<size_t>(kb * 1024.0);
     const size_t min_bytes = 64 * 1024;
     if (b < min_bytes) b = min_bytes;

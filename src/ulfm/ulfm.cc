@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "obs/flight.h"
 #include "sim/engine.h"
@@ -19,10 +20,7 @@ namespace rcc::ulfm {
 
 namespace {
 
-double EnvDouble(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
-}
+using common::EnvDouble;
 
 int CeilLog2(int n) {
   int bits = 0;

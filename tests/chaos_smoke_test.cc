@@ -13,7 +13,9 @@
 #include "chaos/runner.h"
 #include "chaos/schedule.h"
 #include "chaos/shrink.h"
+#include "core/pipeline_trainer.h"
 #include "core/resilient.h"
+#include "obs/metrics.h"
 #include "policy/policy.h"
 
 namespace rcc::chaos {
@@ -261,6 +263,39 @@ TEST(ChaosSmoke, SurvivorDyingMidSpliceKeepsOraclesGreen) {
   }
 }
 
+TEST(ChaosSmoke, AsyncJoinerAdmitsWithANonzeroCatchUpDelta) {
+  // Regression pin for the hardcoded-zero catch-up bug: the async
+  // joiner used to contribute steps_behind = 0 to the delta-sync
+  // agreement, so the spread collapsed to "joiner is current" and the
+  // catch-up was priced as free. Members now contribute absolute
+  // global-step POSITIONS (the joiner its staged snapshot's), so this
+  // campaign — a joiner staging a boundary snapshot while the
+  // survivors keep stepping — must record a nonzero agreed spread and
+  // still replay clean under every oracle.
+  Schedule s;
+  s.shape.world = 4;
+  s.shape.epochs = 3;
+  s.shape.steps_per_epoch = 6;
+  s.shape.grad_buckets = 2;
+  s.shape.inflight_window = 2;
+  s.shape.joins[1] = 1;
+  s.shape.async_admission = true;
+  CampaignOutcome outcome = RunSchedule(s);
+  auto violations = CheckOracles(s, outcome);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  ASSERT_EQ(outcome.results.size(), 5u);
+  const WorkerResult& joiner = outcome.results[4];
+  EXPECT_TRUE(joiner.joined_ok);
+  EXPECT_FALSE(joiner.report.aborted);
+  // The campaign's metrics registry still holds the run (RunSchedule
+  // resets it on entry): the admission observed a real gap.
+  const auto h = obs::Registry::Global()
+                     .GetHistogram("rcc_delta_sync_steps_behind")
+                     ->TakeSnapshot();
+  ASSERT_GE(h.count, 1u);
+  EXPECT_GE(h.max, 1.0);
+}
+
 TEST(ChaosSmoke, ServingCampaignsViolateNoOracle) {
   // Pinned multi-seed batch with the serving-plane draws enabled: the
   // continuous-batching serving campaigns must hold P0/P3/P6/P7 plus the
@@ -463,6 +498,115 @@ TEST(ChaosSmoke, PolicyDecisionLogIsByteDeterministicOnFibers) {
     if (!wx.report.aborted && !wx.report.decisions.empty()) ++logged;
   }
   EXPECT_GE(logged, 1);
+  EXPECT_EQ(x.horizon, y.horizon);
+}
+
+TEST(ChaosSmoke, PipelineCampaignsViolateNoOracleIncludingP10) {
+  // Pinned multi-seed batch with the hybrid-parallel draws enabled:
+  // every campaign founds a DP x PP x TP grid and must hold
+  // P0/P1/P3/P6/P7/P9 plus the pipeline exactly-once oracle P10 across
+  // the generator's background kills (re-routes, shrinks and restores
+  // included).
+  GenConfig cfg;
+  cfg.allow_pp = true;
+  int pp_with_kills = 0;
+  int with_tp = 0;
+  int three_stage = 0;
+  int decisions_total = 0;
+  for (uint64_t seed = 401; seed < 409; ++seed) {
+    Schedule s = GenerateSchedule(seed, cfg);
+    ASSERT_TRUE(s.shape.pipeline) << "seed " << seed;
+    EXPECT_GE(s.shape.world, 2 * s.shape.pp_stages * s.shape.tp_size);
+    EXPECT_TRUE(s.shape.joins.empty());  // pipeline campaigns never join
+    if (s.EventCount() > 0) ++pp_with_kills;
+    if (s.shape.tp_size >= 2) ++with_tp;
+    if (s.shape.pp_stages >= 3) ++three_stage;
+    CampaignOutcome outcome = RunSchedule(s);
+    for (const auto& r : outcome.results) {
+      decisions_total += static_cast<int>(r.pipe.decisions.size());
+    }
+    auto violations = CheckOracles(s, outcome);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << s.seed << ":\n" << FormatViolations(violations);
+  }
+  // The pinned range must actually exercise the grid axes: campaigns
+  // with kills (so recovery decisions fire), TP > 1 and 3-stage pipes.
+  EXPECT_GE(pp_with_kills, 2);
+  EXPECT_GE(with_tp, 1);
+  EXPECT_GE(three_stage, 1);
+  EXPECT_GE(decisions_total, 1);
+}
+
+TEST(ChaosSmoke, PipelineDrawsAreGatedAndSchedulesRoundTrip) {
+  // Old seeds keep generating byte-identical schedules with the
+  // pipeline draws off (the default): pre-pipeline reproducers stay
+  // valid, and their JSON carries no pipeline fields at all.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Schedule s = GenerateSchedule(seed);
+    EXPECT_FALSE(s.shape.pipeline);
+    EXPECT_EQ(s.ToJson().find("pipeline"), std::string::npos);
+  }
+  // The pipeline shape fields survive the JSON round-trip...
+  Schedule s = GenerateSchedule(3);
+  s.shape.pipeline = true;
+  s.shape.pp_stages = 2;
+  s.shape.tp_size = 2;
+  s.shape.pp_microbatches = 6;
+  s.shape.joins.clear();
+  s.shape.async_admission = false;
+  Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(Schedule::FromJson(s.ToJson(), &parsed, &error)) << error;
+  EXPECT_TRUE(parsed == s);
+  // ...and JSON recorded before the fields existed parses with them off.
+  ASSERT_TRUE(
+      Schedule::FromJson(GenerateSchedule(3).ToJson(), &parsed, &error))
+      << error;
+  EXPECT_FALSE(parsed.shape.pipeline);
+  EXPECT_EQ(parsed.shape.pp_stages, 0);
+}
+
+TEST(ChaosSmoke, PipelineKillReplayIsByteDeterministicWithLedgers) {
+  // Hand-built deterministic mid-1F1B kill on a 2-stage grid with a
+  // spare: two replays must agree on every finisher's commit ledger,
+  // exec log and decision log byte for byte (the property that makes
+  // shrunk pipeline reproducers trustworthy).
+  Schedule s;
+  s.shape.world = 5;  // 2x2x1 slots + 1 spare
+  s.shape.epochs = 2;
+  s.shape.steps_per_epoch = 4;
+  s.shape.pipeline = true;
+  s.shape.pp_stages = 2;
+  s.shape.tp_size = 1;
+  s.shape.pp_microbatches = 4;
+  s.shape.policy_mode = "adaptive";
+  const double horizon = EstimateHorizon(s);
+  ASSERT_GT(horizon, 0.0);
+  s.timed.push_back(
+      TimedKill{sim::FailScope::kProcess, /*target=*/1, 0.4 * horizon});
+
+  CampaignOutcome x = RunSchedule(s);
+  auto violations = CheckOracles(s, x);
+  EXPECT_TRUE(violations.empty()) << FormatViolations(violations);
+  EXPECT_GT(x.repairs_metric, 0.0);  // the kill landed mid-run
+  CampaignOutcome y = RunSchedule(s);
+  ASSERT_EQ(x.results.size(), y.results.size());
+  int finishers = 0;
+  for (size_t i = 0; i < x.results.size(); ++i) {
+    const WorkerResult& wx = x.results[i];
+    const WorkerResult& wy = y.results[i];
+    EXPECT_EQ(wx.pid, wy.pid);
+    EXPECT_EQ(wx.pipe.aborted, wy.pipe.aborted);
+    EXPECT_EQ(core::FormatCommitLog(wx.pipe.commits),
+              core::FormatCommitLog(wy.pipe.commits));
+    EXPECT_EQ(core::FormatExecLog(wx.pipe.execs),
+              core::FormatExecLog(wy.pipe.execs));
+    EXPECT_EQ(policy::FormatDecisionLog(wx.pipe.decisions),
+              policy::FormatDecisionLog(wy.pipe.decisions));
+    EXPECT_EQ(wx.end_time, wy.end_time);
+    if (!wx.pipe.aborted) ++finishers;
+  }
+  EXPECT_GE(finishers, 2);
   EXPECT_EQ(x.horizon, y.horizon);
 }
 

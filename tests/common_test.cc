@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "common/env.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/sampling.h"
@@ -286,6 +289,54 @@ TEST(Table, AsciiAlignsColumns) {
   size_t first_nl = ascii.find('\n');
   size_t second_nl = ascii.find('\n', first_nl + 1);
   EXPECT_EQ(first_nl, second_nl - first_nl - 1);
+}
+
+TEST(Env, ParseInt64AcceptsWholeValuesOnly) {
+  int64_t v = -1;
+  EXPECT_TRUE(common::ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(common::ParseInt64("  -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(common::ParseInt64("+9", &v));
+  EXPECT_EQ(v, 9);
+  // Partial parses and garbage leave *out untouched.
+  v = 123;
+  EXPECT_FALSE(common::ParseInt64("5x", &v));
+  EXPECT_FALSE(common::ParseInt64("five", &v));
+  EXPECT_FALSE(common::ParseInt64("", &v));
+  EXPECT_FALSE(common::ParseInt64("0.5", &v));
+  EXPECT_FALSE(common::ParseInt64("99999999999999999999", &v));  // overflow
+  EXPECT_EQ(v, 123);
+}
+
+TEST(Env, ParseDoubleAcceptsWholeValuesOnly) {
+  double v = -1.0;
+  EXPECT_TRUE(common::ParseDouble("0.05", &v));
+  EXPECT_DOUBLE_EQ(v, 0.05);
+  EXPECT_TRUE(common::ParseDouble(" 2e-3 ", &v));
+  EXPECT_DOUBLE_EQ(v, 2e-3);
+  v = 9.0;
+  EXPECT_FALSE(common::ParseDouble("0.05x", &v));
+  EXPECT_FALSE(common::ParseDouble("nanx", &v));
+  EXPECT_FALSE(common::ParseDouble("", &v));
+  EXPECT_DOUBLE_EQ(v, 9.0);
+}
+
+TEST(Env, EnvKnobsFallBackOnUnsetAndMalformed) {
+  ::unsetenv("RCC_TEST_KNOB");
+  EXPECT_EQ(common::EnvInt("RCC_TEST_KNOB", 7), 7);
+  EXPECT_DOUBLE_EQ(common::EnvDouble("RCC_TEST_KNOB", 0.25), 0.25);
+  ::setenv("RCC_TEST_KNOB", "12", 1);
+  EXPECT_EQ(common::EnvInt("RCC_TEST_KNOB", 7), 12);
+  EXPECT_EQ(common::EnvInt64("RCC_TEST_KNOB", 7), 12);
+  ::setenv("RCC_TEST_KNOB", "12junk", 1);
+  EXPECT_EQ(common::EnvInt("RCC_TEST_KNOB", 7), 7);
+  ::setenv("RCC_TEST_KNOB", "0.5", 1);
+  EXPECT_DOUBLE_EQ(common::EnvDouble("RCC_TEST_KNOB", 0.25), 0.5);
+  EXPECT_EQ(common::EnvInt("RCC_TEST_KNOB", 7), 7);  // not an int
+  ::setenv("RCC_TEST_KNOB", "", 1);
+  EXPECT_EQ(common::EnvInt("RCC_TEST_KNOB", 7), 7);  // empty = unset
+  ::unsetenv("RCC_TEST_KNOB");
 }
 
 TEST(Table, CsvEscapesCommas) {

@@ -651,10 +651,12 @@ TEST(ElasticTrainer, AsyncAdmissionJoinerConvergesIdentically) {
                                      &cursor);
         });
     ASSERT_NE(rc, nullptr);
-    ASSERT_TRUE(ElasticTrainer::DeltaSync(rc.get(), &rig.model,
-                                          rig.opt.get(), &cursor,
-                                          /*receiver=*/true,
-                                          /*steps_behind=*/0)
+    ASSERT_TRUE(ElasticTrainer::DeltaSync(
+                    rc.get(), &rig.model, rig.opt.get(), &cursor,
+                    /*receiver=*/true,
+                    /*gstep_position=*/static_cast<uint64_t>(cursor.epoch) *
+                            opts.steps_per_epoch +
+                        cursor.step)
                     .ok());
     ElasticTrainer trainer(rc.get(), &rig.model, rig.opt.get(), &data, opts,
                            &flags);

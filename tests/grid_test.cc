@@ -1,0 +1,154 @@
+// ProcessGroupGrid: deterministic rank -> (d, p, t) mapping and its
+// stability guarantees across shrink (per dimension), spare adoption,
+// and the ReCycle owner re-routing the pipeline trainer builds on.
+#include "core/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace rcc::core {
+namespace {
+
+std::vector<int> Iota(int n, int start = 0) {
+  std::vector<int> pids(n);
+  std::iota(pids.begin(), pids.end(), start);
+  return pids;
+}
+
+TEST(Grid, FoundingLayoutFillsSlotsInPidOrder) {
+  // dp=2, pp=2, tp=2 over 9 pids: 8 slotted + 1 spare.
+  ProcessGroupGrid g(GridDims{2, 2, 2}, Iota(9));
+  for (int d = 0; d < 2; ++d) {
+    for (int p = 0; p < 2; ++p) {
+      for (int t = 0; t < 2; ++t) {
+        EXPECT_EQ(g.PidAt(d, p, t), d * 4 + p * 2 + t);
+      }
+    }
+  }
+  ASSERT_EQ(g.spares().size(), 1u);
+  EXPECT_EQ(g.spares()[0], 8);
+  const GridCoord c = g.CoordOf(6);
+  EXPECT_EQ(c.d, 1);
+  EXPECT_EQ(c.p, 1);
+  EXPECT_EQ(c.t, 0);
+  EXPECT_FALSE(g.HasSlot(8));
+  EXPECT_TRUE(g.Routable());
+}
+
+TEST(Grid, SurvivorsNeverMoveAcrossShrinkInAnyDimension) {
+  // Kill one pid per dimension in turn; every surviving slotted pid must
+  // keep its exact coordinate (sub-comms in the other dimensions stay
+  // membership-stable).
+  for (int victim : {0, 3, 5}) {  // (0,0,0), (0,1,1), (1,0,1) under 2x2x2
+    ProcessGroupGrid g(GridDims{2, 2, 2}, Iota(8));
+    std::vector<GridCoord> before(8);
+    for (int pid = 0; pid < 8; ++pid) before[pid] = g.CoordOf(pid);
+    std::vector<int> alive;
+    for (int pid = 0; pid < 8; ++pid) {
+      if (pid != victim) alive.push_back(pid);
+    }
+    g.Update(alive);
+    EXPECT_FALSE(g.HasSlot(victim));
+    for (int pid : alive) {
+      const GridCoord a = g.CoordOf(pid);
+      EXPECT_EQ(a.d, before[pid].d) << "pid " << pid;
+      EXPECT_EQ(a.p, before[pid].p) << "pid " << pid;
+      EXPECT_EQ(a.t, before[pid].t) << "pid " << pid;
+    }
+  }
+}
+
+TEST(Grid, SpareAdoptsExactlyTheVacatedSlot) {
+  ProcessGroupGrid g(GridDims{2, 2, 1}, Iota(6));  // 4 slots + spares 4,5
+  // Pid 2 = slot (1, 0); the lowest spare must inherit that exact slot.
+  std::vector<int> alive = {0, 1, 3, 4, 5};
+  g.Update(alive);
+  const GridCoord c = g.CoordOf(4);
+  EXPECT_EQ(c.d, 1);
+  EXPECT_EQ(c.p, 0);
+  ASSERT_EQ(g.spares().size(), 1u);
+  EXPECT_EQ(g.spares()[0], 5);
+  // A second vacancy drains the remaining spare.
+  alive = {0, 1, 4, 5};
+  g.Update(alive);
+  const GridCoord c2 = g.CoordOf(5);
+  EXPECT_EQ(c2.d, 1);
+  EXPECT_EQ(c2.p, 1);
+  EXPECT_TRUE(g.spares().empty());
+}
+
+TEST(Grid, UpdateIsDeterministicSpmd) {
+  // Two members applying the same agreed survivor lists derive the
+  // same mapping bytes at every generation.
+  ProcessGroupGrid a(GridDims{2, 3, 1}, Iota(8));
+  ProcessGroupGrid b(GridDims{2, 3, 1}, Iota(8));
+  const std::vector<std::vector<int>> history = {
+      {0, 1, 2, 3, 4, 5, 6, 7},
+      {0, 1, 3, 4, 5, 6, 7},
+      {0, 1, 3, 4, 6, 7},
+      {0, 3, 4, 6, 7},
+  };
+  for (const auto& alive : history) {
+    a.Update(alive);
+    b.Update(alive);
+    EXPECT_EQ(a.Format(), b.Format());
+  }
+}
+
+TEST(Grid, PartialTpReplicaIsNotFunctional) {
+  ProcessGroupGrid g(GridDims{2, 2, 2}, Iota(8));
+  // Kill one TP shard of replica (0, stage 1): slot (0,1,1) = pid 3.
+  g.Update({0, 1, 2, 4, 5, 6, 7});
+  EXPECT_FALSE(g.Functional(0, 1));
+  EXPECT_TRUE(g.Functional(0, 0));
+  EXPECT_TRUE(g.Functional(1, 1));
+  // The stage still has a functional replica, so the grid routes.
+  ASSERT_EQ(g.FunctionalReplicas(1).size(), 1u);
+  EXPECT_EQ(g.FunctionalReplicas(1)[0], 1);
+  EXPECT_TRUE(g.Routable());
+}
+
+TEST(Grid, OwnerReroutesMicrobatchesOfBrokenReplicas) {
+  ProcessGroupGrid g(GridDims{2, 2, 1}, Iota(4));
+  // Healthy: home replica m % dp owns m.
+  EXPECT_EQ(g.OwnerReplica(0, 0), 0);
+  EXPECT_EQ(g.OwnerReplica(0, 1), 1);
+  // Break replica 0 of stage 1 (slot (0,1) = pid 1, no spare refill).
+  g.Update({0, 2, 3});
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(g.OwnerReplica(1, m), 1) << "m" << m;  // survivor adopts all
+  }
+  EXPECT_EQ(g.OwnerReplica(0, 0), 0);  // stage 0 untouched
+  // Kill the adopter too: the stage is dead, the grid is unroutable.
+  g.Update({0, 2});
+  EXPECT_EQ(g.OwnerReplica(1, 0), -1);
+  EXPECT_FALSE(g.Routable());
+}
+
+TEST(Grid, GroupPidListsFollowTheMapping) {
+  ProcessGroupGrid g(GridDims{2, 2, 2}, Iota(8));
+  EXPECT_EQ(g.TpGroupPids(1, 0), (std::vector<int>{4, 5}));
+  EXPECT_EQ(g.DpGroupPids(1, 1), (std::vector<int>{3, 7}));
+  g.Update({0, 1, 2, 4, 5, 6, 7});  // vacate (0,1,1)
+  EXPECT_EQ(g.TpGroupPids(0, 1), (std::vector<int>{2}));
+  EXPECT_EQ(g.DpGroupPids(1, 1), (std::vector<int>{7}));
+}
+
+TEST(Grid, DimsFromEnvUsesCheckedKnobs) {
+  ::setenv("RCC_PP_STAGES", "3", 1);
+  ::setenv("RCC_TP_SIZE", "2", 1);
+  GridDims d = GridDimsFromEnv();
+  EXPECT_EQ(d.pp, 3);
+  EXPECT_EQ(d.tp, 2);
+  ::unsetenv("RCC_PP_STAGES");
+  ::unsetenv("RCC_TP_SIZE");
+  d = GridDimsFromEnv();
+  EXPECT_EQ(d.pp, 1);
+  EXPECT_EQ(d.tp, 1);
+}
+
+}  // namespace
+}  // namespace rcc::core

@@ -366,6 +366,28 @@ TEST(Span, RecordsTraceAndHistogram) {
   EXPECT_NEAR(s.sum, 0.125, 1e-9);
 }
 
+TEST(JsonLite, SurrogatePairsDecodeToUtf8NotCesu8) {
+  json::Value v;
+  std::string err;
+  // 😀 is U+1F600: one 4-byte UTF-8 sequence, not the 6-byte
+  // CESU-8 pair-of-3-byte-sequences a naive per-escape decoder emits.
+  // Keys and values go through the same unescape path.
+  ASSERT_TRUE(json::Parse(R"({"k😀": "a🚀b"})", &v, &err))
+      << err;
+  const std::string key = std::string("k") + "\xF0\x9F\x98\x80";
+  const json::Value* f = v.Find(key);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->AsString(), std::string("a") + "\xF0\x9F\x9A\x80" + "b");
+  // BMP escapes still decode to their short forms.
+  ASSERT_TRUE(json::Parse(R"(["Aé€"])", &v, &err)) << err;
+  EXPECT_EQ(v.AsArray()[0].AsString(), "A\xC3\xA9\xE2\x82\xAC");
+  // Lone / malformed surrogates are parse errors, never raw output.
+  EXPECT_FALSE(json::Parse(R"(["\uD83D"])", &v, &err));
+  EXPECT_FALSE(json::Parse(R"(["\uD83Dx"])", &v, &err));
+  EXPECT_FALSE(json::Parse(R"(["\uD83DA"])", &v, &err));
+  EXPECT_FALSE(json::Parse(R"(["\uDE00"])", &v, &err));  // low first
+}
+
 TEST(Metrics, ResetAllZeroesButKeepsRegistrations) {
   auto& reg = Registry::Global();
   Counter* c = reg.GetCounter("obs_test_reset_total");

@@ -255,6 +255,50 @@ TEST(Decide, IsPureOverTheWire) {
   EXPECT_EQ(FormatDecision(a), FormatDecision(b));
 }
 
+TEST(Decide, RerouteNeedsTheRoutableFlagAndAFailure) {
+  PolicyInputs in = FailureInputs();
+  EXPECT_FALSE(Applicable(Strategy::kReroute, in));  // no flag
+  in.flags |= kFlagReroutable;
+  EXPECT_TRUE(Applicable(Strategy::kReroute, in));
+  PolicyInputs join = JoinInputs();
+  join.flags |= kFlagReroutable;
+  EXPECT_FALSE(Applicable(Strategy::kReroute, join));  // joins never reroute
+}
+
+TEST(Decide, RerouteOnlyForcesWithFlagElseFallsBack) {
+  PolicyInputs in = FailureInputs();
+  in.flags |= kFlagReroutable;
+  EXPECT_EQ(Decide(Mode::kRerouteOnly, in).chosen, Strategy::kReroute);
+  in.flags &= ~kFlagReroutable;  // grid unroutable -> shrink fallback
+  EXPECT_EQ(Decide(Mode::kRerouteOnly, in).chosen, Strategy::kShrink);
+}
+
+TEST(Decide, AdaptivePrefersRerouteWhenShrinkRetiresAWholeReplica) {
+  // Pipeline grid with pp*tp = 4: shrinking after a one-rank loss
+  // retires all 4 ranks of the replica, while re-routing pays only the
+  // bubble fraction of the single lost rank. Disable the admission arms
+  // so the comparison is shrink/restore vs reroute.
+  PolicyInputs in = FailureInputs();
+  in.flags = kFlagRestoreOk | kFlagReroutable;
+  in.replacements = 0;  // wait/async need a slot
+  in.replica_ranks = 4;
+  const Decision d = Decide(Mode::kAdaptive, in);
+  EXPECT_EQ(d.chosen, Strategy::kReroute);
+  EXPECT_LT(d.cost[4], d.cost[0]);
+  EXPECT_TRUE(std::isinf(d.cost[1]));
+  EXPECT_TRUE(std::isinf(d.cost[2]));
+}
+
+TEST(Decide, FormatCarriesReplicaRanksAndRerouteCost) {
+  PolicyInputs in = FailureInputs();
+  in.flags |= kFlagReroutable;
+  in.replica_ranks = 2;
+  const std::string s = FormatDecision(Decide(Mode::kAdaptive, in));
+  EXPECT_NE(s.find("rr=2"), std::string::npos);
+  EXPECT_NE(s.find("cost_reroute="), std::string::npos);
+  EXPECT_EQ(s.find("cost_reroute=inf"), std::string::npos);
+}
+
 TEST(ModeParsing, NamesRoundTripAndUnknownsAreRejected) {
   const char* names[] = {"adaptive", "shrink", "wait", "async", "restore"};
   for (const char* n : names) {
